@@ -1,0 +1,147 @@
+// Ablations of this implementation's own design choices (DESIGN.md §2.3),
+// so each engineering decision is backed by a measurement:
+//   A. Farshi-Gudmundsson distance cache in the metric greedy
+//      (identical output -- how much time does it actually save?);
+//   B. cluster-oracle fast path in approximate-greedy
+//      (identical output -- share of queries short-circuited, time saved);
+//   C. theta-graph base cone count for approximate-greedy
+//      (base quality vs final spanner quality);
+//   D. the paper-Remark alternative to Theorem 6: reroute the greedy (light,
+//      possibly huge-degree) spanner through a bounded-degree spanner, and
+//      compare with approximate-greedy on the degree-blowup metric.
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/approx_greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/hard_instances.hpp"
+#include "gen/points.hpp"
+#include "spanners/net_spanner.hpp"
+#include "spanners/reroute.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace gsp;
+
+    std::cout << "== A. FG distance cache in the exact metric greedy ==\n";
+    {
+        Table t({"n", "naive dijkstras", "cached dijkstras", "saved", "naive s",
+                 "cached s", "speedup"});
+        for (std::size_t n : {256u, 512u, 1024u}) {
+            Rng rng(3 * n);
+            const EuclideanMetric pts =
+                uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
+            GreedyStats naive, cached;
+            (void)greedy_spanner_metric(
+                pts, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = false},
+                &naive);
+            (void)greedy_spanner_metric(
+                pts, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = true},
+                &cached);
+            t.add_row({std::to_string(n), std::to_string(naive.dijkstra_runs),
+                       std::to_string(cached.dijkstra_runs),
+                       fmt(100.0 * (1.0 - static_cast<double>(cached.dijkstra_runs) /
+                                              static_cast<double>(naive.dijkstra_runs)),
+                           1) + "%",
+                       fmt(naive.seconds, 3), fmt(cached.seconds, 3),
+                       fmt_ratio(naive.seconds / cached.seconds)});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\n== B. Cluster-oracle fast path in approximate-greedy ==\n";
+    {
+        Table t({"n", "oracle off (s)", "oracle on (s)", "speedup", "queries skipped"});
+        for (std::size_t n : {4096u, 16384u}) {
+            Rng rng(5 * n + 1);
+            const EuclideanMetric pts =
+                uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
+            const auto off = approx_greedy_spanner(
+                pts, ApproxGreedyOptions{.epsilon = 0.5,
+                                         .theta_cones_override = 16,
+                                         .use_cluster_oracle = false});
+            const auto on = approx_greedy_spanner(
+                pts, ApproxGreedyOptions{.epsilon = 0.5,
+                                         .theta_cones_override = 16,
+                                         .use_cluster_oracle = true});
+            t.add_row({std::to_string(n), fmt(off.seconds_total, 2),
+                       fmt(on.seconds_total, 2),
+                       fmt_ratio(off.seconds_total / on.seconds_total),
+                       fmt(100.0 * static_cast<double>(on.oracle_rejects) /
+                               static_cast<double>(on.oracle_rejects + on.exact_queries),
+                           1) + "%"});
+        }
+        t.print(std::cout);
+        std::cout << "(outputs are bit-identical either way; asserted in the test suite)\n";
+    }
+
+    std::cout << "\n== C. Base-spanner quality (theta cones) vs final spanner ==\n";
+    {
+        Rng rng(77);
+        const EuclideanMetric pts = uniform_points(4096, 2, 640.0, rng);
+        Table t({"cones", "base edges", "base stretch", "|H|", "lightness",
+                 "final stretch", "secs"});
+        for (std::size_t k : {10u, 16u, 24u, 40u}) {
+            const auto r = approx_greedy_spanner(
+                pts, ApproxGreedyOptions{.epsilon = 0.5, .theta_cones_override = k});
+            const double base_stretch = max_stretch_metric_sampled(pts, r.base, 32, 3);
+            const double final_stretch =
+                max_stretch_metric_sampled(pts, r.spanner, 32, 3);
+            const double lightness = r.spanner.total_weight() / metric_mst_weight(pts);
+            t.add_row({std::to_string(k), std::to_string(r.base.num_edges()),
+                       fmt(base_stretch, 3), std::to_string(r.spanner.num_edges()),
+                       fmt(lightness, 3), fmt(final_stretch, 3),
+                       fmt(r.seconds_total, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "(more cones: better base stretch, more candidate edges, similar "
+                     "final spanner --\nthe greedy simulation absorbs base sloppiness, "
+                     "which is why the override is safe)\n";
+    }
+
+    std::cout << "\n== D. Theorem 6 vs the paper-Remark alternative (degree-blowup metric) ==\n";
+    {
+        const std::size_t n = 128;
+        const MatrixMetric star = geometric_star_metric(n, 1.7);
+        Table t({"construction", "edges", "max deg", "lightness", "stretch", "secs"});
+        const double mst = metric_mst_weight(star);
+        {
+            Timer timer;
+            const Graph h = greedy_spanner_metric(star, 1.5);
+            const double s = timer.seconds();
+            t.add_row({"greedy (light, hub degree n-1)", std::to_string(h.num_edges()),
+                       std::to_string(h.max_degree()), fmt(h.total_weight() / mst, 3),
+                       fmt(max_stretch_metric(star, h), 3), fmt(s, 3)});
+        }
+        {
+            Timer timer;
+            const Graph h1 = greedy_spanner_metric(star, 1.22);  // sqrt(1.5) budget
+            const Graph h2 =
+                net_spanner(star, NetSpannerOptions{.epsilon = 0.22, .degree_cap = 12});
+            const Graph h = reroute_through(h1, h2);
+            const double s = timer.seconds();
+            t.add_row({"Remark: greedy rerouted via bounded-degree",
+                       std::to_string(h.num_edges()), std::to_string(h.max_degree()),
+                       fmt(h.total_weight() / mst, 3),
+                       fmt(max_stretch_metric(star, h), 3), fmt(s, 3)});
+        }
+        {
+            Timer timer;
+            const auto r = approx_greedy_spanner(
+                star, ApproxGreedyOptions{.epsilon = 0.5, .net_degree_cap = 16});
+            const double s = timer.seconds();
+            t.add_row({"Theorem 6: approximate-greedy",
+                       std::to_string(r.spanner.num_edges()),
+                       std::to_string(r.spanner.max_degree()),
+                       fmt(r.spanner.total_weight() / mst, 3),
+                       fmt(max_stretch_metric(star, r.spanner), 3), fmt(s, 3)});
+        }
+        t.print(std::cout);
+        std::cout << "(both achieve bounded degree + light weight; the Remark route "
+                     "needs the exact greedy\nfirst -- quadratic -- which is exactly the "
+                     "drawback the paper's Remark calls out)\n";
+    }
+    return 0;
+}

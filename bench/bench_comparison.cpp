@@ -1,0 +1,69 @@
+// The [FG05/Far08] comparison the paper cites in §1.2: "the greedy spanner
+// was found to be 10 times sparser and 30 times lighter than any other
+// examined spanner."
+//
+// We regenerate the experiment: uniform 2D points; the greedy against the
+// classic baselines (theta graph, Yao graph, WSPD spanner, Baswana-Sen on
+// the metric completion). Absolute factors depend on the stretch matched;
+// the shape to reproduce is greedy winning *both* size and lightness by a
+// wide margin at comparable measured stretch.
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
+#include "metric/metric_space.hpp"
+#include "spanners/baswana_sen.hpp"
+#include "spanners/theta_graph.hpp"
+#include "spanners/wspd_spanner.hpp"
+#include "spanners/yao_graph.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gsp;
+    const std::size_t n = 1024;
+    Rng rng(4242);
+    const EuclideanMetric pts = uniform_points(n, 2, 1000.0, rng);
+    const double t = 2.0;  // the experiments' usual headline stretch
+
+    std::cout << "== [FG05]-style comparison, n = " << n
+              << " uniform 2D points, target stretch t = " << fmt(t) << " ==\n\n";
+
+    const Graph greedy = greedy_spanner_metric(pts, t);
+    const SpannerAudit base = audit_metric_spanner(pts, greedy);
+
+    Table table({"construction", "edges", "vs greedy", "lightness", "vs greedy",
+                 "max deg", "measured stretch"});
+    auto add = [&](const std::string& name, const Graph& h) {
+        const SpannerAudit a = audit_metric_spanner(pts, h);
+        table.add_row({name, std::to_string(a.edges),
+                       fmt_ratio(static_cast<double>(a.edges) /
+                                 static_cast<double>(base.edges)),
+                       fmt(a.lightness, 2), fmt_ratio(a.lightness / base.lightness),
+                       std::to_string(a.max_degree), fmt(a.max_stretch, 3)});
+    };
+
+    add("greedy t=2", greedy);
+    // A low-stretch greedy row for like-for-like reading: the cone/WSPD
+    // baselines' *measured* stretch lands near 1.25, so compare them against
+    // the greedy at that stretch class too.
+    add("greedy t=1.25", greedy_spanner_metric(pts, 1.25));
+    add("theta graph (12 cones)", theta_graph(pts, 12));
+    add("theta graph (16 cones)", theta_graph(pts, 16));
+    add("yao graph (12 cones)", yao_graph(pts, 12));
+    add("WSPD spanner (eps=1)", wspd_spanner(pts, 1.0));
+    {
+        // Baswana-Sen needs a graph; feed it the metric completion. k = 2
+        // targets stretch 3 -- the closest odd-stretch class to t = 2.
+        const Graph complete = complete_graph(pts);
+        add("Baswana-Sen k=2 (on completion)", baswana_sen_spanner(complete, 2, 7));
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper expectation ([FG05] as cited in §1.2): the greedy dominates "
+                 "every baseline on BOTH\nsize and lightness -- the cited factors are "
+                 "~10x (size) and ~30x (weight) against cone/WSPD\nconstructions at "
+                 "comparable stretch. Exact multiples vary with n, eps and the dimension.\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Corollary 10 / Theorem 5 experiment: in doubling metrics the greedy
+// (1+eps)-spanner has n * eps^{-O(ddim)} edges and lightness
+// (ddim/eps)^{O(ddim)} -- both *constant in n*.
+//
+// Before this paper the best greedy analysis [Smi09] gave lightness
+// O(log n); the experiment's point is the flatness of the lightness column
+// against the growing log2(n) column.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace gsp;
+    std::cout << "== Corollary 10: greedy (1+eps) in doubling metrics ==\n"
+              << "uniform points in [0, sqrt(n)]^2 (constant density)\n\n";
+
+    Table table({"eps", "n", "log2 n", "|H|/n", "lightness", "max degree", "secs"});
+    for (double eps : {0.25, 0.5, 1.0}) {
+        for (std::size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+            Rng rng(13 * n + static_cast<std::uint64_t>(eps * 100));
+            const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
+            const EuclideanMetric pts = uniform_points(n, 2, extent, rng);
+            Timer timer;
+            const Graph h = greedy_spanner_metric(pts, 1.0 + eps);
+            const double secs = timer.seconds();
+            const SpannerAudit a = audit_metric_spanner(pts, h);
+            table.add_row({fmt(eps), std::to_string(n),
+                           fmt(std::log2(static_cast<double>(n)), 1),
+                           fmt(static_cast<double>(a.edges) / static_cast<double>(n), 3),
+                           fmt(a.lightness, 3), std::to_string(a.max_degree),
+                           fmt(secs, 2)});
+        }
+        std::cout << '\n';
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper expectation: for each eps, |H|/n and lightness are flat in n "
+                 "(Corollary 10's constant\nbounds), even though log2(n) -- the old "
+                 "[Smi09] lightness bound -- keeps growing. Degree may\ngrow on "
+                 "adversarial metrics (see bench_degree) but stays modest here.\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 1 reproduction (paper §1.3).
+//
+// The instance: H = Petersen graph (girth 5, 15 unit edges) union the star
+// S rooted at vertex 0, whose non-H edges weigh 1 + eps. Paper claims, for
+// t = 3:
+//   * the greedy 3-spanner keeps all 15 edges of H (and nothing else);
+//   * the optimal 3-spanner is the 9-edge star S.
+// We verify both exactly -- the optimum by branch and bound -- and then
+// scale the construction up on generalized Petersen graphs GP(n, 2), where
+// the exact optimum is replaced by the star upper bound.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/greedy.hpp"
+#include "exact/optimal_spanner.hpp"
+#include "gen/hard_instances.hpp"
+#include "gen/named_graphs.hpp"
+#include "graph/girth.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gsp;
+
+bool greedy_equals_h(const Figure1Instance& inst, const Graph& greedy) {
+    if (greedy.num_edges() != inst.h_edges) return false;
+    for (EdgeId id = 0; id < inst.h_edges; ++id) {
+        const Edge& e = inst.graph.edge(id);
+        if (!greedy.has_edge(e.u, e.v)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main() {
+    const double t = 3.0;
+    const double eps = 0.1;
+
+    std::cout << "== Figure 1: greedy keeps the high-girth graph, the optimum is the star ==\n";
+    std::cout << "instance G = H (unit weights) + star S (non-H edges of weight 1+eps), "
+              << "eps = " << eps << ", stretch t = " << t << "\n\n";
+
+    {
+        const Figure1Instance inst = figure1_instance(petersen_graph(), eps);
+        const Graph greedy = greedy_spanner(inst.graph, t);
+        const auto opt_edges = optimal_spanner(inst.graph, t, SpannerObjective::kMinEdges);
+        const auto opt_weight = optimal_spanner(inst.graph, t, SpannerObjective::kMinWeight);
+
+        Table table({"spanner", "edges", "weight", "max stretch", "note"});
+        const auto audit = [&](const Graph& h) { return audit_graph_spanner(inst.graph, h); };
+        const SpannerAudit ga = audit(greedy);
+        table.add_row({"greedy t=3", std::to_string(ga.edges), fmt(ga.weight),
+                       fmt(ga.max_stretch),
+                       greedy_equals_h(inst, greedy) ? "= all 15 edges of H (paper: yes)"
+                                                     : "DIFFERS FROM PAPER"});
+        const SpannerAudit oe = audit(opt_edges.spanner);
+        table.add_row({"optimal (min edges)", std::to_string(oe.edges), fmt(oe.weight),
+                       fmt(oe.max_stretch),
+                       opt_edges.proven_optimal ? "exact B&B (paper: 9 star edges)"
+                                                : "B&B node limit hit"});
+        const SpannerAudit ow = audit(opt_weight.spanner);
+        table.add_row({"optimal (min weight)", std::to_string(ow.edges), fmt(ow.weight),
+                       fmt(ow.max_stretch),
+                       opt_weight.proven_optimal ? "exact B&B" : "B&B node limit hit"});
+        table.print(std::cout);
+        std::cout << "\ngreedy/optimal size ratio: "
+                  << fmt_ratio(static_cast<double>(ga.edges) / static_cast<double>(oe.edges))
+                  << "   weight ratio: " << fmt_ratio(ga.weight / ow.weight) << "\n\n";
+    }
+
+    std::cout << "== Scale-up on GP(n, 2) (girth >= 5 for odd n >= 5) ==\n"
+              << "(larger H has hop-diameter > t, so a few star edges legitimately "
+                 "enter alongside ALL of H)\n";
+    Table scale({"n(GP)", "vertices", "H edges", "girth(H)", "greedy edges",
+                 "contains H", "extra star edges", "star UB on OPT", "size gap >="});
+    for (std::size_t n : {5u, 7u, 9u, 11u, 13u}) {
+        const Graph h = generalized_petersen(n, 2);
+        const Figure1Instance inst = figure1_instance(h, eps);
+        const Graph greedy = greedy_spanner(inst.graph, t);
+        bool contains_h = true;
+        for (EdgeId id = 0; id < inst.h_edges; ++id) {
+            const Edge& e = inst.graph.edge(id);
+            if (!greedy.has_edge(e.u, e.v)) contains_h = false;
+        }
+        const std::size_t star_edges = h.num_vertices() - 1;  // S spans everything
+        scale.add_row({std::to_string(n), std::to_string(h.num_vertices()),
+                       std::to_string(h.num_edges()),
+                       std::to_string(unweighted_girth(h)),
+                       std::to_string(greedy.num_edges()),
+                       contains_h ? "yes" : "NO",
+                       std::to_string(greedy.num_edges() - h.num_edges()),
+                       std::to_string(star_edges),
+                       fmt_ratio(static_cast<double>(greedy.num_edges()) /
+                                 static_cast<double>(star_edges))});
+    }
+    scale.print(std::cout);
+    std::cout << "\nShape check vs paper: greedy retains every edge of the high-girth "
+                 "graph while a star-like\nspanner t-spans the instance with ~2n-1 edges; "
+                 "the gap approaches 1.5x and the greedy is\nnonetheless un-improvable in "
+                 "its own right (Lemma 3). Existential, not instance, optimality.\n";
+    return 0;
+}

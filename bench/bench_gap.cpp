@@ -1,0 +1,69 @@
+// Instance-optimality gap experiment (paper §1.3 discussion + Figure 1).
+//
+// Existential optimality explicitly does NOT mean instance optimality: the
+// greedy may be beaten on a specific input by another spanner of that
+// input. This bench quantifies the gap on small random graphs (exact
+// optimum by branch and bound) and reports the distribution of
+// greedy/OPT ratios for both size and weight.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "exact/optimal_spanner.hpp"
+#include "gen/graphs.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gsp;
+    std::cout << "== Greedy vs exact optimum on small instances (t = 2) ==\n"
+              << "20 random graphs per row; exact optimum by branch & bound\n\n";
+
+    Table table({"instance family", "mean size ratio", "max size ratio",
+                 "mean weight ratio", "max weight ratio", "greedy ever beaten"});
+
+    const double t = 2.0;
+    struct Family {
+        std::string name;
+        std::size_t n;
+        std::size_t extra_m;
+        double wlo, whi;
+    };
+    const std::vector<Family> families = {
+        {"sparse  n=9, m=n+4, w~U[1,2]", 9, 4, 1.0, 2.0},
+        {"denser  n=8, m=n+8, w~U[1,2]", 8, 8, 1.0, 2.0},
+        {"spread  n=8, m=n+6, w~U[0.5,5]", 8, 6, 0.5, 5.0},
+    };
+
+    for (const Family& fam : families) {
+        double sum_size = 0, max_size = 0, sum_weight = 0, max_weight = 0;
+        int beaten = 0;
+        const int trials = 20;
+        for (int trial = 0; trial < trials; ++trial) {
+            Rng rng(1000 * trial + fam.n);
+            const Graph g =
+                random_graph_nm(fam.n, fam.extra_m, {.lo = fam.wlo, .hi = fam.whi}, rng);
+            const Graph greedy = greedy_spanner(g, t);
+            const auto opt_e = optimal_spanner(g, t, SpannerObjective::kMinEdges);
+            const auto opt_w = optimal_spanner(g, t, SpannerObjective::kMinWeight);
+            const double sr = static_cast<double>(greedy.num_edges()) /
+                              static_cast<double>(opt_e.spanner.num_edges());
+            const double wr = greedy.total_weight() / opt_w.spanner.total_weight();
+            sum_size += sr;
+            sum_weight += wr;
+            max_size = std::max(max_size, sr);
+            max_weight = std::max(max_weight, wr);
+            if (sr > 1.0 + 1e-12 || wr > 1.0 + 1e-9) ++beaten;
+        }
+        table.add_row({fam.name, fmt_ratio(sum_size / trials), fmt_ratio(max_size),
+                       fmt_ratio(sum_weight / trials), fmt_ratio(max_weight),
+                       std::to_string(beaten) + "/" + std::to_string(trials)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper expectation: ratios are usually 1x (greedy often IS optimal on "
+                 "benign instances)\nbut strictly exceed 1x on some instances -- greedy is "
+                 "existentially, not instance-, optimal.\nbench_fig1 shows the adversarial "
+                 "construction pushing the size ratio toward 1.5x-1.67x.\n";
+    return 0;
+}

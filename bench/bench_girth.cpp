@@ -1,0 +1,62 @@
+// Girth lower-bound experiment (paper §1.1/§3): on a unit-weight graph of
+// girth g, *any* t-spanner with t < g - 1 must keep every edge (dropping an
+// edge forces a detour of weight >= g - 1 > t). High-girth dense graphs are
+// therefore the extremal family showing the greedy's O(n^{1+1/k}) size
+// bound is existentially tight (Erdos girth conjecture).
+//
+// Instances: projective-plane incidence graphs (girth 6, m = Theta(n^{3/2})
+// -- the k = 2 extremal family) and generalized Petersen graphs (girth 5+).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "gen/incidence.hpp"
+#include "gen/named_graphs.hpp"
+#include "graph/girth.hpp"
+#include "util/fit.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gsp;
+    const double t = 3.0;
+    std::cout << "== High-girth instances: any t-spanner (t=3 < girth-1) keeps all edges ==\n\n";
+
+    Table table({"instance", "n", "m", "girth", "greedy edges", "kept all", "m/n^1.5"});
+    std::vector<double> ns, ms;
+    for (std::size_t q : {2u, 3u, 5u, 7u, 11u}) {
+        const Graph g = projective_plane_incidence(q);
+        const Graph h = greedy_spanner(g, t);
+        const double n_d = static_cast<double>(g.num_vertices());
+        ns.push_back(n_d);
+        ms.push_back(static_cast<double>(g.num_edges()));
+        table.add_row({"PG(2," + std::to_string(q) + ") incidence",
+                       std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
+                       std::to_string(unweighted_girth(g)),
+                       std::to_string(h.num_edges()),
+                       h.num_edges() == g.num_edges() ? "yes" : "NO",
+                       fmt(static_cast<double>(g.num_edges()) / std::pow(n_d, 1.5), 3)});
+    }
+    for (std::size_t n : {5u, 9u, 13u}) {
+        const Graph g = generalized_petersen(n, 2);
+        const Graph h = greedy_spanner(g, t);
+        table.add_row({"GP(" + std::to_string(n) + ",2)",
+                       std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
+                       std::to_string(unweighted_girth(g)),
+                       std::to_string(h.num_edges()),
+                       h.num_edges() == g.num_edges() ? "yes" : "NO",
+                       fmt(static_cast<double>(g.num_edges()) /
+                               std::pow(static_cast<double>(g.num_vertices()), 1.5),
+                           3)});
+    }
+    table.print(std::cout);
+
+    const PowerFit fit = fit_power_law(ns, ms);
+    std::cout << "\nincidence family: fitted m ~ n^" << fmt(fit.exponent, 3) << " (R^2 "
+              << fmt(fit.r_squared, 3)
+              << "); theory: exactly Theta(n^{3/2}) -- the k=2 girth-conjecture "
+                 "extremal density.\nEvery 'kept all' column must read yes: on these "
+                 "instances the greedy spanner *is* the\ninstance optimum, which is how "
+                 "existential optimality becomes tight.\n";
+    return 0;
+}

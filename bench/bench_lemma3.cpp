@@ -1,0 +1,63 @@
+// Lemma 3 / Figure 2 experiment: the only t-spanner of the greedy t-spanner
+// is itself.
+//
+// Two executable forms, over random graphs and metric completions:
+//   * fixpoint:     greedy(greedy(G, t), t) == greedy(G, t)  (exact equality)
+//   * criticality:  no spanner edge has an alternative path within t * w(e)
+//                   (so no proper subgraph of H -- and by the paper's
+//                   argument no other t-spanner of H at all -- exists).
+#include <iostream>
+
+#include "core/greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "core/self_optimality.hpp"
+#include "gen/graphs.hpp"
+#include "gen/points.hpp"
+#include "metric/euclidean.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace gsp;
+    std::cout << "== Lemma 3: the greedy spanner is its own unique t-spanner ==\n"
+              << "(seed-deterministic instances; every row must say fixpoint=yes, "
+                 "removable=0)\n\n";
+
+    Table table({"instance", "t", "|V|", "|E(G)|", "|E(H)|", "fixpoint", "removable",
+                 "secs"});
+
+    for (double t : {1.5, 2.0, 3.0, 5.0}) {
+        Rng rng(1000 + static_cast<std::uint64_t>(t * 10));
+        const Graph g = erdos_renyi(80, 0.25, {.lo = 0.5, .hi = 5.0}, rng);
+        Timer timer;
+        const Graph h = greedy_spanner(g, t);
+        const bool fix = greedy_is_fixpoint(g, t);
+        const auto removable = removable_edges(h, t);
+        table.add_row({"ER(80, 0.25)", fmt(t), std::to_string(g.num_vertices()),
+                       std::to_string(g.num_edges()), std::to_string(h.num_edges()),
+                       fix ? "yes" : "NO", std::to_string(removable.size()),
+                       fmt(timer.seconds(), 3)});
+    }
+
+    for (double t : {1.1, 1.5, 2.0}) {
+        Rng rng(2000 + static_cast<std::uint64_t>(t * 10));
+        const EuclideanMetric pts = uniform_points(64, 2, 100.0, rng);
+        Timer timer;
+        const Graph h = greedy_spanner_metric(pts, t);
+        // Fixpoint on the metric side: re-run greedy on the spanner graph.
+        const Graph h2 = greedy_spanner(h, t);
+        const bool fix = same_edge_set(h, h2);
+        const auto removable = removable_edges(h, t);
+        table.add_row({"uniform 2D metric (64 pts)", fmt(t), std::to_string(pts.size()),
+                       std::to_string(pts.size() * (pts.size() - 1) / 2),
+                       std::to_string(h.num_edges()), fix ? "yes" : "NO",
+                       std::to_string(removable.size()), fmt(timer.seconds(), 3)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper expectation: every greedy spanner is a fixpoint with zero "
+                 "removable edges (Lemma 3);\nthis is the engine behind Theorem 4's "
+                 "existential optimality.\n";
+    return 0;
+}

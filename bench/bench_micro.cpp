@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the inner loops everything else
+// is built from: limited Dijkstra, MST, net hierarchy, quadtree, WSPD,
+// theta graph, greedy core.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/graphs.hpp"
+#include "gen/points.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "nets/net_hierarchy.hpp"
+#include "spanners/theta_graph.hpp"
+#include "util/random.hpp"
+#include "wspd/quadtree.hpp"
+#include "wspd/wspd.hpp"
+
+namespace {
+
+using namespace gsp;
+
+Graph make_graph(std::size_t n) {
+    Rng rng(42);
+    return random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
+}
+
+EuclideanMetric make_points(std::size_t n) {
+    Rng rng(42);
+    return uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
+}
+
+void BM_DijkstraFull(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    DijkstraWorkspace ws(g.num_vertices());
+    VertexId s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ws.all_distances(g, s, kInfiniteWeight));
+        s = (s + 1) % g.num_vertices();
+    }
+}
+BENCHMARK(BM_DijkstraFull)->Arg(1024)->Arg(4096);
+
+void BM_DijkstraLimited(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    DijkstraWorkspace ws(g.num_vertices());
+    VertexId s = 0;
+    for (auto _ : state) {
+        // A tight radius: the greedy's typical query shape.
+        benchmark::DoNotOptimize(ws.distance(g, s, (s + 7) % g.num_vertices(), 3.0));
+        s = (s + 1) % g.num_vertices();
+    }
+}
+BENCHMARK(BM_DijkstraLimited)->Arg(1024)->Arg(4096);
+
+void BM_KruskalMst(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(kruskal_mst(g));
+}
+BENCHMARK(BM_KruskalMst)->Arg(1024)->Arg(4096);
+
+void BM_NetHierarchy(benchmark::State& state) {
+    const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(NetHierarchy(pts).num_levels());
+}
+BENCHMARK(BM_NetHierarchy)->Arg(1024)->Arg(4096);
+
+void BM_QuadTree(benchmark::State& state) {
+    const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(QuadTree(pts).num_nodes());
+}
+BENCHMARK(BM_QuadTree)->Arg(1024)->Arg(4096);
+
+void BM_Wspd(benchmark::State& state) {
+    const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
+    const QuadTree tree(pts);
+    for (auto _ : state) benchmark::DoNotOptimize(well_separated_pairs(tree, 4.0).size());
+}
+BENCHMARK(BM_Wspd)->Arg(1024)->Arg(4096);
+
+void BM_ThetaGraph(benchmark::State& state) {
+    const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(theta_graph(pts, 12).num_edges());
+}
+BENCHMARK(BM_ThetaGraph)->Arg(512)->Arg(2048);
+
+void BM_GreedyGraph(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(greedy_spanner(g, 3.0).num_edges());
+}
+BENCHMARK(BM_GreedyGraph)->Arg(512)->Arg(1024);
+
+void BM_GreedyMetricCached(benchmark::State& state) {
+    const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(greedy_spanner_metric(pts, 1.5).num_edges());
+    }
+}
+BENCHMARK(BM_GreedyMetricCached)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

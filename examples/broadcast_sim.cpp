@@ -1,0 +1,77 @@
+// Broadcast on a spanner backbone -- the paper's opening motivation
+// ([ABP90, ABP91]: "light and sparse spanners are particularly useful for
+// efficient broadcast protocols ... efficiency is measured with respect to
+// both the total communication cost (the spanner's weight) and the speed of
+// message delivery (the spanner's stretch)").
+//
+// Scenario: a wireless-ish network of n stations (random geometric graph).
+// A root floods a message to everyone. Flooding the raw network sends one
+// message per edge (cost = w(G)); flooding a spanner costs only w(H), at
+// the price of slightly later delivery. The simulation measures exactly
+// the trade the paper quantifies: cost ratio vs delivery-time stretch.
+#include <algorithm>
+#include <iostream>
+
+#include "core/greedy.hpp"
+#include "gen/graphs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gsp;
+
+struct FloodReport {
+    double total_cost = 0.0;    ///< sum of edge weights traversed (all edges once)
+    double completion = 0.0;    ///< time the last station hears the message
+};
+
+/// Synchronous flood: the message crosses every edge once; station v hears
+/// it at time delta(root, v) (transmission time = edge weight).
+FloodReport flood(const Graph& g, VertexId root) {
+    FloodReport report;
+    report.total_cost = g.total_weight();
+    const auto dist = dijkstra_all(g, root);
+    for (Weight d : dist) report.completion = std::max(report.completion, d);
+    return report;
+}
+
+}  // namespace
+
+int main() {
+    using namespace gsp;
+    Rng rng(2024);
+    const std::size_t n = 600;
+    const Graph net = random_geometric(n, 0.09, rng);
+    const VertexId root = 0;
+
+    std::cout << "== Broadcast simulation on a " << n << "-station radio network ==\n"
+              << "network: " << net.summary() << "\n\n";
+
+    const FloodReport raw = flood(net, root);
+
+    Table table({"backbone", "edges", "total cost", "vs raw", "completion time",
+                 "delivery stretch"});
+    auto add = [&](const std::string& name, const Graph& h) {
+        const FloodReport r = flood(h, root);
+        table.add_row({name, std::to_string(h.num_edges()), fmt(r.total_cost, 2),
+                       fmt_ratio(r.total_cost / raw.total_cost),
+                       fmt(r.completion, 3), fmt_ratio(r.completion / raw.completion)});
+    };
+
+    add("raw network (flood all)", net);
+    const MstResult mst = kruskal_mst(net);
+    add("MST (minimum cost)", net.edge_subgraph(mst.edges));
+    for (double t : {1.5, 2.0, 4.0}) {
+        add("greedy t=" + fmt(t), greedy_spanner(net, t));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: the MST minimizes cost but can delay delivery badly; the "
+                 "greedy spanner's cost\napproaches the MST's (lightness -> 1 as t grows) "
+                 "while its completion time stays within\nthe stretch guarantee -- the "
+                 "sweet spot the paper's broadcast motivation describes.\n";
+    return 0;
+}

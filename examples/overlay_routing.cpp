@@ -1,0 +1,100 @@
+// Compact routing over a low-degree spanner (paper §1.1: "In compact
+// routing schemes, the use of low degree spanners enables the routing
+// tables to be of small size ... the degree of a processor represents its
+// load").
+//
+// Scenario: an overlay network over n peers embedded in a 2D latency space.
+// Full-mesh routing gives optimal latency but each peer keeps n-1 table
+// entries. Routing over a spanner keeps only `degree` entries per peer
+// (next-hop per neighbor via shortest-path trees). The example compares
+// table sizes and end-to-end latency inflation for the greedy and
+// approximate-greedy spanners.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/approx_greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gsp;
+
+struct RoutingReport {
+    std::size_t max_table = 0;   ///< worst per-peer routing-table size (degree)
+    double avg_table = 0.0;
+    double max_inflation = 0.0;  ///< worst latency vs direct
+    double avg_inflation = 0.0;  ///< mean latency inflation over sampled pairs
+};
+
+RoutingReport route_over(const EuclideanMetric& latency, const Graph& overlay,
+                         std::size_t samples, Rng& rng) {
+    RoutingReport report;
+    report.max_table = overlay.max_degree();
+    report.avg_table =
+        2.0 * static_cast<double>(overlay.num_edges()) / static_cast<double>(overlay.num_vertices());
+    DijkstraWorkspace ws(overlay.num_vertices());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const auto s = static_cast<VertexId>(rng.index(latency.size()));
+        const auto& dist = ws.all_distances(overlay, s, kInfiniteWeight);
+        for (VertexId v = 0; v < latency.size(); ++v) {
+            if (v == s) continue;
+            const double inflation = dist[v] / latency.distance(s, v);
+            report.max_inflation = std::max(report.max_inflation, inflation);
+            sum += inflation;
+        }
+    }
+    report.avg_inflation = sum / (static_cast<double>(samples) * (latency.size() - 1));
+    return report;
+}
+
+}  // namespace
+
+int main() {
+    using namespace gsp;
+    Rng rng(99);
+    const std::size_t n = 800;
+    const EuclideanMetric latency = clustered_points(n, 2, 6, 100.0, 4.0, rng);
+
+    std::cout << "== Overlay routing over " << n
+              << " peers (6 data centers, 2D latency space) ==\n\n";
+
+    Table table({"overlay", "edges", "max table", "avg table", "max latency infl.",
+                 "avg latency infl."});
+    auto add = [&](const std::string& name, const Graph& overlay) {
+        Rng sample_rng(5);
+        const RoutingReport r = route_over(latency, overlay, 24, sample_rng);
+        table.add_row({name, std::to_string(overlay.num_edges()),
+                       std::to_string(r.max_table), fmt(r.avg_table, 1),
+                       fmt_ratio(r.max_inflation), fmt_ratio(r.avg_inflation)});
+    };
+
+    {
+        // Full mesh: the baseline everyone wants to avoid.
+        Graph mesh(n);
+        for (VertexId i = 0; i < n; ++i) {
+            for (VertexId j = i + 1; j < n; ++j) mesh.add_edge(i, j, latency.distance(i, j));
+        }
+        add("full mesh", mesh);
+    }
+    add("greedy t=1.5", greedy_spanner_metric(latency, 1.5));
+    add("greedy t=2", greedy_spanner_metric(latency, 2.0));
+    {
+        const ApproxGreedyResult r = approx_greedy_spanner(
+            latency, ApproxGreedyOptions{.epsilon = 0.5, .theta_cones_override = 16});
+        add("approx-greedy eps=0.5", r.spanner);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: the greedy overlay shrinks the worst routing table from n-1 "
+                 "entries to a handful\nwhile bounding the worst latency inflation by its "
+                 "stretch t -- the compact-routing use case\nfrom the paper's introduction. "
+                 "The approximate-greedy variant trades a few more edges for an\n"
+                 "O(n log n) construction time (Theorem 6).\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: build greedy spanners of a graph and of a point set, audit
+// them, and verify the paper's two signature properties (Observation 2 and
+// Lemma 3) on your own data.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "core/self_optimality.hpp"
+#include "gen/graphs.hpp"
+#include "gen/points.hpp"
+#include "util/random.hpp"
+
+int main() {
+    using namespace gsp;
+
+    // --- A weighted graph ---------------------------------------------------
+    Rng rng(7);
+    const Graph g = erdos_renyi(/*n=*/200, /*p=*/0.1, {.lo = 1.0, .hi = 4.0}, rng);
+    std::cout << "input graph:       " << g.summary() << "\n";
+
+    const double t = 3.0;
+    const Graph h = greedy_spanner(g, t);
+    std::cout << "greedy 3-spanner:  " << h.summary() << "\n";
+
+    const SpannerAudit audit = audit_graph_spanner(g, h);
+    std::cout << "  stretch (exact) = " << audit.max_stretch << "  (<= " << t << ")\n"
+              << "  lightness       = " << audit.lightness << "\n";
+
+    // Observation 2: the greedy spanner contains an MST of the input.
+    std::cout << "  contains MST    = " << (contains_kruskal_mst(g, h) ? "yes" : "no")
+              << "\n";
+    // Lemma 3: the only t-spanner of H is H itself -- no edge is removable.
+    std::cout << "  removable edges = " << removable_edges(h, t).size() << " (Lemma 3)\n\n";
+
+    // --- A metric space (2D points) -----------------------------------------
+    const EuclideanMetric pts = uniform_points(/*n=*/300, /*dim=*/2, /*extent=*/100.0, rng);
+    const Graph hm = greedy_spanner_metric(pts, /*t=*/1.5);
+    const SpannerAudit ma = audit_metric_spanner(pts, hm);
+    std::cout << "greedy (1.5)-spanner of 300 uniform points:\n"
+              << "  edges = " << ma.edges << " (" << 2.0 * static_cast<double>(ma.edges) / 300.0
+              << " per point), lightness = " << ma.lightness
+              << ", max degree = " << ma.max_degree << ", stretch = " << ma.max_stretch
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Energy-constrained sensor-network backbone (paper §1.1: spanners "in
+// wireless and sensor networks [vRW04, BSDS04, SS10]" and VLSI-style
+// cost-vs-radius trades).
+//
+// Scenario: battery-powered sensors scattered over a field report to a
+// sink. Keeping a radio link costs energy proportional to its length
+// (transmit power), so the backbone's *weight* is the network's total
+// maintenance power, and each sensor's *degree* is its duty-cycle load.
+// The backbone must still deliver every report within a bounded detour
+// (stretch), or end-to-end latency and per-hop relay energy explode.
+//
+// The example sweeps the stretch parameter t and prints the whole
+// trade-off curve; the paper's Corollary 10 says the greedy backbone's
+// weight is within a constant of the MST while keeping (1+eps) detours --
+// and this is the best any construction could promise for the family.
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
+#include "metric/metric_space.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gsp;
+    Rng rng(314);
+    const std::size_t n = 500;
+    const EuclideanMetric field = uniform_points(n, 2, 1000.0, rng);
+    const double mst_power = metric_mst_weight(field);
+
+    std::cout << "== Sensor backbone: maintenance power vs detour guarantee ==\n"
+              << n << " sensors over a 1km x 1km field; power ~ total link length\n\n";
+
+    Table table({"t (detour cap)", "links", "links/sensor", "power (x MST)",
+                 "max duty (degree)", "measured worst detour"});
+    for (double t : {1.05, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+        const Graph backbone = greedy_spanner_metric(field, t);
+        const SpannerAudit a = audit_metric_spanner(field, backbone);
+        table.add_row({fmt(t), std::to_string(a.edges),
+                       fmt(2.0 * static_cast<double>(a.edges) / static_cast<double>(n), 2),
+                       fmt(a.weight / mst_power, 3), std::to_string(a.max_degree),
+                       fmt_ratio(a.max_stretch)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: tightening the detour cap toward 1 buys latency at a steep "
+                 "power premium; by t ~ 1.5\nthe greedy backbone already runs within ~2-3x "
+                 "of the theoretical minimum power (the MST)\nwhile guaranteeing every "
+                 "report a <= t detour. Corollary 10 says this curve is flat in n:\n"
+                 "deploying 10x more sensors does not change the power-per-sensor story.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+
+double max_stretch_over_edges(const Graph& g, const Graph& h) {
+    if (g.num_vertices() != h.num_vertices()) {
+        throw std::invalid_argument("max_stretch_over_edges: vertex count mismatch");
+    }
+    // Group the edges of g by source endpoint so one Dijkstra per distinct
+    // source covers them all.
+    std::vector<std::vector<std::pair<VertexId, Weight>>> queries(g.num_vertices());
+    for (const Edge& e : g.edges()) {
+        queries[e.u].push_back({e.v, e.weight});
+    }
+    DijkstraWorkspace ws(h.num_vertices());
+    double worst = 0.0;
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+        if (queries[s].empty()) continue;
+        const auto& dist = ws.all_distances(h, s, kInfiniteWeight);
+        for (const auto& [target, w] : queries[s]) {
+            worst = std::max(worst, dist[target] / w);
+        }
+    }
+    return worst;
+}
+
+double max_stretch_metric(const MetricSpace& m, const Graph& h) {
+    if (m.size() != h.num_vertices()) {
+        throw std::invalid_argument("max_stretch_metric: size mismatch");
+    }
+    DijkstraWorkspace ws(h.num_vertices());
+    double worst = 0.0;
+    for (VertexId s = 0; s < m.size(); ++s) {
+        const auto& dist = ws.all_distances(h, s, kInfiniteWeight);
+        for (VertexId v = s + 1; v < m.size(); ++v) {
+            worst = std::max(worst, dist[v] / m.distance(s, v));
+        }
+    }
+    return worst;
+}
+
+double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
+                                  std::size_t sources, std::uint64_t seed) {
+    if (m.size() != h.num_vertices()) {
+        throw std::invalid_argument("max_stretch_metric_sampled: size mismatch");
+    }
+    if (sources >= m.size()) return max_stretch_metric(m, h);
+    Rng rng(seed);
+    DijkstraWorkspace ws(h.num_vertices());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sources; ++i) {
+        const auto s = static_cast<VertexId>(rng.index(m.size()));
+        const auto& dist = ws.all_distances(h, s, kInfiniteWeight);
+        for (VertexId v = 0; v < m.size(); ++v) {
+            if (v == s) continue;
+            worst = std::max(worst, dist[v] / m.distance(s, v));
+        }
+    }
+    return worst;
+}
+
+namespace {
+
+SpannerAudit basic_stats(const Graph& h) {
+    SpannerAudit a;
+    a.vertices = h.num_vertices();
+    a.edges = h.num_edges();
+    a.weight = h.total_weight();
+    a.max_degree = h.max_degree();
+    a.avg_degree =
+        a.vertices == 0 ? 0.0 : 2.0 * static_cast<double>(a.edges) / static_cast<double>(a.vertices);
+    return a;
+}
+
+}  // namespace
+
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h) {
+    SpannerAudit a = basic_stats(h);
+    a.lightness = a.weight / mst_weight(g);
+    a.max_stretch = max_stretch_over_edges(g, h);
+    return a;
+}
+
+SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h) {
+    SpannerAudit a = basic_stats(h);
+    a.lightness = a.weight / metric_mst_weight(m);
+    a.max_stretch = max_stretch_metric(m, h);
+    return a;
+}
+
+}  // namespace gsp

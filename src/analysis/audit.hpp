@@ -1,0 +1,47 @@
+// Spanner auditing: the quantities every experiment reports.
+//
+// size |H|, weight w(H), lightness w(H)/w(MST), maximum degree, and the
+// *exact* maximum stretch. Stretch is verified the way Section 2 of the
+// paper licenses: it suffices to check the pairs that are edges of the
+// input (graph case) -- and for metric inputs, all pairs.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+struct SpannerAudit {
+    std::size_t vertices = 0;
+    std::size_t edges = 0;
+    double weight = 0.0;
+    double lightness = 0.0;    ///< w(H) / w(MST of the *input*)
+    std::size_t max_degree = 0;
+    double avg_degree = 0.0;
+    double max_stretch = 0.0;  ///< max over checked pairs of delta_H / d_input
+};
+
+/// Exact maximum stretch of h w.r.t. the edges of g: one Dijkstra on h per
+/// distinct edge source. Requires matching vertex counts.
+double max_stretch_over_edges(const Graph& g, const Graph& h);
+
+/// Exact maximum stretch of h w.r.t. all pairs of the metric m: n Dijkstra
+/// runs on h. Infinite if h fails to connect some pair.
+double max_stretch_metric(const MetricSpace& m, const Graph& h);
+
+/// Lower bound on the maximum stretch from `sources` randomly chosen source
+/// vertices (each checked against all targets). Exact when sources >= n.
+/// For the large-n benches where the full O(n^2) audit is too slow.
+double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
+                                  std::size_t sources, std::uint64_t seed);
+
+/// Full audit of spanner h for graph input g (throws if g disconnected,
+/// since lightness is undefined).
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h);
+
+/// Full audit of spanner h for metric input m.
+SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h);
+
+}  // namespace gsp

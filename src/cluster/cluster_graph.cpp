@@ -1,0 +1,112 @@
+#include "cluster/cluster_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+
+namespace gsp {
+
+ClusterGraph::ClusterGraph(const Graph& h, double radius)
+    : radius_(radius),
+      cluster_of_(h.num_vertices(), 0xffffffffu),
+      to_center_(h.num_vertices(), kInfiniteWeight) {
+    if (!(radius > 0.0)) throw std::invalid_argument("ClusterGraph: radius must be > 0");
+    const std::size_t n = h.num_vertices();
+
+    DijkstraWorkspace ws(n);
+    for (VertexId v = 0; v < n; ++v) {
+        if (cluster_of_[v] != 0xffffffffu) continue;
+        const auto idx = static_cast<std::uint32_t>(centers_.size());
+        centers_.push_back(v);
+        for (const auto& [settled, dist] : ws.ball(h, v, radius_)) {
+            if (cluster_of_[settled] == 0xffffffffu) {
+                cluster_of_[settled] = idx;
+                to_center_[settled] = dist;
+            }
+        }
+    }
+
+    // Coarse edges: min over crossing spanner edges of the realizable
+    // center-to-center path length.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Weight> best;
+    for (const Edge& e : h.edges()) {
+        const std::uint32_t cu = cluster_of_[e.u];
+        const std::uint32_t cv = cluster_of_[e.v];
+        if (cu == cv) continue;
+        const Weight through = to_center_[e.u] + e.weight + to_center_[e.v];
+        const auto key = std::minmax(cu, cv);
+        auto [it, inserted] = best.try_emplace({key.first, key.second}, through);
+        if (!inserted && through < it->second) it->second = through;
+    }
+    coarse_adj_.resize(centers_.size());
+    for (const auto& [key, w] : best) {
+        coarse_adj_[key.first].push_back({key.second, w});
+        coarse_adj_[key.second].push_back({key.first, w});
+    }
+    dist_.assign(centers_.size(), kInfiniteWeight);
+    stamp_.assign(centers_.size(), 0);
+}
+
+Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit) const {
+    const std::uint32_t cu = cluster_of_.at(u);
+    const std::uint32_t cv = cluster_of_.at(v);
+    const Weight endpoints = to_center_[u] + to_center_[v];
+    if (cu == cv) {
+        // Same ball: route through the shared center.
+        return endpoints;
+    }
+    // Dijkstra over the coarse adjacency, capped so we never explore past
+    // what could beat `limit`. Timestamped scratch keeps a query at
+    // O(|explored ball| log), independent of the cluster count.
+    const Weight budget = limit - endpoints;
+    if (budget < 0) return kInfiniteWeight;
+
+    ++query_;
+    heap_.clear();
+    auto cmp = [](const QueryItem& a, const QueryItem& b) { return a.d > b.d; };
+    auto relax = [&](std::uint32_t c, Weight d) {
+        if (stamp_[c] != query_ || d < dist_[c]) {
+            stamp_[c] = query_;
+            dist_[c] = d;
+            heap_.push_back({d, c});
+            std::push_heap(heap_.begin(), heap_.end(), cmp);
+        }
+    };
+    relax(cu, 0.0);
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), cmp);
+        const QueryItem top = heap_.back();
+        heap_.pop_back();
+        if (top.d > dist_[top.c]) continue;
+        if (top.c == cv) return endpoints + top.d;
+        for (const auto& [nc, w] : coarse_adj_[top.c]) {
+            const Weight nd = top.d + w;
+            if (nd <= budget) relax(nc, nd);
+        }
+    }
+    return kInfiniteWeight;
+}
+
+bool ClusterGraph::check_invariants(const Graph& h) const {
+    const std::size_t n = h.num_vertices();
+    DijkstraWorkspace ws(n);
+    for (VertexId v = 0; v < n; ++v) {
+        if (cluster_of_[v] == 0xffffffffu) return false;
+        if (to_center_[v] > radius_ + 1e-12) return false;
+        const VertexId center = centers_[cluster_of_[v]];
+        // Stored center distance must be the true spanner distance.
+        const Weight true_d = ws.distance(h, center, v, kInfiniteWeight);
+        if (std::abs(true_d - to_center_[v]) > 1e-9) return false;
+    }
+    for (std::uint32_t c = 0; c < coarse_adj_.size(); ++c) {
+        for (const auto& [nc, w] : coarse_adj_[c]) {
+            const Weight true_d = ws.distance(h, centers_[c], centers_[nc], kInfiniteWeight);
+            if (w + 1e-9 < true_d) return false;  // must be an upper bound
+        }
+    }
+    return true;
+}
+
+}  // namespace gsp

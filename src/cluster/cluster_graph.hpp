@@ -1,0 +1,69 @@
+// Cluster graph: the coarse distance structure of Algorithm
+// Approximate-Greedy (paper §5.1).
+//
+// Clusters are Dijkstra balls of a fixed radius grown greedily over the
+// current spanner; the cluster graph has one vertex per cluster and, for
+// every spanner edge crossing two clusters, an edge whose weight is the
+// length of a *realizable* path (center -> endpoint -> endpoint -> center).
+// Distances measured on the cluster graph are therefore genuine upper
+// bounds on spanner distances, which makes "reject if the bound is within
+// threshold" a sound fast path for the greedy simulation: rejected edges
+// really do have a witness path, so the output stretch is never violated,
+// while every *kept* edge is certified by an exact query (preserving the
+// Lemma-11 gap property the lightness proof needs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+class ClusterGraph {
+public:
+    /// Build ball clusters of the given radius over spanner h.
+    ClusterGraph(const Graph& h, double radius);
+
+    [[nodiscard]] std::size_t num_clusters() const { return centers_.size(); }
+
+    /// Cluster index of vertex v.
+    [[nodiscard]] std::uint32_t cluster_of(VertexId v) const { return cluster_of_.at(v); }
+
+    /// Distance from v to its cluster center inside the spanner.
+    [[nodiscard]] Weight center_distance(VertexId v) const { return to_center_.at(v); }
+
+    /// Upper bound on the spanner distance between u and v: the length of a
+    /// real spanner path routed through cluster centers. Returns +infinity
+    /// when no such path within `limit` exists (which says nothing about
+    /// the true distance -- this oracle is one-sided by design).
+    [[nodiscard]] Weight upper_bound_distance(VertexId u, VertexId v, Weight limit) const;
+
+    /// Invariant check for tests: every vertex is assigned, center
+    /// distances are within the radius, and every cluster-graph edge weight
+    /// is realizable (>= the true spanner distance between the centers).
+    [[nodiscard]] bool check_invariants(const Graph& h) const;
+
+private:
+    double radius_;
+    std::vector<VertexId> centers_;           ///< cluster index -> center vertex
+    std::vector<std::uint32_t> cluster_of_;   ///< vertex -> cluster index
+    std::vector<Weight> to_center_;           ///< vertex -> distance to its center
+    /// Coarse adjacency: cluster index -> (neighbor cluster, weight).
+    std::vector<std::vector<std::pair<std::uint32_t, Weight>>> coarse_adj_;
+
+    // Timestamped per-query scratch: a query touches O(|explored ball|), not
+    // O(#clusters). ClusterGraph is not thread-safe (single-owner use, like
+    // DijkstraWorkspace).
+    struct QueryItem {
+        Weight d;
+        std::uint32_t c;
+    };
+    mutable std::vector<Weight> dist_;
+    mutable std::vector<std::uint64_t> stamp_;
+    mutable std::uint64_t query_ = 0;
+    mutable std::vector<QueryItem> heap_;
+};
+
+}  // namespace gsp

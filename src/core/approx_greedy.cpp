@@ -1,0 +1,128 @@
+#include "core/approx_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster_graph.hpp"
+#include "graph/dijkstra.hpp"
+#include "metric/euclidean.hpp"
+#include "spanners/net_spanner.hpp"
+#include "spanners/theta_graph.hpp"
+#include "util/timer.hpp"
+
+namespace gsp {
+
+namespace {
+
+/// Smallest cone count whose guaranteed theta-graph stretch is <= budget.
+std::size_t cones_for_budget(double budget) {
+    for (std::size_t k = 8; k <= 4096; ++k) {
+        if (theta_graph_stretch_bound(k) <= budget) return k;
+    }
+    throw std::invalid_argument("approx_greedy: stretch budget too tight for theta base");
+}
+
+Graph build_base(const MetricSpace& m, const ApproxGreedyOptions& options, double t_base) {
+    const auto* e = dynamic_cast<const EuclideanMetric*>(&m);
+    if (e != nullptr && e->dim() == 2) {
+        const std::size_t k = options.theta_cones_override != 0
+                                  ? options.theta_cones_override
+                                  : cones_for_budget(t_base);
+        return theta_graph_sweep(*e, k);
+    }
+    // Generic doubling metric: net-tree spanner with budget eps' = t_base - 1.
+    return net_spanner(m, NetSpannerOptions{.epsilon = t_base - 1.0,
+                                            .degree_cap = options.net_degree_cap});
+}
+
+}  // namespace
+
+ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m,
+                                         const ApproxGreedyOptions& options) {
+    const double eps = options.epsilon;
+    if (!(eps > 0.0) || eps > 1.0) {
+        throw std::invalid_argument("approx_greedy_spanner: epsilon must be in (0, 1]");
+    }
+    if (!(options.bucket_ratio > 1.0)) {
+        throw std::invalid_argument("approx_greedy_spanner: bucket_ratio must be > 1");
+    }
+    const Timer total_timer;
+    const std::size_t n = m.size();
+
+    ApproxGreedyResult result{.spanner = Graph(n), .base = Graph(n)};
+    // Split the stretch budget: (1 + eps/3) for the base, the rest for the
+    // simulation; (1 + eps/3) * t_sim = 1 + eps exactly.
+    result.t_base = 1.0 + eps / 3.0;
+    result.t_sim = (1.0 + eps) / result.t_base;
+    if (n <= 1) {
+        result.seconds_total = total_timer.seconds();
+        return result;
+    }
+
+    {
+        const Timer base_timer;
+        result.base = build_base(m, options, result.t_base);
+        result.seconds_base = base_timer.seconds();
+    }
+    const Graph& base = result.base;
+    Graph& h = result.spanner;
+
+    // Candidate edges of G' in non-decreasing weight order.
+    std::vector<EdgeId> order(base.num_edges());
+    for (EdgeId i = 0; i < base.num_edges(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+        const Edge& ea = base.edge(a);
+        const Edge& eb = base.edge(b);
+        return std::tie(ea.weight, ea.u, ea.v) < std::tie(eb.weight, eb.u, eb.v);
+    });
+
+    // E0: edges of weight <= D/n go straight to the output.
+    Weight max_w = 0.0;
+    for (const Edge& e : base.edges()) max_w = std::max(max_w, e.weight);
+    const Weight light_threshold = max_w / static_cast<double>(n);
+    std::size_t cursor = 0;
+    while (cursor < order.size() && base.edge(order[cursor]).weight <= light_threshold) {
+        const Edge& e = base.edge(order[cursor]);
+        h.add_edge(e.u, e.v, e.weight);
+        ++cursor;
+    }
+    result.light_edges = cursor;
+
+    // Greedy simulation over the remaining edges, bucket by bucket.
+    DijkstraWorkspace ws(n);
+    const double t = result.t_sim;
+    std::unique_ptr<ClusterGraph> oracle;
+    Weight bucket_lo = 0.0;
+    Weight bucket_hi = 0.0;
+
+    for (; cursor < order.size(); ++cursor) {
+        const Edge& e = base.edge(order[cursor]);
+        if (e.weight > bucket_hi) {
+            // Entering a new bucket: rebuild the coarse oracle at this scale.
+            bucket_lo = e.weight;
+            bucket_hi = bucket_lo * options.bucket_ratio;
+            ++result.buckets;
+            if (options.use_cluster_oracle) {
+                oracle = std::make_unique<ClusterGraph>(h, (eps / 16.0) * bucket_lo);
+            }
+        }
+        const Weight threshold = t * e.weight;
+        if (oracle != nullptr &&
+            oracle->upper_bound_distance(e.u, e.v, threshold) <= threshold) {
+            ++result.oracle_rejects;  // sound: a realizable witness path exists
+            continue;
+        }
+        ++result.exact_queries;
+        if (ws.distance(h, e.u, e.v, threshold) > threshold) {
+            h.add_edge(e.u, e.v, e.weight);
+        }
+    }
+
+    result.seconds_total = total_timer.seconds();
+    return result;
+}
+
+}  // namespace gsp

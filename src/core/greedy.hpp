@@ -1,0 +1,38 @@
+// Algorithm 1 of the paper: the greedy spanner for weighted graphs.
+//
+//   H = (V, {})
+//   for each edge (u, v) in non-decreasing order of weight:
+//       if delta_H(u, v) > t * w(u, v):  add (u, v) to H
+//
+// Properties this implementation guarantees (and tests rely on):
+//  * stretch(H) <= t, by construction;
+//  * ties in edge weight are broken deterministically by canonical endpoint
+//    order then edge id, so greedy(G, t) is a pure function of (G, t) -- the
+//    Lemma-3 fixpoint test greedy(greedy(G)) == greedy(G) is exact;
+//  * with the same tie-breaking, H contains the Kruskal MST of G
+//    (Observation 2 of the paper);
+//  * each distance query is a Dijkstra run *limited* to radius t * w(e),
+//    making the naive algorithm usable well beyond toy sizes.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace gsp {
+
+/// Counters describing one greedy run (for the runtime experiments).
+struct GreedyStats {
+    std::size_t edges_examined = 0;  ///< candidate edges processed
+    std::size_t edges_added = 0;     ///< edges kept in the spanner
+    std::size_t dijkstra_runs = 0;   ///< distance queries actually executed
+    double seconds = 0.0;            ///< wall-clock time of the run
+};
+
+/// The greedy t-spanner of g. Requires t >= 1. Works on disconnected
+/// graphs (the spanner then spans each component). Parallel edges are
+/// handled naturally: the second copy is rejected because the first copy is
+/// a path of equal weight (<= t * w since t >= 1).
+Graph greedy_spanner(const Graph& g, double t, GreedyStats* stats = nullptr);
+
+}  // namespace gsp

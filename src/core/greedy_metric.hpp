@@ -1,0 +1,42 @@
+// The greedy spanner over a metric space (Sections 4-5 of the paper).
+//
+// In a metric space the candidate edge set is all n(n-1)/2 pairs. Two
+// implementations share one output (they are observationally identical):
+//
+//  * the naive greedy -- one distance-limited Dijkstra per pair;
+//  * the Farshi-Gudmundsson cached greedy (the practical variant behind the
+//    O(n^2 log n) bound the paper cites as [BCF+10]): the spanner only ever
+//    grows, so any previously computed spanner distance is an *upper bound*
+//    on the current one. A pair whose cached upper bound already satisfies
+//    the stretch test is rejected without running Dijkstra; otherwise one
+//    Dijkstra ball is grown and its exact distances refresh the cache.
+//
+// The cached variant stores an n x n matrix (8 n^2 bytes); instances are
+// expected to stay within a few thousand points, which matches the
+// experiment envelope in DESIGN.md.
+#pragma once
+
+#include "core/greedy.hpp"
+#include "graph/graph.hpp"
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+struct MetricGreedyOptions {
+    double stretch = 2.0;
+    /// Use the Farshi-Gudmundsson distance cache (identical output, faster).
+    bool use_distance_cache = true;
+};
+
+/// The greedy t-spanner of the metric m, as a graph over m's points whose
+/// edge weights are metric distances.
+Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& options,
+                            GreedyStats* stats = nullptr);
+
+/// Convenience overload with default options.
+inline Graph greedy_spanner_metric(const MetricSpace& m, double t,
+                                   GreedyStats* stats = nullptr) {
+    return greedy_spanner_metric(m, MetricGreedyOptions{.stretch = t}, stats);
+}
+
+}  // namespace gsp

@@ -1,0 +1,100 @@
+#include "core/self_optimality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/greedy.hpp"
+#include "core/greedy_metric.hpp"
+#include "graph/mst.hpp"
+#include "metric/graph_metric.hpp"
+
+namespace gsp {
+
+namespace {
+
+struct AvoidItem {
+    Weight d;
+    VertexId v;
+};
+bool operator>(const AvoidItem& a, const AvoidItem& b) { return a.d > b.d; }
+
+/// Shortest u-v distance in g that avoids edge `skip`, capped at `limit`.
+Weight distance_avoiding_edge(const Graph& g, VertexId s, VertexId target, EdgeId skip,
+                              Weight limit) {
+    std::vector<Weight> dist(g.num_vertices(), kInfiniteWeight);
+    std::vector<AvoidItem> heap;
+    dist[s] = 0.0;
+    heap.push_back({0.0, s});
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+        const AvoidItem top = heap.back();
+        heap.pop_back();
+        if (top.d > dist[top.v]) continue;
+        if (top.v == target) return top.d;
+        for (const HalfEdge& h : g.neighbors(top.v)) {
+            if (h.edge == skip) continue;
+            const Weight nd = top.d + h.weight;
+            if (nd <= limit && nd < dist[h.to]) {
+                dist[h.to] = nd;
+                heap.push_back({nd, h.to});
+                std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+            }
+        }
+    }
+    return kInfiniteWeight;
+}
+
+}  // namespace
+
+bool greedy_is_fixpoint(const Graph& g, double t) {
+    const Graph h = greedy_spanner(g, t);
+    const Graph h2 = greedy_spanner(h, t);
+    return same_edge_set(h, h2);
+}
+
+std::vector<EdgeId> removable_edges(const Graph& h, double t) {
+    std::vector<EdgeId> removable;
+    for (EdgeId id = 0; id < h.num_edges(); ++id) {
+        const Edge& e = h.edge(id);
+        const Weight threshold = t * e.weight;
+        if (distance_avoiding_edge(h, e.u, e.v, id, threshold) <= threshold) {
+            removable.push_back(id);
+        }
+    }
+    return removable;
+}
+
+bool contains_kruskal_mst(const Graph& g, const Graph& h) {
+    const MstResult mst = kruskal_mst(g);
+    for (EdgeId id : mst.edges) {
+        const Edge& e = g.edge(id);
+        bool found = false;
+        for (const HalfEdge& half : h.neighbors(e.u)) {
+            if (half.to == e.v && half.weight == e.weight) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) return false;
+    }
+    return true;
+}
+
+double metric_mst_gap(const MetricSpace& m, const Graph& h) {
+    return std::abs(metric_mst_weight(m) - kruskal_mst(h).weight);
+}
+
+TransferGap transfer_gaps(const Graph& h, double t) {
+    const GraphMetric mh(h);
+    const Graph h_prime = greedy_spanner_metric(mh, t);
+    TransferGap gap;
+    gap.weight_gap = h_prime.total_weight() - h.total_weight();
+    gap.size_gap = static_cast<long>(h_prime.num_edges()) - static_cast<long>(h.num_edges());
+    return gap;
+}
+
+double mst_inflation(const Graph& h, const Graph& h_prime) {
+    return kruskal_mst(h_prime).weight / kruskal_mst(h).weight;
+}
+
+}  // namespace gsp

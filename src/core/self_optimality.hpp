@@ -1,0 +1,54 @@
+// Executable forms of the paper's proof machinery (Sections 3-4).
+//
+// The existential-optimality argument rests on a few checkable facts:
+//   Lemma 3        -- the only t-spanner of the greedy t-spanner is itself;
+//   Observation 2  -- the greedy spanner contains an MST of the input;
+//   Observation 6  -- MST(M_G) is a spanning tree of G (same MST weight);
+//   Lemma 7 / 8    -- any t-spanner of M_H weighs / counts at least as much
+//                     as H itself (for t < 2 in the size case);
+//   Observation 12 -- w(MST(H')) <= t * w(MST(H)) for any t-spanner H'.
+//
+// Each function here *verifies* one of these on concrete inputs; the test
+// suite and bench_lemma3 drive them over instance distributions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+/// Lemma 3 (fixpoint form): greedy(greedy(G, t), t) == greedy(G, t)
+/// as an edge set.
+[[nodiscard]] bool greedy_is_fixpoint(const Graph& g, double t);
+
+/// Lemma 3 (criticality form): ids of spanner edges e = (u, v) for which
+/// H - e still t-spans (u, v), i.e. delta_{H-e}(u, v) <= t * w(e).
+/// For a greedy spanner this list must be empty: a t-spanner of H that
+/// misses e cannot exist, and in particular H - e is not one.
+std::vector<EdgeId> removable_edges(const Graph& h, double t);
+
+/// Observation 2: every edge of the (deterministic Kruskal) MST of g is an
+/// edge of h, matched by endpoints and weight.
+[[nodiscard]] bool contains_kruskal_mst(const Graph& g, const Graph& h);
+
+/// Observation 6 + Observation 2 combined for metrics: the MST weight of
+/// the metric M equals the MST weight of the greedy spanner H of M
+/// (they share an MST). Returns the absolute difference.
+double metric_mst_gap(const MetricSpace& m, const Graph& h);
+
+/// Lemma 7 / Lemma 8 transfer check. Builds M_H (the metric induced by h),
+/// computes a t-spanner H' of M_H with the greedy algorithm, and returns
+/// the observed (w(H') - w(H), |H'| - |H|): Lemma 7 says the first is
+/// >= 0 always; Lemma 8 says the second is >= 0 whenever t < 2.
+struct TransferGap {
+    double weight_gap = 0.0;  ///< w(H') - w(H)
+    long size_gap = 0;        ///< |H'| - |H|
+};
+TransferGap transfer_gaps(const Graph& h, double t);
+
+/// Observation 12: w(MST(h_prime)) / w(MST(h)). The caller asserts <= t.
+double mst_inflation(const Graph& h, const Graph& h_prime);
+
+}  // namespace gsp

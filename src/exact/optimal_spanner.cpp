@@ -1,0 +1,197 @@
+#include "exact/optimal_spanner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace gsp {
+
+namespace {
+
+/// Per-edge spanner targets: t * delta_G(u, v) for every edge of g.
+std::vector<Weight> edge_targets(const Graph& g, double t) {
+    const auto apsp = all_pairs_dijkstra(g);
+    std::vector<Weight> targets(g.num_edges());
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        const Edge& e = g.edge(id);
+        targets[id] = t * apsp[e.u][e.v];
+    }
+    return targets;
+}
+
+/// Does the subgraph of g keeping `alive` edges t-span every edge of g?
+bool feasible(const Graph& g, const std::vector<bool>& alive,
+              const std::vector<Weight>& targets, DijkstraWorkspace& ws) {
+    Graph h(g.num_vertices());
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        if (alive[id]) {
+            const Edge& e = g.edge(id);
+            h.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        if (alive[id]) continue;  // kept edges span themselves
+        const Edge& e = g.edge(id);
+        if (ws.distance(h, e.u, e.v, targets[id]) > targets[id]) return false;
+    }
+    return true;
+}
+
+struct SearchState {
+    const Graph& g;
+    double t;
+    SpannerObjective objective;
+    std::vector<Weight> targets;
+    std::vector<EdgeId> order;       ///< optional edges, heaviest first
+    std::vector<bool> alive;         ///< current candidate (true = kept so far)
+    DijkstraWorkspace ws;
+    std::size_t nodes = 0;
+    std::size_t node_limit;
+    bool complete = true;
+
+    double best_cost = 0.0;
+    std::vector<bool> best_alive;
+
+    SearchState(const Graph& graph, double stretch, SpannerObjective obj,
+                std::size_t limit)
+        : g(graph),
+          t(stretch),
+          objective(obj),
+          targets(edge_targets(graph, stretch)),
+          alive(graph.num_edges(), true),
+          ws(graph.num_vertices()),
+          node_limit(limit) {}
+
+    [[nodiscard]] double cost_of(const std::vector<bool>& a) const {
+        double edges = 0.0;
+        double weight = 0.0;
+        for (EdgeId id = 0; id < g.num_edges(); ++id) {
+            if (a[id]) {
+                edges += 1.0;
+                weight += g.edge(id).weight;
+            }
+        }
+        // Min-edges uses weight as an epsilon tiebreak so the reported
+        // optimum is canonical.
+        return objective == SpannerObjective::kMinEdges
+                   ? edges + weight / (1e9 * (1.0 + weight))
+                   : weight;
+    }
+
+    /// Lower bound for the current partial assignment: edges decided "kept"
+    /// among order[0..depth) plus all forced edges are committed; undecided
+    /// edges may all be dropped.
+    [[nodiscard]] double committed_cost(std::size_t depth) const {
+        double edges = 0.0;
+        double weight = 0.0;
+        // Edges not in `order` are forced-kept; edges in order[0..depth)
+        // reflect their decision in `alive`; edges in order[depth..) are
+        // optimistically dropped.
+        std::vector<bool> undecided(g.num_edges(), false);
+        for (std::size_t i = depth; i < order.size(); ++i) undecided[order[i]] = true;
+        for (EdgeId id = 0; id < g.num_edges(); ++id) {
+            if (alive[id] && !undecided[id]) {
+                edges += 1.0;
+                weight += g.edge(id).weight;
+            }
+        }
+        return objective == SpannerObjective::kMinEdges ? edges : weight;
+    }
+
+    void dfs(std::size_t depth) {
+        if (nodes >= node_limit) {
+            complete = false;
+            return;
+        }
+        ++nodes;
+        if (!best_alive.empty() && committed_cost(depth) >= best_cost) return;
+        if (depth == order.size()) {
+            const double cost = cost_of(alive);
+            if (best_alive.empty() || cost < best_cost) {
+                best_cost = cost;
+                best_alive = alive;
+            }
+            return;
+        }
+        const EdgeId id = order[depth];
+        // Exclude-first: good solutions are sparse.
+        alive[id] = false;
+        if (feasible(g, alive, targets, ws)) dfs(depth + 1);
+        alive[id] = true;
+        dfs(depth + 1);
+    }
+};
+
+OptimalSpannerResult finish(const Graph& g, const SearchState& st) {
+    OptimalSpannerResult result;
+    result.nodes_explored = st.nodes;
+    result.proven_optimal = st.complete;
+    const std::vector<bool>& pick = st.best_alive.empty() ? st.alive : st.best_alive;
+    Graph h(g.num_vertices());
+    double weight = 0.0;
+    double edges = 0.0;
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        if (pick[id]) {
+            const Edge& e = g.edge(id);
+            h.add_edge(e.u, e.v, e.weight);
+            weight += e.weight;
+            edges += 1.0;
+        }
+    }
+    result.spanner = std::move(h);
+    result.objective = st.objective == SpannerObjective::kMinEdges ? edges : weight;
+    return result;
+}
+
+}  // namespace
+
+OptimalSpannerResult optimal_spanner(const Graph& g, double t, SpannerObjective objective,
+                                     std::size_t node_limit) {
+    if (t < 1.0) throw std::invalid_argument("optimal_spanner: stretch must be >= 1");
+    SearchState st(g, t, objective, node_limit);
+
+    // Forced edges: dropping the edge from the *full* graph already breaks
+    // its own constraint, so no subgraph can span it. They never enter the
+    // branching order.
+    std::vector<EdgeId> optional;
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        st.alive[id] = false;
+        const bool forced = !feasible(g, st.alive, st.targets, st.ws);
+        st.alive[id] = true;
+        if (!forced) optional.push_back(id);
+    }
+    // Heaviest first: dropping expensive edges early finds good incumbents.
+    std::sort(optional.begin(), optional.end(), [&](EdgeId a, EdgeId b) {
+        return g.edge(a).weight > g.edge(b).weight;
+    });
+    st.order = std::move(optional);
+
+    st.dfs(0);
+    return finish(g, st);
+}
+
+OptimalSpannerResult optimal_spanner_bruteforce(const Graph& g, double t,
+                                                SpannerObjective objective) {
+    if (g.num_edges() > 20) {
+        throw std::invalid_argument("optimal_spanner_bruteforce: too many edges");
+    }
+    SearchState st(g, t, objective, /*node_limit=*/std::size_t(-1));
+    const std::size_t m = g.num_edges();
+    for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+        ++st.nodes;
+        for (EdgeId id = 0; id < m; ++id) st.alive[id] = ((mask >> id) & 1u) != 0;
+        if (!feasible(st.g, st.alive, st.targets, st.ws)) continue;
+        const double cost = st.cost_of(st.alive);
+        if (st.best_alive.empty() || cost < st.best_cost) {
+            st.best_cost = cost;
+            st.best_alive = st.alive;
+        }
+    }
+    std::fill(st.alive.begin(), st.alive.end(), true);
+    return finish(g, st);
+}
+
+}  // namespace gsp

@@ -1,0 +1,152 @@
+#include "gen/graphs.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace gsp {
+
+namespace {
+
+double draw(const WeightRange& w, Rng& rng) {
+    if (w.lo > w.hi) throw std::invalid_argument("WeightRange: lo > hi");
+    return w.lo == w.hi ? w.lo : rng.uniform(w.lo, w.hi);
+}
+
+void add_random_tree(Graph& g, const WeightRange& w, Rng& rng) {
+    for (VertexId v = 1; v < g.num_vertices(); ++v) {
+        g.add_edge(static_cast<VertexId>(rng.index(v)), v, draw(w, rng));
+    }
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, double p, WeightRange w, Rng& rng, bool ensure_connected) {
+    Graph g(n);
+    if (ensure_connected && n > 0) add_random_tree(g, w, rng);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            if (rng.chance(p) && !g.has_edge(i, j)) g.add_edge(i, j, draw(w, rng));
+        }
+    }
+    return g;
+}
+
+Graph random_graph_nm(std::size_t n, std::size_t m, WeightRange w, Rng& rng,
+                      bool ensure_connected) {
+    Graph g(n);
+    if (n < 2) return g;
+    if (ensure_connected) add_random_tree(g, w, rng);
+    const std::size_t max_extra = n * (n - 1) / 2 - g.num_edges();
+    if (m > max_extra) m = max_extra;
+    std::size_t added = 0;
+    std::set<std::pair<VertexId, VertexId>> used;
+    for (const Edge& e : g.edges()) {
+        used.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+    }
+    while (added < m) {
+        const auto u = static_cast<VertexId>(rng.index(n));
+        const auto v = static_cast<VertexId>(rng.index(n));
+        if (u == v) continue;
+        const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+        if (used.contains(key)) continue;
+        used.insert(key);
+        g.add_edge(u, v, draw(w, rng));
+        ++added;
+    }
+    return g;
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t attach, WeightRange w, Rng& rng) {
+    if (attach == 0) throw std::invalid_argument("preferential_attachment: attach >= 1");
+    Graph g(n);
+    if (n == 0) return g;
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    std::vector<VertexId> endpoint_pool;
+    for (VertexId v = 1; v < n; ++v) {
+        std::set<VertexId> targets;
+        const std::size_t want = std::min<std::size_t>(attach, v);
+        while (targets.size() < want) {
+            VertexId t;
+            if (endpoint_pool.empty() || rng.chance(0.1)) {
+                t = static_cast<VertexId>(rng.index(v));  // uniform fallback mixes in new vertices
+            } else {
+                t = endpoint_pool[rng.index(endpoint_pool.size())];
+            }
+            if (t < v) targets.insert(t);
+        }
+        for (VertexId t : targets) {
+            g.add_edge(t, v, draw(w, rng));
+            endpoint_pool.push_back(t);
+            endpoint_pool.push_back(v);
+        }
+    }
+    return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols, WeightRange w, Rng& rng) {
+    Graph g(rows * cols);
+    auto id = [cols](std::size_t r, std::size_t c) {
+        return static_cast<VertexId>(r * cols + c);
+    };
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), draw(w, rng));
+            if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), draw(w, rng));
+        }
+    }
+    return g;
+}
+
+Graph hypercube_graph(std::size_t d, WeightRange w, Rng& rng) {
+    if (d > 24) throw std::invalid_argument("hypercube_graph: d too large");
+    const std::size_t n = std::size_t{1} << d;
+    Graph g(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t bit = 0; bit < d; ++bit) {
+            const std::size_t u = v ^ (std::size_t{1} << bit);
+            if (u > v) {
+                g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u), draw(w, rng));
+            }
+        }
+    }
+    return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng, bool ensure_connected) {
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = rng.uniform01();
+        ys[i] = rng.uniform01();
+    }
+    Graph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            const double dx = xs[i] - xs[j];
+            const double dy = ys[i] - ys[j];
+            const double d = std::sqrt(dx * dx + dy * dy);
+            if (d <= radius && d > 0.0) g.add_edge(i, j, d);
+        }
+    }
+    if (ensure_connected) {
+        // Link consecutive points in x-order where components break.
+        std::vector<VertexId> by_x(n);
+        for (VertexId i = 0; i < n; ++i) by_x[i] = i;
+        std::sort(by_x.begin(), by_x.end(),
+                  [&](VertexId a, VertexId b) { return xs[a] < xs[b]; });
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            const VertexId a = by_x[i];
+            const VertexId b = by_x[i + 1];
+            if (!g.has_edge(a, b)) {
+                const double dx = xs[a] - xs[b];
+                const double dy = ys[a] - ys[b];
+                const double d = std::max(std::sqrt(dx * dx + dy * dy), 1e-9);
+                g.add_edge(a, b, d);
+            }
+        }
+    }
+    return g;
+}
+
+}  // namespace gsp

@@ -1,0 +1,60 @@
+#include "gen/hard_instances.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsp {
+
+Figure1Instance figure1_instance(const Graph& h, double eps, VertexId star_center) {
+    if (!(eps > 0.0)) throw std::invalid_argument("figure1_instance: eps must be > 0");
+    if (star_center >= h.num_vertices()) {
+        throw std::invalid_argument("figure1_instance: star center out of range");
+    }
+    for (const Edge& e : h.edges()) {
+        if (e.weight != 1.0) {
+            throw std::invalid_argument("figure1_instance: H must have unit weights");
+        }
+    }
+    Figure1Instance inst;
+    inst.graph = Graph(h.num_vertices());
+    for (const Edge& e : h.edges()) inst.graph.add_edge(e.u, e.v, 1.0);
+    inst.h_edges = h.num_edges();
+    inst.star_center = star_center;
+    inst.star_weight = 1.0 + eps;
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+        if (v == star_center || h.has_edge(star_center, v)) continue;
+        inst.graph.add_edge(star_center, v, inst.star_weight);
+    }
+    return inst;
+}
+
+MatrixMetric geometric_star_metric(std::size_t n, double base) {
+    if (n < 2) throw std::invalid_argument("geometric_star_metric: n >= 2");
+    if (!(base > 1.0)) throw std::invalid_argument("geometric_star_metric: base > 1");
+    std::vector<double> arm(n, 0.0);
+    for (std::size_t i = 1; i < n; ++i) {
+        arm[i] = std::pow(base, static_cast<double>(i));
+        if (!std::isfinite(arm[i])) {
+            throw std::invalid_argument("geometric_star_metric: base^n overflows");
+        }
+    }
+    std::vector<std::vector<Weight>> d(n, std::vector<Weight>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            if (i == 0) {
+                d[i][j] = arm[j];
+            } else if (j == 0) {
+                d[i][j] = arm[i];
+            } else {
+                d[i][j] = arm[i] + arm[j];
+            }
+        }
+    }
+    // Shortest-path metric of a star tree: triangle inequality holds exactly,
+    // but run validation anyway for modest sizes (it is the whole point of
+    // shipping an adversarial instance that it is *verified* to be a metric).
+    return MatrixMetric(std::move(d), /*validate_triangle=*/n <= 512);
+}
+
+}  // namespace gsp

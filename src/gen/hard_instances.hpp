@@ -1,0 +1,42 @@
+// Adversarial instances discussed by the paper.
+//
+//  * Figure 1: a high-girth graph H (all weights 1) unioned with a star S
+//    whose non-H edges weigh 1 + eps. The greedy t-spanner keeps all of H
+//    while the instance-optimal t-spanner is (close to) the star -- the
+//    canonical witness that greedy is only *existentially* optimal.
+//
+//  * Degree blow-up (paper §5, citing [HM06, Smi09]): a doubling metric on
+//    which the greedy (1+eps)-spanner has maximum degree n-1. We use the
+//    "geometric star" metric: arms of length base^i hanging off one hub.
+//    Each hub edge is forced (no alternative path exists when it is
+//    examined) while all arm-to-arm pairs ride the hub exactly, so greedy
+//    returns precisely the star. Doubling dimension stays O(1) because the
+//    arm lengths grow geometrically (a ball of radius r sees O(1) arms of
+//    length ~r plus one ball around the hub).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "metric/matrix_metric.hpp"
+
+namespace gsp {
+
+struct Figure1Instance {
+    Graph graph;                 ///< H union S
+    std::size_t h_edges = 0;     ///< edge ids [0, h_edges) are the H edges
+    VertexId star_center = 0;    ///< root of S
+    double star_weight = 0.0;    ///< weight of the non-H star edges (1+eps)
+};
+
+/// Build the Figure-1 instance over an arbitrary unit-weight, connected,
+/// triangle-free "high-girth" graph H. Star edges that coincide with H
+/// edges keep weight 1 (as in the paper); the others get weight 1 + eps.
+Figure1Instance figure1_instance(const Graph& h, double eps, VertexId star_center = 0);
+
+/// The geometric-star metric on n points: point 0 is the hub; point i >= 1
+/// sits at distance base^i from the hub and base^i + base^j from point j.
+/// Requires 2 <= n and base^n within double range (n <= 900 at base 2).
+MatrixMetric geometric_star_metric(std::size_t n, double base = 2.0);
+
+}  // namespace gsp

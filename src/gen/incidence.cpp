@@ -1,0 +1,45 @@
+#include "gen/incidence.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+bool is_supported_prime(std::size_t q) {
+    if (q < 2 || q > 101) return false;
+    for (std::size_t d = 2; d * d <= q; ++d) {
+        if (q % d == 0) return false;
+    }
+    return true;
+}
+
+Graph projective_plane_incidence(std::size_t q) {
+    if (!is_supported_prime(q)) {
+        throw std::invalid_argument("projective_plane_incidence: q must be prime in [2, 101]");
+    }
+    // Homogeneous coordinates over GF(q), normalized so the first nonzero
+    // coordinate is 1: (1, a, b), (0, 1, a), (0, 0, 1).
+    std::vector<std::array<std::size_t, 3>> reps;
+    reps.reserve(q * q + q + 1);
+    for (std::size_t a = 0; a < q; ++a) {
+        for (std::size_t b = 0; b < q; ++b) reps.push_back({1, a, b});
+    }
+    for (std::size_t a = 0; a < q; ++a) reps.push_back({0, 1, a});
+    reps.push_back({0, 0, 1});
+
+    const std::size_t count = reps.size();  // q^2 + q + 1
+    Graph g(2 * count);
+    // Point i is incident to line j iff <rep_i, rep_j> == 0 (mod q).
+    for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t j = 0; j < count; ++j) {
+            const std::size_t dot = reps[i][0] * reps[j][0] + reps[i][1] * reps[j][1] +
+                                    reps[i][2] * reps[j][2];
+            if (dot % q == 0) {
+                g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(count + j), 1.0);
+            }
+        }
+    }
+    return g;
+}
+
+}  // namespace gsp

@@ -1,0 +1,25 @@
+// Point-line incidence graphs of projective planes PG(2, q).
+//
+// For a prime q, the incidence graph is bipartite with q^2+q+1 points and
+// q^2+q+1 lines, is (q+1)-regular, has girth 6, and has m = Theta(n^{3/2})
+// edges -- the densest known girth-6 graphs. These are the extremal
+// instances for the greedy (2k-1)-spanner size bound at k = 2: any
+// t-spanner with t < 5 of the unit-weight incidence graph must keep *every*
+// edge, so the greedy spanner is the whole graph and the O(n^{1+1/2}) size
+// bound is tight on this family (paper §1.1, §3; Erdos girth conjecture).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace gsp {
+
+/// Incidence graph of PG(2, q). Requires q prime, 2 <= q <= 101.
+/// Vertices [0, q^2+q+1) are points, the rest are lines; unit weights.
+Graph projective_plane_incidence(std::size_t q);
+
+/// True iff q is a prime our generator accepts.
+[[nodiscard]] bool is_supported_prime(std::size_t q);
+
+}  // namespace gsp

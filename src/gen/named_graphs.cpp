@@ -1,0 +1,42 @@
+#include "gen/named_graphs.hpp"
+
+#include <stdexcept>
+
+namespace gsp {
+
+Graph generalized_petersen(std::size_t n, std::size_t k) {
+    if (n < 3) throw std::invalid_argument("generalized_petersen: n >= 3");
+    if (k < 1 || 2 * k >= n) throw std::invalid_argument("generalized_petersen: 1 <= k < n/2");
+    Graph g(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto outer = static_cast<VertexId>(i);
+        const auto outer_next = static_cast<VertexId>((i + 1) % n);
+        const auto inner = static_cast<VertexId>(n + i);
+        const auto inner_skip = static_cast<VertexId>(n + (i + k) % n);
+        g.add_edge(outer, outer_next, 1.0);  // outer cycle
+        g.add_edge(inner, inner_skip, 1.0);  // star polygon
+        g.add_edge(outer, inner, 1.0);       // spoke
+    }
+    return g;
+}
+
+Graph petersen_graph() { return generalized_petersen(5, 2); }
+
+Graph cycle_graph(std::size_t n, Weight w) {
+    if (n < 3) throw std::invalid_argument("cycle_graph: n >= 3");
+    Graph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n), w);
+    }
+    return g;
+}
+
+Graph complete_unit_graph(std::size_t n) {
+    Graph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) g.add_edge(i, j, 1.0);
+    }
+    return g;
+}
+
+}  // namespace gsp

@@ -1,0 +1,25 @@
+// Named graphs: the concrete instances the paper's examples rely on.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace gsp {
+
+/// The Petersen graph: 10 vertices, 15 edges, girth 5, unit weights.
+/// This is exactly the `H` of the paper's Figure 1.
+Graph petersen_graph();
+
+/// Generalized Petersen graph GP(n, k): outer n-cycle 0..n-1, inner
+/// vertices n..2n-1 joined as an {n, k}-star polygon, plus spokes.
+/// Requires n >= 3 and 1 <= k < n/2. GP(5, 2) is the Petersen graph.
+Graph generalized_petersen(std::size_t n, std::size_t k);
+
+/// Simple n-cycle with the given uniform weight.
+Graph cycle_graph(std::size_t n, Weight w = 1.0);
+
+/// Complete graph with unit weights.
+Graph complete_unit_graph(std::size_t n);
+
+}  // namespace gsp

@@ -1,0 +1,73 @@
+#include "gen/points.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace gsp {
+
+EuclideanMetric uniform_points(std::size_t n, std::size_t dim, double extent, Rng& rng) {
+    std::vector<double> coords;
+    coords.reserve(n * dim);
+    for (std::size_t i = 0; i < n * dim; ++i) coords.push_back(rng.uniform(0.0, extent));
+    return EuclideanMetric(dim, std::move(coords));
+}
+
+EuclideanMetric clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
+                                 double extent, double spread, Rng& rng) {
+    if (clusters == 0) throw std::invalid_argument("clustered_points: clusters must be >= 1");
+    std::vector<double> centers;
+    centers.reserve(clusters * dim);
+    for (std::size_t i = 0; i < clusters * dim; ++i) {
+        centers.push_back(rng.uniform(0.0, extent));
+    }
+    std::vector<double> coords;
+    coords.reserve(n * dim);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = rng.index(clusters);
+        for (std::size_t k = 0; k < dim; ++k) {
+            coords.push_back(rng.normal(centers[c * dim + k], spread));
+        }
+    }
+    return EuclideanMetric(dim, std::move(coords));
+}
+
+EuclideanMetric circle_points(std::size_t n, double radius) {
+    std::vector<double> coords;
+    coords.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(n);
+        coords.push_back(radius * std::cos(a));
+        coords.push_back(radius * std::sin(a));
+    }
+    return EuclideanMetric(2, std::move(coords));
+}
+
+EuclideanMetric grid_points(std::size_t rows, std::size_t cols) {
+    std::vector<double> coords;
+    coords.reserve(rows * cols * 2);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            coords.push_back(static_cast<double>(c));
+            coords.push_back(static_cast<double>(r));
+        }
+    }
+    return EuclideanMetric(2, std::move(coords));
+}
+
+EuclideanMetric exponential_spiral(std::size_t n, double base) {
+    if (!(base > 1.0)) throw std::invalid_argument("exponential_spiral: base must be > 1");
+    std::vector<double> coords;
+    coords.reserve(n * 2);
+    const double golden = 2.39996322972865332;  // radians; spreads angles evenly
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r = std::pow(base, static_cast<double>(i) / 4.0);
+        const double a = golden * static_cast<double>(i);
+        coords.push_back(r * std::cos(a));
+        coords.push_back(r * std::sin(a));
+    }
+    return EuclideanMetric(2, std::move(coords));
+}
+
+}  // namespace gsp

@@ -1,0 +1,31 @@
+// Euclidean point-set generators for the experiments.
+#pragma once
+
+#include <cstddef>
+
+#include "metric/euclidean.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+
+/// n points uniform in the axis-aligned cube [0, extent]^dim.
+EuclideanMetric uniform_points(std::size_t n, std::size_t dim, double extent, Rng& rng);
+
+/// n points in `clusters` Gaussian blobs whose centers are uniform in the
+/// cube [0, extent]^dim; blob standard deviation `spread`.
+EuclideanMetric clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
+                                 double extent, double spread, Rng& rng);
+
+/// n points evenly spaced on a circle of the given radius (2D). A classic
+/// bad case for cone spanners and a good case for the greedy.
+EuclideanMetric circle_points(std::size_t n, double radius);
+
+/// rows x cols unit grid (2D).
+EuclideanMetric grid_points(std::size_t rows, std::size_t cols);
+
+/// n points on an exponential spiral r = base^k (2D): bounded doubling
+/// dimension with an enormous aspect ratio -- a stress test for the net
+/// hierarchy and bucketed algorithms.
+EuclideanMetric exponential_spiral(std::size_t n, double base = 1.5);
+
+}  // namespace gsp

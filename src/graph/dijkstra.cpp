@@ -1,0 +1,154 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsp {
+
+DijkstraWorkspace::DijkstraWorkspace(std::size_t n) { resize(n); }
+
+void DijkstraWorkspace::resize(std::size_t n) {
+    if (n <= dist_.size()) return;
+    dist_.resize(n, kInfiniteWeight);
+    pred_.resize(n, kNoVertex);
+    pred_edge_.resize(n, kNoEdge);
+    stamp_.resize(n, 0);
+}
+
+void DijkstraWorkspace::begin_query() {
+    ++current_;
+    heap_.clear();
+}
+
+Weight DijkstraWorkspace::distance(const Graph& g, VertexId s, VertexId target,
+                                   Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices() || target >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::distance: vertex out of range");
+    }
+    if (s == target) return 0.0;
+    begin_query();
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    heap_.push_back({0.0, s});
+
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const QueueItem top = heap_.back();
+        heap_.pop_back();
+        if (top.dist > dist_[top.vertex]) continue;  // stale entry
+        if (top.vertex == target) return top.dist;
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            if (!seen(h.to) || nd < dist_[h.to]) {
+                stamp_[h.to] = current_;
+                dist_[h.to] = nd;
+                heap_.push_back({nd, h.to});
+                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            }
+        }
+    }
+    return kInfiniteWeight;
+}
+
+const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, VertexId s,
+                                                            Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::all_distances: vertex out of range");
+    }
+    begin_query();
+
+    // This entry point hands the dist_ vector to the caller, so unreached
+    // entries must actually hold +infinity rather than stale values.
+    std::fill(dist_.begin(), dist_.begin() + static_cast<std::ptrdiff_t>(g.num_vertices()),
+              kInfiniteWeight);
+    std::fill(pred_.begin(), pred_.begin() + static_cast<std::ptrdiff_t>(g.num_vertices()),
+              kNoVertex);
+    std::fill(pred_edge_.begin(),
+              pred_edge_.begin() + static_cast<std::ptrdiff_t>(g.num_vertices()), kNoEdge);
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    heap_.push_back({0.0, s});
+
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const QueueItem top = heap_.back();
+        heap_.pop_back();
+        if (top.dist > dist_[top.vertex]) continue;
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            if (nd < dist_[h.to]) {
+                stamp_[h.to] = current_;
+                dist_[h.to] = nd;
+                pred_[h.to] = top.vertex;
+                pred_edge_[h.to] = h.edge;
+                heap_.push_back({nd, h.to});
+                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            }
+        }
+    }
+    return dist_;
+}
+
+const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const Graph& g,
+                                                                        VertexId s,
+                                                                        Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::ball: vertex out of range");
+    }
+    begin_query();
+    ball_.clear();
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    heap_.push_back({0.0, s});
+
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const QueueItem top = heap_.back();
+        heap_.pop_back();
+        if (top.dist > dist_[top.vertex]) continue;  // stale
+        ball_.push_back({top.vertex, top.dist});     // settled: distance is final
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            if (!seen(h.to) || nd < dist_[h.to]) {
+                stamp_[h.to] = current_;
+                dist_[h.to] = nd;
+                heap_.push_back({nd, h.to});
+                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            }
+        }
+    }
+    return ball_;
+}
+
+Weight dijkstra_distance(const Graph& g, VertexId s, VertexId t, Weight limit) {
+    DijkstraWorkspace ws(g.num_vertices());
+    return ws.distance(g, s, t, limit);
+}
+
+std::vector<Weight> dijkstra_all(const Graph& g, VertexId s, Weight limit) {
+    DijkstraWorkspace ws(g.num_vertices());
+    return ws.all_distances(g, s, limit);
+}
+
+std::vector<VertexId> shortest_path(const Graph& g, VertexId s, VertexId t) {
+    DijkstraWorkspace ws(g.num_vertices());
+    const auto& dist = ws.all_distances(g, s, kInfiniteWeight);
+    if (dist[t] == kInfiniteWeight) return {};
+    std::vector<VertexId> path;
+    for (VertexId cur = t; cur != kNoVertex; cur = ws.predecessors()[cur]) {
+        path.push_back(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+}  // namespace gsp

@@ -1,0 +1,83 @@
+// Dijkstra shortest paths, tuned for the greedy spanner's query pattern.
+//
+// The greedy algorithm runs one point-to-point distance query per candidate
+// edge, on a graph that only ever grows, and it never cares about distances
+// larger than t*w(e). Two things make that affordable:
+//   1. a *distance limit*: the search never settles vertices beyond the
+//      limit, so queries on a sparse spanner touch a small ball;
+//   2. a reusable workspace with timestamped initialization, so a query
+//      costs O(touched) instead of O(n) to reset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Reusable state for repeated Dijkstra runs over graphs with the same
+/// vertex count. Not thread-safe; use one workspace per thread.
+class DijkstraWorkspace {
+public:
+    explicit DijkstraWorkspace(std::size_t n);
+
+    /// Grow to accommodate n vertices (keeps amortized O(1) resets).
+    void resize(std::size_t n);
+
+    /// Distance from s to target in g, or +infinity if it exceeds `limit`
+    /// (or target is unreachable). Settles only vertices at distance <= limit
+    /// and stops as soon as `target` is settled.
+    Weight distance(const Graph& g, VertexId s, VertexId target, Weight limit);
+
+    /// Single-source distances to every vertex within `limit`; entries beyond
+    /// the limit (or unreachable) are +infinity. The result is valid until
+    /// the next call on this workspace.
+    const std::vector<Weight>& all_distances(const Graph& g, VertexId s, Weight limit);
+
+    /// After all_distances: predecessor vertex on a shortest path tree
+    /// (kNoVertex for the source and unreached vertices).
+    [[nodiscard]] const std::vector<VertexId>& predecessors() const { return pred_; }
+
+    /// After all_distances: the edge id used to reach each vertex in the
+    /// shortest path tree (kNoEdge for the source and unreached vertices).
+    [[nodiscard]] const std::vector<EdgeId>& predecessor_edges() const { return pred_edge_; }
+
+    /// Settled vertices and exact distances of the ball of radius `limit`
+    /// around s. Costs O(|ball| log |ball|), *not* O(n): no dense reset.
+    /// The returned reference is valid until the next call on this workspace.
+    const std::vector<std::pair<VertexId, Weight>>& ball(const Graph& g, VertexId s,
+                                                         Weight limit);
+
+private:
+    void begin_query();
+    [[nodiscard]] bool seen(VertexId v) const { return stamp_[v] == current_; }
+
+    struct QueueItem {
+        Weight dist;
+        VertexId vertex;
+        friend bool operator>(const QueueItem& a, const QueueItem& b) {
+            return a.dist > b.dist;
+        }
+    };
+
+    std::vector<Weight> dist_;
+    std::vector<VertexId> pred_;
+    std::vector<EdgeId> pred_edge_;
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t current_ = 0;
+    std::vector<QueueItem> heap_;
+    std::vector<std::pair<VertexId, Weight>> ball_;
+};
+
+/// Convenience wrappers (allocate a fresh workspace; fine for one-off use).
+Weight dijkstra_distance(const Graph& g, VertexId s, VertexId t,
+                         Weight limit = kInfiniteWeight);
+std::vector<Weight> dijkstra_all(const Graph& g, VertexId s,
+                                 Weight limit = kInfiniteWeight);
+
+/// Vertex sequence (s, ..., t) of a shortest path, or empty if unreachable.
+std::vector<VertexId> shortest_path(const Graph& g, VertexId s, VertexId t);
+
+}  // namespace gsp

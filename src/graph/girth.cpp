@@ -1,0 +1,88 @@
+#include "graph/girth.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace gsp {
+
+std::uint32_t unweighted_girth(const Graph& g) {
+    constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t best = kUnreached;
+
+    // BFS from each root; a non-tree edge closing two BFS branches at depths
+    // d(u), d(v) witnesses a cycle of length d(u) + d(v) + 1. Scanning all
+    // roots guarantees the shortest cycle is found exactly.
+    std::vector<std::uint32_t> depth(g.num_vertices());
+    std::vector<EdgeId> via(g.num_vertices());
+    for (VertexId root = 0; root < g.num_vertices(); ++root) {
+        std::fill(depth.begin(), depth.end(), kUnreached);
+        std::fill(via.begin(), via.end(), kNoEdge);
+        std::queue<VertexId> frontier;
+        depth[root] = 0;
+        frontier.push(root);
+        while (!frontier.empty()) {
+            const VertexId u = frontier.front();
+            frontier.pop();
+            if (2 * depth[u] >= best) break;  // no shorter cycle reachable
+            for (const HalfEdge& h : g.neighbors(u)) {
+                if (h.edge == via[u]) continue;  // don't reuse the tree edge
+                if (depth[h.to] == kUnreached) {
+                    depth[h.to] = depth[u] + 1;
+                    via[h.to] = h.edge;
+                    frontier.push(h.to);
+                } else {
+                    best = std::min(best, depth[u] + depth[h.to] + 1);
+                }
+            }
+        }
+    }
+    return best;
+}
+
+namespace {
+struct GirthItem {
+    Weight d;
+    VertexId v;
+};
+bool operator>(const GirthItem& a, const GirthItem& b) { return a.d > b.d; }
+}  // namespace
+
+Weight weighted_girth(const Graph& g) {
+    Weight best = kInfiniteWeight;
+    // For each edge, find the shortest path between its endpoints that does
+    // not use the edge itself; parallel edges are handled naturally because
+    // the alternative parallel edge is a legitimate path.
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        const Edge& e = g.edge(id);
+        const Weight limit = best - e.weight;  // only cheaper cycles matter
+        if (!(limit > 0)) continue;
+
+        // Dijkstra from e.u that skips edge `id`.
+        std::vector<Weight> dist(g.num_vertices(), kInfiniteWeight);
+        std::vector<GirthItem> heap;
+        dist[e.u] = 0.0;
+        heap.push_back({0.0, e.u});
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+            const GirthItem top = heap.back();
+            heap.pop_back();
+            if (top.d > dist[top.v]) continue;
+            if (top.v == e.v) break;
+            for (const HalfEdge& h : g.neighbors(top.v)) {
+                if (h.edge == id) continue;
+                const Weight nd = top.d + h.weight;
+                if (nd <= limit && nd < dist[h.to]) {
+                    dist[h.to] = nd;
+                    heap.push_back({nd, h.to});
+                    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+                }
+            }
+        }
+        if (dist[e.v] != kInfiniteWeight) best = std::min(best, dist[e.v] + e.weight);
+    }
+    return best;
+}
+
+}  // namespace gsp

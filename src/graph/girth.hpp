@@ -1,0 +1,29 @@
+// Girth computation.
+//
+// The size guarantee of the greedy (2k-1)-spanner is certified by a girth
+// property: the greedy t-spanner contains no cycle of total weight
+// <= (t+1) * (its lightest edge)'s ... in the unit-weight case this is
+// simply girth > t + 1. High-girth graphs are also the lower-bound family
+// for the "existential" part of the paper, so we need to *measure* girth on
+// the generated instances (Petersen, incidence graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Unweighted girth: length (edge count) of a shortest cycle, or
+/// UINT32_MAX if the graph is acyclic. BFS from every vertex, O(nm).
+/// Note: parallel edges count as a 2-cycle.
+[[nodiscard]] std::uint32_t unweighted_girth(const Graph& g);
+
+/// Weighted girth: minimum total weight of any cycle, or +infinity if the
+/// graph is acyclic. For every edge e=(u,v): w(e) + shortest u-v path
+/// avoiding e; O(m * Dijkstra). Intended for the modest instance sizes of
+/// the girth experiments.
+[[nodiscard]] Weight weighted_girth(const Graph& g);
+
+}  // namespace gsp

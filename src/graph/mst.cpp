@@ -1,0 +1,96 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/union_find.hpp"
+
+namespace gsp {
+
+MstResult kruskal_mst(const Graph& g) {
+    std::vector<EdgeId> order(g.num_edges());
+    for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+        const Edge& ea = g.edge(a);
+        const Edge& eb = g.edge(b);
+        return std::make_tuple(ea.weight, std::min(ea.u, ea.v), std::max(ea.u, ea.v), a) <
+               std::make_tuple(eb.weight, std::min(eb.u, eb.v), std::max(eb.u, eb.v), b);
+    });
+
+    MstResult result;
+    UnionFind uf(g.num_vertices());
+    for (EdgeId id : order) {
+        const Edge& e = g.edge(id);
+        if (uf.unite(e.u, e.v)) {
+            result.edges.push_back(id);
+            result.weight += e.weight;
+        }
+    }
+    result.spanning = g.num_vertices() == 0 || uf.components() == 1;
+    return result;
+}
+
+namespace {
+struct PrimItem {
+    Weight key;
+    VertexId v;
+};
+bool operator>(const PrimItem& a, const PrimItem& b) { return a.key > b.key; }
+}  // namespace
+
+MstResult prim_mst(const Graph& g) {
+    MstResult result;
+    const std::size_t n = g.num_vertices();
+    if (n == 0) {
+        result.spanning = true;
+        return result;
+    }
+    std::vector<bool> in_tree(n, false);
+    std::vector<Weight> best(n, kInfiniteWeight);
+    std::vector<EdgeId> best_edge(n, kNoEdge);
+
+    std::vector<PrimItem> heap;
+    std::size_t reached = 0;
+
+    // Run from every unvisited root so disconnected graphs yield a forest.
+    for (VertexId root = 0; root < n; ++root) {
+        if (in_tree[root]) continue;
+        best[root] = 0.0;
+        heap.push_back({0.0, root});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+            const PrimItem top = heap.back();
+            heap.pop_back();
+            if (in_tree[top.v]) continue;
+            in_tree[top.v] = true;
+            ++reached;
+            if (best_edge[top.v] != kNoEdge) {
+                result.edges.push_back(best_edge[top.v]);
+                result.weight += g.edge(best_edge[top.v]).weight;
+            }
+            for (const HalfEdge& h : g.neighbors(top.v)) {
+                if (!in_tree[h.to] && h.weight < best[h.to]) {
+                    best[h.to] = h.weight;
+                    best_edge[h.to] = h.edge;
+                    heap.push_back({h.weight, h.to});
+                    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+                }
+            }
+        }
+    }
+    result.spanning = n == 0 || result.edges.size() == n - 1;
+    (void)reached;
+    return result;
+}
+
+Weight mst_weight(const Graph& g) {
+    const MstResult mst = kruskal_mst(g);
+    if (!mst.spanning) {
+        throw std::invalid_argument("mst_weight: graph is disconnected; lightness undefined");
+    }
+    return mst.weight;
+}
+
+}  // namespace gsp

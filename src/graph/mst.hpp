@@ -1,0 +1,33 @@
+// Minimum spanning trees / forests.
+//
+// Lightness -- the headline quantity of the paper -- is w(H) / w(MST(G)),
+// so the MST is computed by every experiment. Kruskal is the workhorse;
+// Prim exists as an independent cross-check.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+struct MstResult {
+    std::vector<EdgeId> edges;  ///< ids into the input graph's edge list
+    Weight weight = 0.0;        ///< total weight of the forest
+    bool spanning = false;      ///< true iff the input graph was connected
+};
+
+/// Minimum spanning forest by Kruskal. Ties are broken deterministically by
+/// (weight, min endpoint, max endpoint, edge id), which pins down a unique
+/// MST even with repeated weights -- tests rely on this.
+MstResult kruskal_mst(const Graph& g);
+
+/// Minimum spanning forest by Prim with a binary heap (cross-check).
+MstResult prim_mst(const Graph& g);
+
+/// w(MST(G)); throws std::invalid_argument if g is disconnected, because
+/// lightness is undefined there.
+Weight mst_weight(const Graph& g);
+
+}  // namespace gsp

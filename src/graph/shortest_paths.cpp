@@ -1,0 +1,62 @@
+#include "graph/shortest_paths.hpp"
+
+#include "graph/dijkstra.hpp"
+
+namespace gsp {
+
+std::vector<Weight> bellman_ford(const Graph& g, VertexId s) {
+    std::vector<Weight> dist(g.num_vertices(), kInfiniteWeight);
+    dist[s] = 0.0;
+    // Positive weights: at most n-1 rounds; stop early once stable.
+    for (std::size_t round = 0; round + 1 < g.num_vertices(); ++round) {
+        bool changed = false;
+        for (const Edge& e : g.edges()) {
+            if (dist[e.u] + e.weight < dist[e.v]) {
+                dist[e.v] = dist[e.u] + e.weight;
+                changed = true;
+            }
+            if (dist[e.v] + e.weight < dist[e.u]) {
+                dist[e.u] = dist[e.v] + e.weight;
+                changed = true;
+            }
+        }
+        if (!changed) break;
+    }
+    return dist;
+}
+
+std::vector<std::vector<Weight>> floyd_warshall(const Graph& g) {
+    const std::size_t n = g.num_vertices();
+    std::vector<std::vector<Weight>> dist(n, std::vector<Weight>(n, kInfiniteWeight));
+    for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0.0;
+    for (const Edge& e : g.edges()) {
+        // Parallel edges: keep the lightest.
+        if (e.weight < dist[e.u][e.v]) {
+            dist[e.u][e.v] = e.weight;
+            dist[e.v][e.u] = e.weight;
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dist[i][k] == kInfiniteWeight) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                const Weight via = dist[i][k] + dist[k][j];
+                if (via < dist[i][j]) dist[i][j] = via;
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::vector<Weight>> all_pairs_dijkstra(const Graph& g) {
+    const std::size_t n = g.num_vertices();
+    std::vector<std::vector<Weight>> dist;
+    dist.reserve(n);
+    DijkstraWorkspace ws(n);
+    for (VertexId s = 0; s < n; ++s) {
+        dist.push_back(ws.all_distances(g, s, kInfiniteWeight));
+    }
+    return dist;
+}
+
+}  // namespace gsp

@@ -1,0 +1,25 @@
+// Reference shortest-path algorithms.
+//
+// Bellman-Ford and Floyd-Warshall exist to cross-check Dijkstra in tests and
+// to provide the all-pairs closure used by GraphMetric and by the exact
+// spanner search on small instances.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Single-source distances by Bellman-Ford (O(nm); reference only).
+std::vector<Weight> bellman_ford(const Graph& g, VertexId s);
+
+/// All-pairs distances by Floyd-Warshall (O(n^3); reference / small n).
+/// result[u][v] == kInfiniteWeight when v is unreachable from u.
+std::vector<std::vector<Weight>> floyd_warshall(const Graph& g);
+
+/// All-pairs distances by n Dijkstra runs (O(n m log n); medium n).
+std::vector<std::vector<Weight>> all_pairs_dijkstra(const Graph& g);
+
+}  // namespace gsp

@@ -1,0 +1,60 @@
+#include "graph/traversal.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace gsp {
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, VertexId s) {
+    constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> hops(g.num_vertices(), kUnreached);
+    std::queue<VertexId> frontier;
+    hops.at(s) = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+        const VertexId u = frontier.front();
+        frontier.pop();
+        for (const HalfEdge& h : g.neighbors(u)) {
+            if (hops[h.to] == kUnreached) {
+                hops[h.to] = hops[u] + 1;
+                frontier.push(h.to);
+            }
+        }
+    }
+    return hops;
+}
+
+bool is_connected(const Graph& g) {
+    if (g.num_vertices() <= 1) return true;
+    const auto hops = bfs_hops(g, 0);
+    for (std::uint32_t h : hops) {
+        if (h == std::numeric_limits<std::uint32_t>::max()) return false;
+    }
+    return true;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+    constexpr auto kUnlabeled = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> label(g.num_vertices(), kUnlabeled);
+    std::uint32_t next = 0;
+    std::queue<VertexId> frontier;
+    for (VertexId root = 0; root < g.num_vertices(); ++root) {
+        if (label[root] != kUnlabeled) continue;
+        label[root] = next;
+        frontier.push(root);
+        while (!frontier.empty()) {
+            const VertexId u = frontier.front();
+            frontier.pop();
+            for (const HalfEdge& h : g.neighbors(u)) {
+                if (label[h.to] == kUnlabeled) {
+                    label[h.to] = next;
+                    frontier.push(h.to);
+                }
+            }
+        }
+        ++next;
+    }
+    return label;
+}
+
+}  // namespace gsp

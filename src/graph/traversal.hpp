@@ -1,0 +1,21 @@
+// Unweighted traversal utilities: BFS, connectivity, components.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Hop distances (number of edges) from s; kNoVertex-sized sentinel is not
+/// used -- unreachable vertices get std::numeric_limits<uint32>::max().
+std::vector<std::uint32_t> bfs_hops(const Graph& g, VertexId s);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Component label per vertex, labels in [0, #components).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+}  // namespace gsp

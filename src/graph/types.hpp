@@ -1,0 +1,40 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gsp {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = double;
+
+/// Sentinel "no vertex" value.
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel "no edge" value.
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel "unreachable" distance.
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+/// An undirected weighted edge. Endpoints are stored as given; callers that
+/// need a canonical orientation should compare min/max of (u, v).
+struct Edge {
+    VertexId u = kNoVertex;
+    VertexId v = kNoVertex;
+    Weight weight = 0.0;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency entry: the far endpoint and the weight, plus the id of the
+/// underlying edge (index into the graph's edge list).
+struct HalfEdge {
+    VertexId to = kNoVertex;
+    Weight weight = 0.0;
+    EdgeId edge = kNoEdge;
+};
+
+}  // namespace gsp

@@ -1,0 +1,54 @@
+// Disjoint-set union with path halving + union by size.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Classic union-find over vertex ids [0, n).
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+        std::iota(parent_.begin(), parent_.end(), VertexId{0});
+    }
+
+    /// Representative of u's component (with path halving).
+    VertexId find(VertexId u) {
+        while (parent_[u] != u) {
+            parent_[u] = parent_[parent_[u]];
+            u = parent_[u];
+        }
+        return u;
+    }
+
+    /// Merge the components of u and v; returns false if already merged.
+    bool unite(VertexId u, VertexId v) {
+        VertexId ru = find(u);
+        VertexId rv = find(v);
+        if (ru == rv) return false;
+        if (size_[ru] < size_[rv]) std::swap(ru, rv);
+        parent_[rv] = ru;
+        size_[ru] += size_[rv];
+        --components_;
+        return true;
+    }
+
+    [[nodiscard]] bool connected(VertexId u, VertexId v) { return find(u) == find(v); }
+
+    /// Number of remaining components.
+    [[nodiscard]] std::size_t components() const { return components_; }
+
+    /// Size of u's component.
+    std::size_t component_size(VertexId u) { return size_[find(u)]; }
+
+private:
+    std::vector<VertexId> parent_;
+    std::vector<std::size_t> size_;
+    std::size_t components_;
+};
+
+}  // namespace gsp

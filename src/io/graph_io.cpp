@@ -1,0 +1,74 @@
+#include "io/graph_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace gsp {
+
+void write_graph(std::ostream& os, const Graph& g) {
+    const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+    os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+    for (const Edge& e : g.edges()) {
+        os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+    }
+    os.precision(old_precision);
+}
+
+Graph read_graph(std::istream& is) {
+    std::size_t n = 0;
+    std::size_t m = 0;
+    if (!(is >> n >> m)) throw std::invalid_argument("read_graph: missing header");
+    Graph g(n);
+    for (std::size_t i = 0; i < m; ++i) {
+        VertexId u = 0;
+        VertexId v = 0;
+        Weight w = 0.0;
+        if (!(is >> u >> v >> w)) {
+            throw std::invalid_argument("read_graph: truncated edge list");
+        }
+        g.add_edge(u, v, w);  // add_edge validates range/weight
+    }
+    return g;
+}
+
+void write_points(std::ostream& os, const EuclideanMetric& m) {
+    const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+    os << m.size() << ' ' << m.dim() << '\n';
+    for (VertexId p = 0; p < m.size(); ++p) {
+        const auto pt = m.point(p);
+        for (std::size_t k = 0; k < pt.size(); ++k) {
+            os << pt[k] << (k + 1 < pt.size() ? '\t' : '\n');
+        }
+    }
+    os.precision(old_precision);
+}
+
+EuclideanMetric read_points(std::istream& is) {
+    std::size_t n = 0;
+    std::size_t dim = 0;
+    if (!(is >> n >> dim)) throw std::invalid_argument("read_points: missing header");
+    if (dim == 0) throw std::invalid_argument("read_points: dim must be >= 1");
+    std::vector<double> coords;
+    coords.reserve(n * dim);
+    for (std::size_t i = 0; i < n * dim; ++i) {
+        double c = 0.0;
+        if (!(is >> c)) throw std::invalid_argument("read_points: truncated coordinates");
+        coords.push_back(c);
+    }
+    return EuclideanMetric(dim, std::move(coords));
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& name) {
+    os << "graph " << name << " {\n";
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        os << "  " << v << ";\n";
+    }
+    for (const Edge& e : g.edges()) {
+        os << "  " << e.u << " -- " << e.v << " [label=\"" << e.weight << "\"];\n";
+    }
+    os << "}\n";
+}
+
+}  // namespace gsp

@@ -1,0 +1,32 @@
+// Plain-text interchange formats, so the library runs on user data:
+//   * graphs: an edge-list format ("n m" header, then "u v w" lines);
+//   * point sets: TSV, one point per row;
+//   * DOT export for quick visualization of small spanners.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+
+namespace gsp {
+
+/// Write "n m\n" then one "u v w" line per edge (full precision).
+void write_graph(std::ostream& os, const Graph& g);
+
+/// Parse the write_graph format. Throws std::invalid_argument on malformed
+/// input (bad counts, out-of-range endpoints, non-positive weights).
+Graph read_graph(std::istream& is);
+
+/// Write "n dim\n" then one whitespace-separated coordinate row per point.
+void write_points(std::ostream& os, const EuclideanMetric& m);
+
+/// Parse the write_points format.
+EuclideanMetric read_points(std::istream& is);
+
+/// Graphviz DOT (undirected), edge labels = weights; intended for small
+/// graphs (the Figure-1 instance renders nicely).
+void write_dot(std::ostream& os, const Graph& g, const std::string& name = "spanner");
+
+}  // namespace gsp

@@ -1,0 +1,131 @@
+#include "metric/doubling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace gsp {
+
+double DoublingEstimate::ddim_upper() const {
+    return cover_upper <= 1 ? 0.0 : std::log2(static_cast<double>(cover_upper));
+}
+
+double DoublingEstimate::ddim_lower() const {
+    return pack_lower <= 1 ? 0.0 : std::log2(static_cast<double>(pack_lower));
+}
+
+namespace {
+
+/// Points of m within distance R of center.
+std::vector<VertexId> ball_members(const MetricSpace& m, VertexId center, Weight radius) {
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < m.size(); ++v) {
+        if (m.distance(center, v) <= radius) members.push_back(v);
+    }
+    return members;
+}
+
+/// Greedy cover of `members` by balls of radius `r` centered at members.
+std::size_t greedy_cover_count(const MetricSpace& m, const std::vector<VertexId>& members,
+                               Weight r) {
+    std::vector<bool> covered(members.size(), false);
+    std::size_t balls = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (covered[i]) continue;
+        ++balls;
+        for (std::size_t j = i; j < members.size(); ++j) {
+            if (!covered[j] && m.distance(members[i], members[j]) <= r) covered[j] = true;
+        }
+    }
+    return balls;
+}
+
+/// Greedy maximal r-separated subset of `members`.
+std::size_t greedy_packing_count(const MetricSpace& m, const std::vector<VertexId>& members,
+                                 Weight r) {
+    std::vector<VertexId> chosen;
+    for (VertexId v : members) {
+        bool far = true;
+        for (VertexId c : chosen) {
+            if (m.distance(v, c) < r) {
+                far = false;
+                break;
+            }
+        }
+        if (far) chosen.push_back(v);
+    }
+    return chosen.size();
+}
+
+}  // namespace
+
+DoublingEstimate estimate_doubling(const MetricSpace& m, std::size_t radii_per_center) {
+    DoublingEstimate est;
+    const std::size_t n = m.size();
+    if (n <= 1) {
+        est.cover_upper = 1;
+        est.pack_lower = 1;
+        return est;
+    }
+    // Radius ladder between min and max pairwise distance.
+    Weight lo = kInfiniteWeight;
+    Weight hi = 0.0;
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            const Weight d = m.distance(i, j);
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+    }
+    std::vector<Weight> radii;
+    const std::size_t steps = std::max<std::size_t>(radii_per_center, 2);
+    for (std::size_t s = 0; s < steps; ++s) {
+        const double frac = static_cast<double>(s) / static_cast<double>(steps - 1);
+        radii.push_back(lo * std::pow(hi / lo, frac));
+    }
+
+    for (VertexId center = 0; center < n; ++center) {
+        for (Weight radius : radii) {
+            const auto members = ball_members(m, center, radius);
+            if (members.size() <= 1) continue;
+            est.cover_upper =
+                std::max(est.cover_upper, greedy_cover_count(m, members, radius / 2));
+            est.pack_lower =
+                std::max(est.pack_lower, greedy_packing_count(m, members, radius / 2));
+        }
+    }
+    est.cover_upper = std::max<std::size_t>(est.cover_upper, 1);
+    est.pack_lower = std::max<std::size_t>(est.pack_lower, 1);
+    return est;
+}
+
+double packing_exponent(const MetricSpace& m, double ddim, std::size_t samples,
+                        std::uint64_t seed) {
+    Rng rng(seed);
+    const std::size_t n = m.size();
+    if (n <= 2 || ddim <= 0.0) return 0.0;
+    double worst = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+        const auto center = static_cast<VertexId>(rng.index(n));
+        const auto other = static_cast<VertexId>(rng.index(n));
+        if (other == center) continue;
+        const Weight radius = m.distance(center, other);
+        const auto members = ball_members(m, center, radius);
+        if (members.size() <= 2) continue;
+        // Separation r = radius * 2^-j for a few j.
+        for (int j = 1; j <= 4; ++j) {
+            const Weight r = radius / std::pow(2.0, j);
+            const std::size_t packed = greedy_packing_count(m, members, r);
+            if (packed <= 1) continue;
+            // packed <= (2R/r)^(c*ddim)  =>  c >= log(packed) / (ddim*log(2R/r))
+            const double c = std::log2(static_cast<double>(packed)) /
+                             (ddim * std::log2(2.0 * radius / r));
+            worst = std::max(worst, c);
+        }
+    }
+    return worst;
+}
+
+}  // namespace gsp

@@ -1,0 +1,50 @@
+// Doubling-dimension estimation and packing checks.
+//
+// Theorem 5 / Observation 9 of the paper are statements about the doubling
+// dimension ddim(M): every ball of radius R can be covered by 2^{ddim}
+// balls of radius R/2. Exact ddim of a finite metric is NP-hard, so we
+// compute a certified *upper bound* via greedy ball covers (greedy set
+// cover is within a log factor, and for our structured instances the greedy
+// bound is what the experiments need). Observation 9 (ddim(M_H) <= 2*ddim(M))
+// is exercised as a test using these estimates.
+#pragma once
+
+#include <cstddef>
+
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+struct DoublingEstimate {
+    /// Largest (over sampled balls) number of radius-R/2 balls that the
+    /// greedy cover needed; the doubling constant lambda is <= this bound's
+    /// exact counterpart, and >= the packing-based lower bound below.
+    std::size_t cover_upper = 0;
+    /// Largest (R/2)-separated subset found inside a sampled ball of radius
+    /// R; any half-radius cover needs at least this many balls, so
+    /// log2(pack_lower) lower-bounds ddim.
+    std::size_t pack_lower = 0;
+
+    [[nodiscard]] double ddim_upper() const;
+    [[nodiscard]] double ddim_lower() const;
+};
+
+/// Estimate the doubling constant by scanning balls B(p, R) for every point
+/// p and a geometric ladder of radii R, greedily covering each with
+/// half-radius balls *centered at points of the ball* and greedily packing
+/// (R/2)-separated points. Exhaustive over centers: O(n^2 log Delta)-ish;
+/// intended for instances up to a few thousand points.
+///
+/// Note: covers restricted to centers inside the ball can be at most a
+/// factor-2 radius off from unrestricted covers, which shifts ddim by O(1);
+/// all uses in the experiments compare like-for-like estimates.
+DoublingEstimate estimate_doubling(const MetricSpace& m, std::size_t radii_per_center = 8);
+
+/// Verify the packing lemma (Lemma 1): any subset with minimum interpoint
+/// distance r inside a ball of radius R has size <= (2R/r)^{c * ddim}.
+/// Returns the largest exponent c observed over sampled configurations
+/// (so the *test* asserts c is O(1)).
+double packing_exponent(const MetricSpace& m, double ddim, std::size_t samples = 64,
+                        std::uint64_t seed = 1);
+
+}  // namespace gsp

@@ -1,0 +1,49 @@
+#include "metric/euclidean.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsp {
+
+EuclideanMetric::EuclideanMetric(std::size_t dim, std::vector<double> coords)
+    : dim_(dim), coords_(std::move(coords)) {
+    if (dim_ == 0) throw std::invalid_argument("EuclideanMetric: dim must be >= 1");
+    if (coords_.size() % dim_ != 0) {
+        throw std::invalid_argument("EuclideanMetric: coords not a multiple of dim");
+    }
+}
+
+double EuclideanMetric::squared_distance(VertexId i, VertexId j) const {
+    const double* a = coords_.data() + static_cast<std::size_t>(i) * dim_;
+    const double* b = coords_.data() + static_cast<std::size_t>(j) * dim_;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) {
+        const double d = a[k] - b[k];
+        sum += d * d;
+    }
+    return sum;
+}
+
+Weight EuclideanMetric::distance(VertexId i, VertexId j) const {
+    if (i >= size() || j >= size()) {
+        throw std::out_of_range("EuclideanMetric::distance: point out of range");
+    }
+    return std::sqrt(squared_distance(i, j));
+}
+
+std::span<const double> EuclideanMetric::point(VertexId i) const {
+    if (i >= size()) throw std::out_of_range("EuclideanMetric::point: out of range");
+    return {coords_.data() + static_cast<std::size_t>(i) * dim_, dim_};
+}
+
+EuclideanMetric make_euclidean_2d(std::span<const std::pair<double, double>> pts) {
+    std::vector<double> coords;
+    coords.reserve(pts.size() * 2);
+    for (const auto& [x, y] : pts) {
+        coords.push_back(x);
+        coords.push_back(y);
+    }
+    return EuclideanMetric(2, std::move(coords));
+}
+
+}  // namespace gsp

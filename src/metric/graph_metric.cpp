@@ -1,0 +1,19 @@
+#include "metric/graph_metric.hpp"
+
+#include <stdexcept>
+
+#include "graph/shortest_paths.hpp"
+
+namespace gsp {
+
+GraphMetric::GraphMetric(const Graph& g) : dist_(all_pairs_dijkstra(g)) {
+    for (const auto& row : dist_) {
+        for (Weight d : row) {
+            if (d == kInfiniteWeight) {
+                throw std::invalid_argument("GraphMetric: graph is disconnected");
+            }
+        }
+    }
+}
+
+}  // namespace gsp

@@ -1,0 +1,32 @@
+// The shortest-path metric M_G induced by a weighted graph.
+//
+// Observation 6 and Lemmas 7/8 of the paper reason about M_H, the metric
+// induced by the greedy spanner H; this class materializes such metrics so
+// the transfer arguments can be executed and tested.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+/// Shortest-path closure of a connected weighted graph, with distances
+/// precomputed by n Dijkstra runs and stored densely (O(n^2) memory).
+class GraphMetric final : public MetricSpace {
+public:
+    /// Throws std::invalid_argument if g is disconnected (a metric requires
+    /// finite distances everywhere).
+    explicit GraphMetric(const Graph& g);
+
+    [[nodiscard]] std::size_t size() const override { return dist_.size(); }
+    [[nodiscard]] Weight distance(VertexId i, VertexId j) const override {
+        return dist_[i][j];
+    }
+
+private:
+    std::vector<std::vector<Weight>> dist_;
+};
+
+}  // namespace gsp

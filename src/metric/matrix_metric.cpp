@@ -1,0 +1,44 @@
+#include "metric/matrix_metric.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsp {
+
+MatrixMetric::MatrixMetric(std::vector<std::vector<Weight>> matrix, bool validate_triangle)
+    : matrix_(std::move(matrix)) {
+    const std::size_t n = matrix_.size();
+    for (const auto& row : matrix_) {
+        if (row.size() != n) throw std::invalid_argument("MatrixMetric: matrix not square");
+    }
+    constexpr double kTol = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (matrix_[i][i] != 0.0) {
+            throw std::invalid_argument("MatrixMetric: nonzero diagonal");
+        }
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (std::abs(matrix_[i][j] - matrix_[j][i]) > kTol) {
+                throw std::invalid_argument("MatrixMetric: not symmetric");
+            }
+            if (!(matrix_[i][j] > 0.0) || !std::isfinite(matrix_[i][j])) {
+                throw std::invalid_argument("MatrixMetric: nonpositive or nonfinite entry");
+            }
+        }
+    }
+    if (validate_triangle) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == i) continue;
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (k == i || k == j) continue;
+                    if (matrix_[i][k] > matrix_[i][j] + matrix_[j][k] + kTol) {
+                        throw std::invalid_argument(
+                            "MatrixMetric: triangle inequality violated");
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace gsp

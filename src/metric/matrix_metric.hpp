@@ -1,0 +1,33 @@
+// Explicit distance-matrix metric spaces.
+//
+// Adversarial instances -- in particular the low-doubling-dimension metric
+// on which the greedy spanner has degree n-1 (Section 5 of the paper, citing
+// [HM06, Smi09]) -- are abstract metrics that are not realizable as point
+// sets, so they are specified as explicit matrices and validated here.
+#pragma once
+
+#include <vector>
+
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+/// Metric given by an explicit symmetric n x n distance matrix.
+class MatrixMetric final : public MetricSpace {
+public:
+    /// Takes a full row-major n x n matrix. Throws if the matrix is not
+    /// square, not symmetric, has nonzero diagonal, nonpositive off-diagonal
+    /// entries, or (when validate_triangle) violates the triangle inequality.
+    explicit MatrixMetric(std::vector<std::vector<Weight>> matrix,
+                          bool validate_triangle = true);
+
+    [[nodiscard]] std::size_t size() const override { return matrix_.size(); }
+    [[nodiscard]] Weight distance(VertexId i, VertexId j) const override {
+        return matrix_[i][j];
+    }
+
+private:
+    std::vector<std::vector<Weight>> matrix_;
+};
+
+}  // namespace gsp

@@ -1,0 +1,122 @@
+#include "metric/metric_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+MetricCheck check_metric(const MetricSpace& m, double tolerance) {
+    MetricCheck result;
+    const std::size_t n = m.size();
+    for (VertexId i = 0; i < n; ++i) {
+        if (m.distance(i, i) != 0.0) result.positive = false;
+        for (VertexId j = i + 1; j < n; ++j) {
+            const Weight dij = m.distance(i, j);
+            const Weight dji = m.distance(j, i);
+            if (std::abs(dij - dji) > tolerance) result.symmetric = false;
+            if (!(dij > 0.0) || !std::isfinite(dij)) result.positive = false;
+        }
+    }
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const Weight dij = m.distance(i, j);
+            for (VertexId k = 0; k < n; ++k) {
+                if (k == i || k == j) continue;
+                const double excess = m.distance(i, k) - (dij + m.distance(j, k));
+                if (excess > tolerance) {
+                    result.triangle = false;
+                    result.worst_violation = std::max(result.worst_violation, excess);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+Graph complete_graph(const MetricSpace& m) {
+    const std::size_t n = m.size();
+    Graph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            g.add_edge(i, j, m.distance(i, j));
+        }
+    }
+    return g;
+}
+
+namespace {
+
+/// Prim over the implicit complete graph: O(n^2) time, O(n) space.
+std::vector<Edge> implicit_prim(const MetricSpace& m) {
+    const std::size_t n = m.size();
+    std::vector<Edge> tree;
+    if (n <= 1) return tree;
+    tree.reserve(n - 1);
+    std::vector<bool> in_tree(n, false);
+    std::vector<Weight> best(n, kInfiniteWeight);
+    std::vector<VertexId> attach(n, kNoVertex);
+    in_tree[0] = true;
+    for (VertexId v = 1; v < n; ++v) {
+        best[v] = m.distance(0, v);
+        attach[v] = 0;
+    }
+    for (std::size_t step = 1; step < n; ++step) {
+        VertexId pick = kNoVertex;
+        Weight pick_key = kInfiniteWeight;
+        for (VertexId v = 0; v < n; ++v) {
+            if (!in_tree[v] && best[v] < pick_key) {
+                pick_key = best[v];
+                pick = v;
+            }
+        }
+        if (pick == kNoVertex) {
+            throw std::logic_error("implicit_prim: metric space not connected?");
+        }
+        in_tree[pick] = true;
+        tree.push_back(Edge{attach[pick], pick, pick_key});
+        for (VertexId v = 0; v < n; ++v) {
+            if (in_tree[v]) continue;
+            const Weight d = m.distance(pick, v);
+            if (d < best[v]) {
+                best[v] = d;
+                attach[v] = pick;
+            }
+        }
+    }
+    return tree;
+}
+
+}  // namespace
+
+std::vector<Edge> metric_mst_edges(const MetricSpace& m) { return implicit_prim(m); }
+
+Weight metric_mst_weight(const MetricSpace& m) {
+    Weight total = 0.0;
+    for (const Edge& e : implicit_prim(m)) total += e.weight;
+    return total;
+}
+
+Weight metric_diameter(const MetricSpace& m) {
+    Weight best = 0.0;
+    for (VertexId i = 0; i < m.size(); ++i) {
+        for (VertexId j = i + 1; j < m.size(); ++j) {
+            best = std::max(best, m.distance(i, j));
+        }
+    }
+    return best;
+}
+
+Weight metric_min_distance(const MetricSpace& m) {
+    Weight best = kInfiniteWeight;
+    for (VertexId i = 0; i < m.size(); ++i) {
+        for (VertexId j = i + 1; j < m.size(); ++j) {
+            best = std::min(best, m.distance(i, j));
+        }
+    }
+    return best;
+}
+
+}  // namespace gsp

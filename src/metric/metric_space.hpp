@@ -1,0 +1,63 @@
+// Finite metric spaces.
+//
+// The paper's Sections 4-5 quantify over metric spaces (doubling metrics in
+// particular). `MetricSpace` is the minimal interface the algorithms need:
+// a point count and a distance oracle. Implementations: EuclideanMetric,
+// MatrixMetric (explicit matrix, used for adversarial instances),
+// GraphMetric (shortest-path closure M_G, used by Lemma 7/8 machinery).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Abstract finite metric space over points {0, ..., size()-1}.
+class MetricSpace {
+public:
+    virtual ~MetricSpace() = default;
+
+    /// Number of points.
+    [[nodiscard]] virtual std::size_t size() const = 0;
+
+    /// Distance between points i and j. Must be symmetric, non-negative,
+    /// zero iff i == j, and satisfy the triangle inequality.
+    [[nodiscard]] virtual Weight distance(VertexId i, VertexId j) const = 0;
+};
+
+/// Result of checking the metric axioms exhaustively (O(n^3); small n only).
+struct MetricCheck {
+    bool symmetric = true;
+    bool positive = true;         ///< d(i,j) > 0 for i != j, d(i,i) == 0
+    bool triangle = true;         ///< d(i,k) <= d(i,j) + d(j,k) (within tolerance)
+    double worst_violation = 0.0; ///< largest triangle-inequality excess found
+
+    [[nodiscard]] bool ok() const { return symmetric && positive && triangle; }
+};
+
+/// Exhaustively verify the metric axioms. `tolerance` absorbs floating-point
+/// noise in derived metrics.
+MetricCheck check_metric(const MetricSpace& m, double tolerance = 1e-9);
+
+/// The complete weighted graph over the metric's points: edge (i, j) with
+/// weight d(i, j) for every pair. Quadratic; used for running graph
+/// algorithms (Baswana-Sen, exact search) on metric inputs.
+Graph complete_graph(const MetricSpace& m);
+
+/// Weight of the MST of the metric (Prim on the implicit complete graph;
+/// O(n^2) time, O(n) memory -- no materialized complete graph).
+Weight metric_mst_weight(const MetricSpace& m);
+
+/// Edges of the metric MST (same algorithm as metric_mst_weight).
+std::vector<Edge> metric_mst_edges(const MetricSpace& m);
+
+/// Largest pairwise distance (O(n^2)).
+Weight metric_diameter(const MetricSpace& m);
+
+/// Smallest nonzero pairwise distance (O(n^2)).
+Weight metric_min_distance(const MetricSpace& m);
+
+}  // namespace gsp

@@ -1,0 +1,21 @@
+// Baswana-Sen randomized (2k-1)-spanner for weighted graphs.
+//
+// The classic linear-time clustering construction [Baswana & Sen, 2007]:
+// k-1 rounds of cluster sampling at rate n^{-1/k} followed by a
+// vertex-to-cluster joining round. Expected size O(k * n^{1+1/k});
+// stretch <= 2k-1 always. This is the standard practical comparator for
+// the greedy spanner on general graphs (e.g., networkx ships it), so it
+// anchors the paper's existential-optimality claims empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace gsp {
+
+/// Compute a (2k-1)-spanner of g. Requires k >= 1; k = 1 returns g with
+/// parallel edges deduplicated to the lightest. Randomized: pass a seed.
+Graph baswana_sen_spanner(const Graph& g, unsigned k, std::uint64_t seed);
+
+}  // namespace gsp

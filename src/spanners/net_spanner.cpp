@@ -1,0 +1,131 @@
+#include "spanners/net_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace gsp {
+
+namespace {
+
+struct CandidateEdge {
+    VertexId u;
+    VertexId v;
+    double length;
+    std::size_t level;
+};
+
+}  // namespace
+
+Graph net_spanner(const MetricSpace& m, const NetSpannerOptions& options) {
+    const double eps = options.epsilon;
+    if (!(eps > 0.0) || eps > 1.0) {
+        throw std::invalid_argument("net_spanner: epsilon must be in (0, 1]");
+    }
+    const std::size_t n = m.size();
+    Graph h(n);
+    if (n <= 1) return h;
+
+    const NetHierarchy nets(m);
+    const double gamma =
+        options.gamma_override > 0.0 ? options.gamma_override : 4.0 + 8.0 / eps;
+
+    // Collect candidate edges: cross edges per level + parent edges. A pair
+    // only enters at (roughly) its critical level -- the one where the cross
+    // radius first reaches it; including it again at every higher level
+    // would change nothing after dedup but costs enumeration time.
+    std::vector<CandidateEdge> candidates;
+    for (std::size_t l = 0; l < nets.num_levels(); ++l) {
+        const double radius = gamma * nets.scale(l);
+        const double annulus_lo = l == 0 ? 0.0 : radius / 2.0;
+        nets.for_each_near_pair(l, radius, [&](VertexId a, VertexId b, double d) {
+            if (d > annulus_lo) candidates.push_back({a, b, d, l});
+        });
+    }
+    for (std::size_t l = 0; l + 1 < nets.num_levels(); ++l) {
+        for (VertexId p : nets.level(l)) {
+            const VertexId par = nets.parent(l, p);
+            if (par != p) candidates.push_back({p, par, m.distance(p, par), l});
+        }
+    }
+
+    // Deduplicate: the same pair typically appears at several levels (the
+    // cross radius grows faster than the packing); keep the lowest level.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateEdge& a, const CandidateEdge& b) {
+                  return std::tie(a.u, a.v, a.level) < std::tie(b.u, b.v, b.level);
+              });
+    candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                                 [](const CandidateEdge& a, const CandidateEdge& b) {
+                                     return a.u == b.u && a.v == b.v;
+                                 }),
+                     candidates.end());
+
+    // Degree-reduction replay: heaviest first, so the long edges (the ones
+    // that can afford an O(eps * length) delegation detour) move out of the
+    // way of hub vertices before the short edges claim their slots.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateEdge& a, const CandidateEdge& b) {
+                  return a.length > b.length;
+              });
+
+    std::vector<std::size_t> degree(n, 0);
+    const std::size_t cap = options.degree_cap;
+
+    // Delegate x downward: descend `drop` levels through least-loaded
+    // children, then keep descending while x stays overloaded. Total detour
+    // is a geometric sum <= 2 * scale(start_level - drop + 1), which the
+    // drop of ~log2(8/eps) levels makes <= (eps/2) * scale(start_level)
+    // <= (eps/2) * edge length.
+    const auto drop = static_cast<std::size_t>(std::ceil(std::log2(32.0 / eps)));
+    auto delegate = [&](VertexId x, std::size_t from_level) -> VertexId {
+        // Descent is only meaningful from levels where x actually is a net
+        // member (parent edges name an endpoint one level above the edge's
+        // own level, and hubs are members far above it).
+        std::size_t l = std::min(from_level, nets.top_level(x));
+        auto descend = [&](VertexId y, std::size_t lev) -> VertexId {
+            if (lev == 0) return y;
+            const auto& kids = nets.children(lev - 1, y);
+            VertexId best = y;  // y is its own child when still a member below
+            std::size_t best_deg = degree[y];
+            for (VertexId k : kids) {
+                if (k != y && degree[k] < best_deg) {
+                    best = k;
+                    best_deg = degree[k];
+                }
+            }
+            return best;
+        };
+        for (std::size_t step = 0; step < drop && l > 0; ++step) {
+            x = descend(x, l);
+            --l;
+        }
+        while (cap != 0 && degree[x] >= cap && l > 0) {
+            const VertexId next = descend(x, l);
+            if (next == x) break;  // no distinct descendant to offload onto
+            x = next;
+            --l;
+        }
+        return x;
+    };
+
+    for (const CandidateEdge& c : candidates) {
+        VertexId u = c.u;
+        VertexId v = c.v;
+        if (cap != 0) {
+            if (degree[u] >= cap) u = delegate(u, c.level);
+            if (degree[v] >= cap) v = delegate(v, c.level);
+        }
+        if (u == v) continue;
+        if (!h.has_edge(u, v)) {
+            h.add_edge(u, v, m.distance(u, v));
+            ++degree[u];
+            ++degree[v];
+        }
+    }
+    return h;
+}
+
+}  // namespace gsp

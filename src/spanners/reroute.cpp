@@ -1,0 +1,47 @@
+#include "spanners/reroute.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace gsp {
+
+Graph reroute_through(const Graph& h1, const Graph& h2) {
+    if (h1.num_vertices() != h2.num_vertices()) {
+        throw std::invalid_argument("reroute_through: vertex count mismatch");
+    }
+    const std::size_t n = h2.num_vertices();
+    std::vector<bool> keep(h2.num_edges(), false);
+
+    // Group H1 queries by source so one shortest-path tree serves them all.
+    std::vector<std::vector<VertexId>> targets(n);
+    for (const Edge& e : h1.edges()) targets[e.u].push_back(e.v);
+
+    DijkstraWorkspace ws(n);
+    for (VertexId s = 0; s < n; ++s) {
+        if (targets[s].empty()) continue;
+        const auto& dist = ws.all_distances(h2, s, kInfiniteWeight);
+        const auto& pred = ws.predecessors();
+        const auto& pred_edge = ws.predecessor_edges();
+        for (VertexId t : targets[s]) {
+            if (dist[t] == kInfiniteWeight) {
+                throw std::invalid_argument("reroute_through: H2 disconnects an H1 edge");
+            }
+            for (VertexId cur = t; pred[cur] != kNoVertex; cur = pred[cur]) {
+                keep[pred_edge[cur]] = true;
+            }
+        }
+    }
+
+    Graph h(n);
+    for (EdgeId id = 0; id < h2.num_edges(); ++id) {
+        if (keep[id]) {
+            const Edge& e = h2.edge(id);
+            h.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    return h;
+}
+
+}  // namespace gsp

@@ -1,0 +1,28 @@
+// The combination transform from the paper's closing Remark (end of §5):
+// given a light spanner H1 and a bounded-degree spanner H2 of the same
+// metric, build a spanner H by replacing every edge of H1 with a shortest
+// path in H2 between its endpoints.
+//
+// Properties (all measured by the tests/bench):
+//   * H is a subgraph of H2, so deg(H) <= deg(H2);
+//   * stretch(H) <= stretch(H1) * stretch(H2) (each H1 edge is detoured by
+//     at most stretch(H2));
+//   * w(H) <= sum over H1 edges of their H2-path weights -- but shared path
+//     segments are counted once, which is why the measured weight is often
+//     much better than that bound.
+//
+// The Remark's point is that this transform is *expensive to compute* and
+// that approximate-greedy makes it unnecessary; having it executable lets
+// bench_ablation quantify both halves of that claim.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace gsp {
+
+/// Union of H2-shortest paths between the endpoints of every H1 edge.
+/// Requires matching vertex counts; throws if some H1 edge's endpoints are
+/// disconnected in H2.
+Graph reroute_through(const Graph& h1, const Graph& h2);
+
+}  // namespace gsp

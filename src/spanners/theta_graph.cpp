@@ -1,0 +1,128 @@
+#include "spanners/theta_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+double theta_graph_stretch_bound(std::size_t cones) {
+    const double theta = 2.0 * std::numbers::pi / static_cast<double>(cones);
+    const double denom = std::cos(theta) - std::sin(theta);
+    // Treat floating-point dust around the theta = pi/4 boundary as "no
+    // guarantee" rather than an astronomically large finite bound.
+    return denom > 1e-9 ? 1.0 / denom : kInfiniteWeight;
+}
+
+Graph theta_graph(const EuclideanMetric& m, std::size_t cones) {
+    if (m.dim() != 2) throw std::invalid_argument("theta_graph: 2D points required");
+    if (cones < 4) throw std::invalid_argument("theta_graph: need >= 4 cones");
+    const std::size_t n = m.size();
+    Graph h(n);
+    if (n <= 1) return h;
+
+    const double theta = 2.0 * std::numbers::pi / static_cast<double>(cones);
+
+    // best[p * cones + c]: the neighbor with minimal bisector projection in
+    // cone c of p, and that projection value.
+    std::vector<VertexId> best(n * cones, kNoVertex);
+    std::vector<double> best_proj(n * cones, kInfiniteWeight);
+
+    for (VertexId p = 0; p < n; ++p) {
+        const auto pp = m.point(p);
+        for (VertexId q = 0; q < n; ++q) {
+            if (q == p) continue;
+            const auto qq = m.point(q);
+            const double dx = qq[0] - pp[0];
+            const double dy = qq[1] - pp[1];
+            double ang = std::atan2(dy, dx);
+            if (ang < 0) ang += 2.0 * std::numbers::pi;
+            auto c = static_cast<std::size_t>(ang / theta);
+            if (c >= cones) c = cones - 1;  // guard atan2 == 2*pi edge case
+            const double bisector = (static_cast<double>(c) + 0.5) * theta;
+            const double proj = dx * std::cos(bisector) + dy * std::sin(bisector);
+            const std::size_t slot = p * cones + c;
+            if (proj < best_proj[slot]) {
+                best_proj[slot] = proj;
+                best[slot] = q;
+            }
+        }
+    }
+    for (VertexId p = 0; p < n; ++p) {
+        for (std::size_t c = 0; c < cones; ++c) {
+            const VertexId q = best[p * cones + c];
+            if (q != kNoVertex && !h.has_edge(p, q)) {
+                h.add_edge(p, q, m.distance(p, q));
+            }
+        }
+    }
+    return h;
+}
+
+Graph theta_graph_sweep(const EuclideanMetric& m, std::size_t cones) {
+    if (m.dim() != 2) throw std::invalid_argument("theta_graph_sweep: 2D points required");
+    if (cones < 4) throw std::invalid_argument("theta_graph_sweep: need >= 4 cones");
+    const std::size_t n = m.size();
+    Graph h(n);
+    if (n <= 1) return h;
+
+    const double theta = 2.0 * std::numbers::pi / static_cast<double>(cones);
+    const double half_tan = std::tan(theta / 2.0);
+
+    std::vector<double> a(n), b(n), proj(n);
+    std::vector<VertexId> order(n);
+
+    for (std::size_t c = 0; c < cones; ++c) {
+        // Rotate so this cone's bisector lies along +x. In the rotated
+        // frame, q is in p's cone iff a_q <= a_p and b_q >= b_p, and the
+        // theta rule picks the q minimizing x' (the bisector projection).
+        const double phi = (static_cast<double>(c) + 0.5) * theta;
+        const double cos_phi = std::cos(phi);
+        const double sin_phi = std::sin(phi);
+        for (VertexId p = 0; p < n; ++p) {
+            const auto pt = m.point(p);
+            const double xr = pt[0] * cos_phi + pt[1] * sin_phi;
+            const double yr = -pt[0] * sin_phi + pt[1] * cos_phi;
+            proj[p] = xr;
+            a[p] = yr - half_tan * xr;
+            b[p] = yr + half_tan * xr;
+            order[p] = p;
+        }
+        std::sort(order.begin(), order.end(), [&](VertexId x, VertexId y) {
+            return a[x] != a[y] ? a[x] < a[y] : x < y;
+        });
+
+        // Pareto staircase keyed by b: entries keep b and proj both strictly
+        // increasing, so the suffix-minimum of proj over b >= b_p is simply
+        // the first entry at or after b_p.
+        std::map<double, std::pair<double, VertexId>> staircase;
+        for (VertexId p : order) {
+            const auto it = staircase.lower_bound(b[p]);
+            if (it != staircase.end()) {
+                const VertexId q = it->second.second;
+                if (q != p && !h.has_edge(p, q)) h.add_edge(p, q, m.distance(p, q));
+            }
+            // Insert p unless dominated (someone with b' >= b_p and
+            // proj' <= proj_p already answers every query p could).
+            const auto dom = staircase.lower_bound(b[p]);
+            if (dom != staircase.end() && dom->second.first <= proj[p]) continue;
+            // Remove entries p dominates (b' <= b_p with proj' >= proj_p).
+            auto rit = staircase.lower_bound(b[p]);
+            while (rit != staircase.begin()) {
+                auto prev = std::prev(rit);
+                if (prev->second.first >= proj[p]) {
+                    rit = staircase.erase(prev);
+                } else {
+                    break;
+                }
+            }
+            staircase[b[p]] = {proj[p], p};
+        }
+    }
+    return h;
+}
+
+}  // namespace gsp

@@ -1,0 +1,35 @@
+// Theta-graph spanner for 2D Euclidean point sets.
+//
+// Classic cone construction [Clarkson/Keil; see NS07 Ch. 4]: partition the
+// plane around each point p into k equal-angle cones; in each cone connect
+// p to the point whose *projection onto the cone bisector* is smallest.
+// Stretch <= 1 / (cos(theta) - sin(theta)) for theta = 2*pi/k < pi/4.
+// One of the baseline constructions for the paper's [FG05] comparison
+// experiment.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+
+namespace gsp {
+
+/// Theta-graph with k cones; requires a 2D metric and k >= 4.
+/// O(n^2) construction (per-pair cone classification). Reference
+/// implementation; theta_graph_sweep computes the same graph in
+/// O(k n log n).
+Graph theta_graph(const EuclideanMetric& m, std::size_t cones);
+
+/// The classic sweep construction [NS07 Ch. 4]: per cone, transform to the
+/// wedge coordinates (a, b) = (y' -/+ tan(theta/2) x'), sort by a, and
+/// maintain a Pareto staircase over b answering "min projection among
+/// already-seen points with b >= b_p" in O(log n). Same output as
+/// theta_graph up to ties in projections (measure-zero for random inputs).
+Graph theta_graph_sweep(const EuclideanMetric& m, std::size_t cones);
+
+/// The guaranteed stretch factor of a k-cone theta graph (infinite when the
+/// cone angle is too wide for the classical bound to apply).
+[[nodiscard]] double theta_graph_stretch_bound(std::size_t cones);
+
+}  // namespace gsp

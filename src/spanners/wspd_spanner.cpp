@@ -1,0 +1,26 @@
+#include "spanners/wspd_spanner.hpp"
+
+#include <stdexcept>
+
+#include "wspd/wspd.hpp"
+
+namespace gsp {
+
+Graph wspd_spanner_with_separation(const EuclideanMetric& m, double separation) {
+    Graph h(m.size());
+    if (m.size() <= 1) return h;
+    const QuadTree tree(m);
+    for (const WspdPair& pr : well_separated_pairs(tree, separation)) {
+        const VertexId a = tree.node(pr.a).representative;
+        const VertexId b = tree.node(pr.b).representative;
+        if (!h.has_edge(a, b)) h.add_edge(a, b, m.distance(a, b));
+    }
+    return h;
+}
+
+Graph wspd_spanner(const EuclideanMetric& m, double epsilon) {
+    if (!(epsilon > 0.0)) throw std::invalid_argument("wspd_spanner: epsilon must be > 0");
+    return wspd_spanner_with_separation(m, 4.0 + 8.0 / epsilon);
+}
+
+}  // namespace gsp

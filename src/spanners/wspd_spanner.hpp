@@ -1,0 +1,22 @@
+// WSPD spanner: one edge per well-separated pair.
+//
+// For an s-WSPD, connecting an arbitrary representative pair per dumbbell
+// yields a t-spanner with t = (s + 4)/(s - 4) (s > 4); inversely, stretch
+// 1 + eps needs s = 4 + 8/eps + sqrt((4 + 8/eps)^2 - 16)/... -- we expose
+// the standard choice s = 8/eps + 4 which guarantees t <= 1 + eps for
+// eps <= 4. Baseline construction for the comparison experiment.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+
+namespace gsp {
+
+/// Spanner from an s-WSPD with the given separation (must be > 4 for a
+/// finite stretch guarantee, > 0 to build at all).
+Graph wspd_spanner_with_separation(const EuclideanMetric& m, double separation);
+
+/// Spanner with stretch <= 1 + eps via separation s = 4 + 8/eps.
+Graph wspd_spanner(const EuclideanMetric& m, double epsilon);
+
+}  // namespace gsp

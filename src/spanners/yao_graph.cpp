@@ -1,0 +1,58 @@
+#include "spanners/yao_graph.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+double yao_graph_stretch_bound(std::size_t cones) {
+    const double theta = 2.0 * std::numbers::pi / static_cast<double>(cones);
+    const double denom = 1.0 - 2.0 * std::sin(theta / 2.0);
+    // Same boundary guard as the theta graph: theta = pi/3 gives denom ~ 0.
+    return denom > 1e-9 ? 1.0 / denom : kInfiniteWeight;
+}
+
+Graph yao_graph(const EuclideanMetric& m, std::size_t cones) {
+    if (m.dim() != 2) throw std::invalid_argument("yao_graph: 2D points required");
+    if (cones < 4) throw std::invalid_argument("yao_graph: need >= 4 cones");
+    const std::size_t n = m.size();
+    Graph h(n);
+    if (n <= 1) return h;
+
+    const double theta = 2.0 * std::numbers::pi / static_cast<double>(cones);
+    std::vector<VertexId> best(n * cones, kNoVertex);
+    std::vector<double> best_dist(n * cones, kInfiniteWeight);
+
+    for (VertexId p = 0; p < n; ++p) {
+        const auto pp = m.point(p);
+        for (VertexId q = 0; q < n; ++q) {
+            if (q == p) continue;
+            const auto qq = m.point(q);
+            const double dx = qq[0] - pp[0];
+            const double dy = qq[1] - pp[1];
+            double ang = std::atan2(dy, dx);
+            if (ang < 0) ang += 2.0 * std::numbers::pi;
+            auto c = static_cast<std::size_t>(ang / theta);
+            if (c >= cones) c = cones - 1;
+            const double d2 = dx * dx + dy * dy;
+            const std::size_t slot = p * cones + c;
+            if (d2 < best_dist[slot]) {
+                best_dist[slot] = d2;
+                best[slot] = q;
+            }
+        }
+    }
+    for (VertexId p = 0; p < n; ++p) {
+        for (std::size_t c = 0; c < cones; ++c) {
+            const VertexId q = best[p * cones + c];
+            if (q != kNoVertex && !h.has_edge(p, q)) {
+                h.add_edge(p, q, m.distance(p, q));
+            }
+        }
+    }
+    return h;
+}
+
+}  // namespace gsp

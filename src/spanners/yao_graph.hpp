@@ -1,0 +1,21 @@
+// Yao-graph spanner for 2D Euclidean point sets.
+//
+// Like the theta graph, but each cone connects to the *nearest* point (by
+// Euclidean distance) instead of the smallest bisector projection.
+// Stretch <= 1 / (1 - 2 sin(theta/2)) for theta = 2*pi/k < pi/3.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+
+namespace gsp {
+
+/// Yao graph with k cones; requires a 2D metric and k >= 4. O(n^2).
+Graph yao_graph(const EuclideanMetric& m, std::size_t cones);
+
+/// The guaranteed stretch factor of a k-cone Yao graph.
+[[nodiscard]] double yao_graph_stretch_bound(std::size_t cones);
+
+}  // namespace gsp

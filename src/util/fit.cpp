@@ -1,0 +1,62 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+double fit_slope(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size() || xs.size() < 2) {
+        throw std::invalid_argument("fit_slope: need >= 2 paired points");
+    }
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0) throw std::invalid_argument("fit_slope: degenerate x values");
+    return (n * sxy - sx * sy) / denom;
+}
+
+PowerFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size() || xs.size() < 2) {
+        throw std::invalid_argument("fit_power_law: need >= 2 paired points");
+    }
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] <= 0.0 || ys[i] <= 0.0) {
+            throw std::invalid_argument("fit_power_law: values must be positive");
+        }
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    const double a = fit_slope(lx, ly);
+    // Intercept and R^2 on the log-log scale.
+    const auto n = static_cast<double>(lx.size());
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+        mx += lx[i];
+        my += ly[i];
+    }
+    mx /= n;
+    my /= n;
+    const double b = my - a * mx;
+    double ss_res = 0, ss_tot = 0;
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+        const double pred = a * lx[i] + b;
+        ss_res += (ly[i] - pred) * (ly[i] - pred);
+        ss_tot += (ly[i] - my) * (ly[i] - my);
+    }
+    PowerFit fit;
+    fit.exponent = a;
+    fit.coefficient = std::exp(b);
+    fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+}  // namespace gsp

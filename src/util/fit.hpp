@@ -1,0 +1,27 @@
+// Least-squares fits used by the scaling experiments.
+//
+// The paper's size/lightness/runtime statements are asymptotic
+// (O(n^{1+1/k}), O(n log n), ...). The benches check the *shape* of a
+// measurement by fitting `y = c * x^a` on a log-log scale and comparing the
+// exponent `a` to the theory value.
+#pragma once
+
+#include <span>
+
+namespace gsp {
+
+struct PowerFit {
+    double exponent = 0.0;      ///< a in y = c * x^a
+    double coefficient = 0.0;   ///< c in y = c * x^a
+    double r_squared = 0.0;     ///< goodness of the log-log linear fit
+};
+
+/// Fit y = c * x^a by linear least squares in (log x, log y).
+/// Requires xs.size() == ys.size() >= 2 and all values strictly positive.
+[[nodiscard]] PowerFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Slope of the best-fit line through (xs, ys) by ordinary least squares.
+/// Requires at least two points.
+[[nodiscard]] double fit_slope(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace gsp

@@ -1,0 +1,73 @@
+// Seeded random-number utilities.
+//
+// Every randomized component in the library takes an explicit `Rng` (or a
+// 64-bit seed) so that all experiments are reproducible; there is no global
+// random state anywhere in the library.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gsp {
+
+/// A thin wrapper over std::mt19937_64 with the handful of draw helpers the
+/// library needs. Copyable (copies fork the stream state).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform index in [0, n). Requires n > 0.
+    std::size_t index(std::size_t n) {
+        if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+        return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+
+    /// Uniform real in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Standard uniform in [0, 1).
+    double uniform01() { return uniform(0.0, 1.0); }
+
+    /// Gaussian with the given mean and standard deviation.
+    double normal(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Bernoulli draw with success probability p.
+    bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> v) {
+        if (v.empty()) throw std::invalid_argument("Rng::pick: empty span");
+        return v[index(v.size())];
+    }
+
+    /// Derive an independent child stream (for splitting work deterministically).
+    Rng fork() { return Rng(engine_()); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace gsp

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("Table::add_row: cell count does not match header");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+    }
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << ',';
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int digits) {
+    if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+    if (std::isnan(value)) return "nan";
+    std::ostringstream ss;
+    ss.setf(std::ios::fixed);
+    ss.precision(digits);
+    ss << value;
+    std::string s = ss.str();
+    if (s.find('.') != std::string::npos) {
+        while (s.back() == '0') s.pop_back();
+        if (s.back() == '.') s.pop_back();
+    }
+    return s;
+}
+
+std::string fmt_ratio(double value, int digits) { return fmt(value, digits) + "x"; }
+
+}  // namespace gsp

@@ -1,0 +1,44 @@
+// Fixed-width table printing for the benchmark harnesses.
+//
+// Every experiment binary prints aligned, human-readable tables whose rows
+// mirror the series the paper reports; this module keeps that formatting in
+// one place.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gsp {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Also supports CSV emission for downstream plotting.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a row; it must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows (excluding the header).
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+    /// Render with aligned columns, a rule under the header, 2-space gutters.
+    void print(std::ostream& os) const;
+
+    /// Render as RFC-4180-ish CSV (no quoting needed for our numeric cells).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places, trimming noise.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Format a ratio as e.g. "12.3x".
+[[nodiscard]] std::string fmt_ratio(double value, int digits = 2);
+
+}  // namespace gsp

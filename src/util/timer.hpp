@@ -1,0 +1,28 @@
+// Wall-clock timing for benchmarks and runtime-scaling experiments.
+#pragma once
+
+#include <chrono>
+
+namespace gsp {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction / last reset.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction / last reset.
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace gsp

@@ -1,0 +1,59 @@
+// Compressed quadtree over Euclidean point sets (any fixed dimension).
+//
+// The substrate for the well-separated pair decomposition: each node is a
+// hypercube cell holding the points inside it; subdivision recurses until a
+// cell holds at most one point, skipping levels where all points fall into
+// a single child (path compression, which bounds the tree size by O(n)
+// regardless of the point spread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "metric/euclidean.hpp"
+
+namespace gsp {
+
+class QuadTree {
+public:
+    static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+    struct Node {
+        std::vector<double> center;      ///< cell center
+        double half_size = 0.0;          ///< half the cell side length
+        std::uint32_t parent = kNoNode;
+        std::vector<std::uint32_t> children;  ///< non-empty children only
+        std::vector<VertexId> points;    ///< points, only for leaves
+        VertexId representative = kNoVertex;  ///< some point in the subtree
+        std::size_t count = 0;           ///< points in the subtree
+    };
+
+    /// Build over all points of m. Requires at least one point.
+    explicit QuadTree(const EuclideanMetric& m);
+
+    [[nodiscard]] const Node& node(std::uint32_t id) const { return nodes_.at(id); }
+    [[nodiscard]] std::uint32_t root() const { return 0; }
+    [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+    [[nodiscard]] const EuclideanMetric& metric() const { return m_; }
+
+    /// Radius of the ball centered at the cell center that encloses the
+    /// whole cell (half the cell diagonal).
+    [[nodiscard]] double enclosing_radius(std::uint32_t id) const;
+
+    /// Distance between the cell centers of two nodes.
+    [[nodiscard]] double center_distance(std::uint32_t a, std::uint32_t b) const;
+
+    /// Verify structural invariants (children inside parents, counts add up,
+    /// every point in exactly one leaf). Quadratic-ish; for tests.
+    [[nodiscard]] bool check_invariants() const;
+
+private:
+    std::uint32_t build(std::vector<VertexId> pts, std::vector<double> center,
+                        double half_size, std::uint32_t parent);
+
+    const EuclideanMetric& m_;
+    std::vector<Node> nodes_;
+};
+
+}  // namespace gsp

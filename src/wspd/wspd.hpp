@@ -1,0 +1,35 @@
+// Well-separated pair decomposition (Callahan-Kosaraju) on the quadtree.
+//
+// A pair of quadtree cells (A, B) is s-well-separated when the cells can be
+// enclosed in balls of radius r with d(centers) - 2r >= s * r. The WSPD is
+// a set of such pairs covering every ordered pair of distinct points
+// exactly once; its size is n * s^O(d). Substrate for the WSPD spanner
+// baseline in the [FG05] comparison experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wspd/quadtree.hpp"
+
+namespace gsp {
+
+struct WspdPair {
+    std::uint32_t a = 0;  ///< quadtree node id
+    std::uint32_t b = 0;  ///< quadtree node id
+};
+
+/// Compute an s-WSPD of the quadtree's point set. Requires s > 0.
+std::vector<WspdPair> well_separated_pairs(const QuadTree& tree, double separation);
+
+/// Check the defining property on every returned pair: the two point sets
+/// are s-separated relative to the larger enclosing radius. For tests.
+[[nodiscard]] bool check_separation(const QuadTree& tree, const std::vector<WspdPair>& pairs,
+                                    double separation);
+
+/// Check the coverage property: every unordered pair of distinct points is
+/// covered by exactly one WSPD pair. O(n^2 + total pair content); for tests.
+[[nodiscard]] bool check_unique_coverage(const QuadTree& tree,
+                                         const std::vector<WspdPair>& pairs);
+
+}  // namespace gsp

@@ -1,0 +1,94 @@
+#include "analysis/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_metric.hpp"
+#include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(AuditTest, HandComputedGraphAudit) {
+    // G: triangle 0-1-2 (unit weights) + pendant 3.
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(0, 2, 1.0);
+    g.add_edge(2, 3, 2.0);
+    // H: drop the (0,2) edge.
+    Graph h(4);
+    h.add_edge(0, 1, 1.0);
+    h.add_edge(1, 2, 1.0);
+    h.add_edge(2, 3, 2.0);
+
+    const SpannerAudit a = audit_graph_spanner(g, h);
+    EXPECT_EQ(a.vertices, 4u);
+    EXPECT_EQ(a.edges, 3u);
+    EXPECT_DOUBLE_EQ(a.weight, 4.0);
+    // MST(G) = {(0,1), (1,2), (2,3)} with weight 4.
+    EXPECT_DOUBLE_EQ(a.lightness, 1.0);
+    EXPECT_EQ(a.max_degree, 2u);
+    EXPECT_DOUBLE_EQ(a.avg_degree, 1.5);
+    // The only stretched pair is edge (0,2): path 0-1-2 of weight 2 vs 1.
+    EXPECT_DOUBLE_EQ(a.max_stretch, 2.0);
+}
+
+TEST(AuditTest, StretchInfinityWhenSpannerDisconnects) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    Graph h(3);
+    h.add_edge(0, 1, 1.0);
+    EXPECT_EQ(max_stretch_over_edges(g, h), kInfiniteWeight);
+}
+
+TEST(AuditTest, VertexCountMismatchThrows) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    Graph h(2);
+    EXPECT_THROW(max_stretch_over_edges(g, h), std::invalid_argument);
+    const EuclideanMetric m(1, {0.0, 1.0, 2.0});
+    EXPECT_THROW(max_stretch_metric(m, h), std::invalid_argument);
+}
+
+TEST(AuditTest, MetricAuditOnUnitSquare) {
+    // Four corners of the unit square; H = the 4 sides.
+    const EuclideanMetric m(2, {0, 0, 1, 0, 1, 1, 0, 1});
+    Graph h(4);
+    h.add_edge(0, 1, 1.0);
+    h.add_edge(1, 2, 1.0);
+    h.add_edge(2, 3, 1.0);
+    h.add_edge(3, 0, 1.0);
+    const SpannerAudit a = audit_metric_spanner(m, h);
+    EXPECT_EQ(a.edges, 4u);
+    // MST of the square = 3 sides.
+    EXPECT_DOUBLE_EQ(a.lightness, 4.0 / 3.0);
+    // Worst pair: a diagonal (dist sqrt(2), path 2).
+    EXPECT_NEAR(a.max_stretch, 2.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(AuditTest, IdenticalSpannerHasUnitStretch) {
+    Rng rng(5);
+    Graph g(15);
+    for (VertexId v = 1; v < 15; ++v) {
+        g.add_edge(static_cast<VertexId>(rng.index(v)), v, rng.uniform(0.5, 2.0));
+    }
+    EXPECT_DOUBLE_EQ(max_stretch_over_edges(g, g), 1.0);
+}
+
+TEST(AuditTest, GreedySpannerAuditRespectsRequestedStretch) {
+    Rng rng(9);
+    std::vector<double> coords;
+    for (int i = 0; i < 60; ++i) coords.push_back(rng.uniform(0.0, 50.0));
+    const EuclideanMetric m(2, std::move(coords));
+    const Graph h = greedy_spanner_metric(m, 1.5);
+    const SpannerAudit a = audit_metric_spanner(m, h);
+    EXPECT_LE(a.max_stretch, 1.5 + 1e-9);
+    EXPECT_GE(a.max_stretch, 1.0);
+    EXPECT_GE(a.lightness, 1.0);  // can't be lighter than the MST
+}
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,108 @@
+#include "spanners/baswana_sen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/audit.hpp"
+#include "gen/graphs.hpp"
+#include "graph/traversal.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(BaswanaSenTest, KOneReturnsDeduplicatedInput) {
+    Graph g(3);
+    g.add_edge(0, 1, 2.0);
+    g.add_edge(0, 1, 1.0);  // parallel; only the lighter should survive
+    g.add_edge(1, 2, 3.0);
+    const Graph h = baswana_sen_spanner(g, 1, 42);
+    EXPECT_EQ(h.num_edges(), 2u);
+    EXPECT_DOUBLE_EQ(max_stretch_over_edges(g, h), 1.0);
+}
+
+TEST(BaswanaSenTest, RejectsKZero) {
+    Graph g(2);
+    g.add_edge(0, 1, 1.0);
+    EXPECT_THROW(baswana_sen_spanner(g, 0, 1), std::invalid_argument);
+}
+
+TEST(BaswanaSenTest, EmptyGraph) {
+    EXPECT_EQ(baswana_sen_spanner(Graph(5), 2, 1).num_edges(), 0u);
+}
+
+TEST(BaswanaSenTest, SpannerIsSubgraph) {
+    Rng rng(5);
+    const Graph g = erdos_renyi(60, 0.2, {}, rng);
+    const Graph h = baswana_sen_spanner(g, 2, 99);
+    for (const Edge& e : h.edges()) {
+        EXPECT_TRUE(g.has_edge(e.u, e.v));
+    }
+}
+
+TEST(BaswanaSenTest, PreservesConnectivity) {
+    Rng rng(9);
+    const Graph g = erdos_renyi(80, 0.15, {}, rng);
+    ASSERT_TRUE(is_connected(g));
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        EXPECT_TRUE(is_connected(baswana_sen_spanner(g, 3, seed))) << seed;
+    }
+}
+
+TEST(BaswanaSenTest, DisconnectedInputHandled) {
+    Rng rng(3);
+    Graph g(10);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.5);
+    g.add_edge(5, 6, 2.0);
+    const Graph h = baswana_sen_spanner(g, 2, 7);
+    EXPECT_EQ(connected_components(h), connected_components(g));
+}
+
+// The theorem: stretch <= 2k-1, always (not in expectation).
+class BaswanaSenStretchTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned, double>> {};
+
+TEST_P(BaswanaSenStretchTest, StretchAtMost2kMinus1) {
+    const auto [seed, k, p] = GetParam();
+    Rng rng(seed);
+    const Graph g = erdos_renyi(70, p, {.lo = 0.5, .hi = 5.0}, rng);
+    for (std::uint64_t algo_seed : {10u, 20u, 30u}) {
+        const Graph h = baswana_sen_spanner(g, k, algo_seed);
+        EXPECT_LE(max_stretch_over_edges(g, h), 2.0 * k - 1.0 + 1e-9)
+            << "seed=" << seed << " algo_seed=" << algo_seed << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BaswanaSenStretchTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(2u, 3u, 4u),
+                                            ::testing::Values(0.15, 0.5)));
+
+TEST(BaswanaSenTest, SizeScalesSubquadratically) {
+    // Expected size O(k n^{1+1/k}); on a dense graph the spanner must be
+    // much smaller than the input. Generous slack absorbs randomness.
+    Rng rng(13);
+    const std::size_t n = 150;
+    const Graph g = erdos_renyi(n, 0.5, {}, rng);  // ~5600 edges
+    double total = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        total += static_cast<double>(baswana_sen_spanner(g, 2, seed).num_edges());
+    }
+    const double avg = total / 5.0;
+    const double bound = 10.0 * 2.0 * std::pow(static_cast<double>(n), 1.5);
+    EXPECT_LT(avg, bound);
+    EXPECT_LT(avg, static_cast<double>(g.num_edges()));
+}
+
+TEST(BaswanaSenTest, DeterministicGivenSeed) {
+    Rng rng(17);
+    const Graph g = erdos_renyi(40, 0.3, {}, rng);
+    const Graph a = baswana_sen_spanner(g, 3, 12345);
+    const Graph b = baswana_sen_spanner(g, 3, 12345);
+    EXPECT_TRUE(same_edge_set(a, b));
+}
+
+}  // namespace
+}  // namespace gsp

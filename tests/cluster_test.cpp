@@ -1,0 +1,82 @@
+#include "cluster/cluster_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+Graph spanner_fixture(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    const EuclideanMetric pts = uniform_points(n, 2, 100.0, rng);
+    return greedy_spanner_metric(pts, 1.5);
+}
+
+TEST(ClusterGraphTest, InvariantsHold) {
+    const Graph h = spanner_fixture(120, 3);
+    for (double radius : {1.0, 5.0, 25.0}) {
+        const ClusterGraph cg(h, radius);
+        EXPECT_TRUE(cg.check_invariants(h)) << "radius=" << radius;
+        EXPECT_GE(cg.num_clusters(), 1u);
+        EXPECT_LE(cg.num_clusters(), h.num_vertices());
+    }
+}
+
+TEST(ClusterGraphTest, RadiusMonotonicity) {
+    const Graph h = spanner_fixture(150, 7);
+    const ClusterGraph fine(h, 1.0);
+    const ClusterGraph coarse(h, 50.0);
+    EXPECT_GE(fine.num_clusters(), coarse.num_clusters());
+}
+
+TEST(ClusterGraphTest, UpperBoundDominatesTrueDistance) {
+    const Graph h = spanner_fixture(100, 11);
+    const ClusterGraph cg(h, 8.0);
+    DijkstraWorkspace ws(h.num_vertices());
+    Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto u = static_cast<VertexId>(rng.index(h.num_vertices()));
+        const auto v = static_cast<VertexId>(rng.index(h.num_vertices()));
+        if (u == v) continue;
+        const Weight bound = cg.upper_bound_distance(u, v, kInfiniteWeight);
+        const Weight truth = ws.distance(h, u, v, kInfiniteWeight);
+        if (bound != kInfiniteWeight) {
+            EXPECT_GE(bound, truth - 1e-9) << "u=" << u << " v=" << v;
+        }
+    }
+}
+
+TEST(ClusterGraphTest, LimitIsHonored) {
+    const Graph h = spanner_fixture(100, 17);
+    const ClusterGraph cg(h, 5.0);
+    // With a tiny limit, answers are either within-cluster or infinite.
+    const Weight bound = cg.upper_bound_distance(0, 1, 1e-6);
+    if (bound != kInfiniteWeight && cg.cluster_of(0) != cg.cluster_of(1)) {
+        FAIL() << "cross-cluster answer below an impossible limit";
+    }
+}
+
+TEST(ClusterGraphTest, SameClusterShortcut) {
+    const Graph h = spanner_fixture(80, 19);
+    const ClusterGraph cg(h, 1e9);  // one giant cluster
+    EXPECT_EQ(cg.num_clusters(), 1u);
+    DijkstraWorkspace ws(h.num_vertices());
+    for (VertexId v = 1; v < 10; ++v) {
+        const Weight bound = cg.upper_bound_distance(0, v, kInfiniteWeight);
+        const Weight truth = ws.distance(h, 0, v, kInfiniteWeight);
+        EXPECT_GE(bound, truth - 1e-9);
+    }
+}
+
+TEST(ClusterGraphTest, RejectsNonPositiveRadius) {
+    const Graph h = spanner_fixture(20, 23);
+    EXPECT_THROW(ClusterGraph(h, 0.0), std::invalid_argument);
+    EXPECT_THROW(ClusterGraph(h, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,129 @@
+// Theta- and Yao-graph tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/audit.hpp"
+#include "gen/points.hpp"
+#include "graph/traversal.hpp"
+#include "spanners/theta_graph.hpp"
+#include "spanners/yao_graph.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(ThetaGraphTest, StretchBoundFormula) {
+    // k = 8: theta = pi/4, cos - sin = 0 -> unbounded; k = 12 is finite.
+    EXPECT_EQ(theta_graph_stretch_bound(8), kInfiniteWeight);
+    EXPECT_GT(theta_graph_stretch_bound(12), 1.0);
+    EXPECT_LT(theta_graph_stretch_bound(12), kInfiniteWeight);
+    // More cones -> tighter bound.
+    EXPECT_LT(theta_graph_stretch_bound(24), theta_graph_stretch_bound(12));
+    EXPECT_LT(theta_graph_stretch_bound(48), theta_graph_stretch_bound(24));
+}
+
+TEST(YaoGraphTest, StretchBoundFormula) {
+    EXPECT_EQ(yao_graph_stretch_bound(6), kInfiniteWeight);  // theta = pi/3
+    EXPECT_LT(yao_graph_stretch_bound(12), kInfiniteWeight);
+    EXPECT_LT(yao_graph_stretch_bound(24), yao_graph_stretch_bound(12));
+}
+
+TEST(ConeSpannerTest, InputValidation) {
+    Rng rng(1);
+    const EuclideanMetric pts3d = uniform_points(10, 3, 1.0, rng);
+    EXPECT_THROW(theta_graph(pts3d, 8), std::invalid_argument);
+    EXPECT_THROW(yao_graph(pts3d, 8), std::invalid_argument);
+    const EuclideanMetric pts2d = uniform_points(10, 2, 1.0, rng);
+    EXPECT_THROW(theta_graph(pts2d, 3), std::invalid_argument);
+    EXPECT_THROW(yao_graph(pts2d, 2), std::invalid_argument);
+}
+
+TEST(ConeSpannerTest, SquareExample) {
+    // Unit square corners: every cone construction must connect adjacent
+    // corners; the graphs stay connected and small.
+    const EuclideanMetric sq(2, {0, 0, 1, 0, 1, 1, 0, 1});
+    const Graph th = theta_graph(sq, 8);
+    const Graph ya = yao_graph(sq, 8);
+    EXPECT_TRUE(is_connected(th));
+    EXPECT_TRUE(is_connected(ya));
+    EXPECT_LE(th.num_edges(), 6u);
+    EXPECT_LE(ya.num_edges(), 6u);
+}
+
+TEST(ConeSpannerTest, EdgeBudgetIsAtMostKnPerDirection) {
+    Rng rng(5);
+    const EuclideanMetric pts = uniform_points(300, 2, 10.0, rng);
+    for (std::size_t k : {8u, 12u, 16u}) {
+        EXPECT_LE(theta_graph(pts, k).num_edges(), k * pts.size());
+        EXPECT_LE(yao_graph(pts, k).num_edges(), k * pts.size());
+    }
+}
+
+class ConeStretchTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, std::size_t>> {};
+
+TEST_P(ConeStretchTest, MeasuredStretchWithinGuarantee) {
+    const auto [seed, n, k] = GetParam();
+    Rng rng(seed);
+    const EuclideanMetric pts = uniform_points(n, 2, 100.0, rng);
+    const Graph th = theta_graph(pts, k);
+    const Graph ya = yao_graph(pts, k);
+    EXPECT_TRUE(is_connected(th));
+    EXPECT_TRUE(is_connected(ya));
+    EXPECT_LE(max_stretch_metric(pts, th), theta_graph_stretch_bound(k) + 1e-9);
+    EXPECT_LE(max_stretch_metric(pts, ya), yao_graph_stretch_bound(k) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(UniformPoints, ConeStretchTest,
+                         ::testing::Combine(::testing::Values(2u, 9u, 77u),
+                                            ::testing::Values(50u, 150u),
+                                            ::testing::Values(12u, 16u, 24u)));
+
+class SweepEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(SweepEquivalenceTest, SweepMatchesNaiveExactly) {
+    const auto [seed, n, k] = GetParam();
+    Rng rng(seed);
+    const EuclideanMetric pts = uniform_points(n, 2, 100.0, rng);
+    const Graph naive = theta_graph(pts, k);
+    const Graph sweep = theta_graph_sweep(pts, k);
+    EXPECT_TRUE(same_edge_set(naive, sweep))
+        << "naive m=" << naive.num_edges() << " sweep m=" << sweep.num_edges();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, SweepEquivalenceTest,
+                         ::testing::Combine(::testing::Values(1u, 17u, 133u),
+                                            ::testing::Values(30u, 120u, 400u),
+                                            ::testing::Values(8u, 12u, 16u)));
+
+TEST(ConeSpannerTest, SweepStretchOnLargeInstance) {
+    Rng rng(7);
+    const EuclideanMetric pts = uniform_points(3000, 2, 500.0, rng);
+    const Graph sweep = theta_graph_sweep(pts, 16);
+    EXPECT_TRUE(is_connected(sweep));
+    EXPECT_LE(max_stretch_metric_sampled(pts, sweep, 32, 5),
+              theta_graph_stretch_bound(16) + 1e-9);
+}
+
+TEST(ConeSpannerTest, CirclePointsAreHandled) {
+    // Co-circular points exercise the cone-boundary cases.
+    const EuclideanMetric circ = circle_points(64, 10.0);
+    const Graph th = theta_graph(circ, 12);
+    EXPECT_TRUE(is_connected(th));
+    EXPECT_LE(max_stretch_metric(circ, th), theta_graph_stretch_bound(12) + 1e-9);
+}
+
+TEST(ConeSpannerTest, YaoPicksNearestInCone) {
+    // Three collinear points: Yao from the left point must go to the middle
+    // one, not the far one (same cone, nearer).
+    const EuclideanMetric line(2, {0, 0, 1, 0, 5, 0});
+    const Graph ya = yao_graph(line, 8);
+    EXPECT_TRUE(ya.has_edge(0, 1));
+    EXPECT_FALSE(ya.has_edge(0, 2));
+}
+
+}  // namespace
+}  // namespace gsp

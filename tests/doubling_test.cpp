@@ -1,0 +1,82 @@
+#include "metric/doubling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metric/euclidean.hpp"
+#include "metric/matrix_metric.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(DoublingTest, LineMetricHasSmallConstant) {
+    // Evenly spaced points on a line: doubling dimension 1 (constant ~2-4
+    // for restricted-center covers).
+    std::vector<double> coords;
+    for (int i = 0; i < 64; ++i) coords.push_back(static_cast<double>(i));
+    const EuclideanMetric line(1, std::move(coords));
+    const DoublingEstimate est = estimate_doubling(line);
+    EXPECT_LE(est.ddim_upper(), 3.0);
+    EXPECT_GE(est.ddim_lower(), 0.9);
+}
+
+TEST(DoublingTest, UniformMetricHasLargeConstant) {
+    // The uniform metric on n points needs n balls of half radius: its
+    // doubling constant is n, ddim = log2(n).
+    const std::size_t n = 32;
+    std::vector<std::vector<Weight>> d(n, std::vector<Weight>(n, 1.0));
+    for (std::size_t i = 0; i < n; ++i) d[i][i] = 0.0;
+    const MatrixMetric uniform(std::move(d));
+    const DoublingEstimate est = estimate_doubling(uniform);
+    EXPECT_EQ(est.cover_upper, n);
+    EXPECT_EQ(est.pack_lower, n);
+    EXPECT_NEAR(est.ddim_upper(), std::log2(static_cast<double>(n)), 1e-9);
+}
+
+TEST(DoublingTest, PlaneBeatsUniformOrderings) {
+    Rng rng(17);
+    std::vector<double> coords;
+    for (int i = 0; i < 200; ++i) coords.push_back(rng.uniform(0.0, 1.0));
+    const EuclideanMetric plane(2, std::move(coords));
+    const DoublingEstimate est = estimate_doubling(plane);
+    // 2D point sets: doubling dimension O(1); the greedy-cover estimate must
+    // stay far below log2(n) ~ 6.6.
+    EXPECT_LE(est.ddim_upper(), 5.0);
+    EXPECT_GE(est.ddim_lower(), 1.0);
+    EXPECT_GE(est.cover_upper, est.pack_lower);  // cover bound dominates packing bound
+}
+
+TEST(DoublingTest, SingletonAndPairAreTrivial) {
+    const EuclideanMetric one(1, {0.0});
+    EXPECT_EQ(estimate_doubling(one).cover_upper, 1u);
+    const EuclideanMetric two(1, {0.0, 1.0});
+    const DoublingEstimate est = estimate_doubling(two);
+    EXPECT_LE(est.ddim_upper(), 1.0);
+}
+
+TEST(DoublingTest, PackingLemmaExponentIsModest) {
+    // Lemma 1: |S| <= (2R/r)^{O(ddim)}. For a 2D point set with
+    // ddim estimate ~2, the observed exponent factor should be O(1).
+    Rng rng(23);
+    std::vector<double> coords;
+    for (int i = 0; i < 150; ++i) coords.push_back(rng.uniform(0.0, 1.0));
+    const EuclideanMetric plane(2, std::move(coords));
+    const double c = packing_exponent(plane, /*ddim=*/2.0, /*samples=*/128, /*seed=*/3);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LE(c, 3.0);
+}
+
+TEST(DoublingTest, ExponentialSpacingStillDoubling) {
+    // Geometrically spaced points on a line (aspect ratio 2^20) remain
+    // doubling dimension ~1: scale-invariance of the estimate.
+    std::vector<double> coords;
+    for (int i = 0; i < 21; ++i) coords.push_back(std::pow(2.0, i));
+    const EuclideanMetric line(1, std::move(coords));
+    const DoublingEstimate est = estimate_doubling(line, /*radii_per_center=*/16);
+    EXPECT_LE(est.ddim_upper(), 3.0);
+}
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,120 @@
+#include "exact/optimal_spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/audit.hpp"
+#include "core/greedy.hpp"
+#include "gen/graphs.hpp"
+#include "gen/named_graphs.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(OptimalSpannerTest, TriangleMinEdges) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(0, 2, 1.0);
+    // t = 2: dropping one edge leaves a 2-path of weight 2 <= 2 -> optimal
+    // 2-spanner has 2 edges.
+    const auto r = optimal_spanner(g, 2.0);
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.spanner.num_edges(), 2u);
+    // t = 1.5: every edge is forced.
+    const auto r2 = optimal_spanner(g, 1.5);
+    EXPECT_TRUE(r2.proven_optimal);
+    EXPECT_EQ(r2.spanner.num_edges(), 3u);
+}
+
+TEST(OptimalSpannerTest, HighGirthForcesEverything) {
+    // 5-cycle, t = 3: removing any edge leaves a 4-path (weight 4 > 3).
+    const Graph c5 = cycle_graph(5);
+    const auto r = optimal_spanner(c5, 3.0);
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.spanner.num_edges(), 5u);
+    // t = 4 allows dropping exactly one edge.
+    const auto r2 = optimal_spanner(c5, 4.0);
+    EXPECT_TRUE(r2.proven_optimal);
+    EXPECT_EQ(r2.spanner.num_edges(), 4u);
+}
+
+TEST(OptimalSpannerTest, ResultIsAlwaysAValidSpanner) {
+    Rng rng(3);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Graph g = random_graph_nm(8, 6, {.lo = 0.5, .hi = 3.0}, rng, true);
+        for (double t : {1.5, 2.5}) {
+            const auto r = optimal_spanner(g, t);
+            EXPECT_TRUE(r.proven_optimal);
+            EXPECT_LE(max_stretch_over_edges(g, r.spanner), t + 1e-9);
+        }
+    }
+}
+
+TEST(OptimalSpannerTest, MatchesBruteForceOnTinyInstances) {
+    Rng rng(7);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Graph g = random_graph_nm(6, 5, {.lo = 0.5, .hi = 2.0}, rng, true);
+        ASSERT_LE(g.num_edges(), 20u);
+        for (const auto objective : {SpannerObjective::kMinEdges, SpannerObjective::kMinWeight}) {
+            const auto bb = optimal_spanner(g, 2.0, objective);
+            const auto bf = optimal_spanner_bruteforce(g, 2.0, objective);
+            ASSERT_TRUE(bb.proven_optimal);
+            if (objective == SpannerObjective::kMinEdges) {
+                EXPECT_EQ(bb.spanner.num_edges(), bf.spanner.num_edges()) << trial;
+            } else {
+                EXPECT_NEAR(bb.spanner.total_weight(), bf.spanner.total_weight(), 1e-9)
+                    << trial;
+            }
+        }
+    }
+}
+
+TEST(OptimalSpannerTest, OptimumNeverExceedsGreedy) {
+    Rng rng(11);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Graph g = random_graph_nm(8, 8, {.lo = 0.5, .hi = 4.0}, rng, true);
+        const double t = 2.0;
+        const Graph greedy = greedy_spanner(g, t);
+        const auto opt_e = optimal_spanner(g, t, SpannerObjective::kMinEdges);
+        const auto opt_w = optimal_spanner(g, t, SpannerObjective::kMinWeight);
+        ASSERT_TRUE(opt_e.proven_optimal);
+        ASSERT_TRUE(opt_w.proven_optimal);
+        EXPECT_LE(opt_e.spanner.num_edges(), greedy.num_edges());
+        EXPECT_LE(opt_w.spanner.total_weight(), greedy.total_weight() + 1e-9);
+    }
+}
+
+TEST(OptimalSpannerTest, NodeLimitDegradesGracefully) {
+    Rng rng(13);
+    const Graph g = random_graph_nm(10, 20, {.lo = 0.5, .hi = 2.0}, rng, true);
+    const auto r = optimal_spanner(g, 2.0, SpannerObjective::kMinEdges, /*node_limit=*/5);
+    EXPECT_FALSE(r.proven_optimal);
+    // Incumbent (possibly just G) must still be a valid spanner.
+    EXPECT_LE(max_stretch_over_edges(g, r.spanner), 2.0 + 1e-9);
+}
+
+TEST(OptimalSpannerTest, StretchValidation) {
+    Graph g(2);
+    g.add_edge(0, 1, 1.0);
+    EXPECT_THROW(optimal_spanner(g, 0.5), std::invalid_argument);
+    Graph big(30);
+    for (VertexId i = 0; i + 1 < 30; ++i) big.add_edge(i, i + 1, 1.0);
+    EXPECT_THROW(optimal_spanner_bruteforce(big, 2.0), std::invalid_argument);
+}
+
+TEST(OptimalSpannerTest, MinWeightPrefersLightReplacements) {
+    // Heavy chord with a light 2-path: min-weight drops the chord.
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(0, 2, 1.9);
+    const auto r = optimal_spanner(g, 1.1, SpannerObjective::kMinWeight);
+    // delta_G(0,2) = 1.9; path 0-1-2 weighs 2.0 <= 1.1 * 1.9 = 2.09 -> droppable.
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.spanner.num_edges(), 2u);
+    EXPECT_NEAR(r.spanner.total_weight(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,175 @@
+// Generator sanity: the experiments are only as good as their instances.
+#include <gtest/gtest.h>
+
+#include "core/greedy_metric.hpp"
+#include "gen/graphs.hpp"
+#include "gen/hard_instances.hpp"
+#include "gen/incidence.hpp"
+#include "gen/named_graphs.hpp"
+#include "gen/points.hpp"
+#include "graph/girth.hpp"
+#include "graph/traversal.hpp"
+#include "metric/doubling.hpp"
+#include "metric/metric_space.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(NamedGraphsTest, PetersenShape) {
+    const Graph p = petersen_graph();
+    EXPECT_EQ(p.num_vertices(), 10u);
+    EXPECT_EQ(p.num_edges(), 15u);
+    EXPECT_EQ(p.max_degree(), 3u);
+    EXPECT_EQ(unweighted_girth(p), 5u);
+    EXPECT_TRUE(is_connected(p));
+}
+
+TEST(NamedGraphsTest, GeneralizedPetersenGirths) {
+    // GP(n, 2) for n >= 7 has girth 8? No: known girths -- GP(5,2)=5,
+    // GP(7,2)=7... we only rely on girth >= 5 for n >= 5, checked here.
+    for (std::size_t n : {5u, 7u, 9u, 11u}) {
+        const Graph g = generalized_petersen(n, 2);
+        EXPECT_EQ(g.num_vertices(), 2 * n);
+        EXPECT_EQ(g.num_edges(), 3 * n);
+        EXPECT_GE(unweighted_girth(g), 5u) << "n=" << n;
+    }
+    EXPECT_THROW(generalized_petersen(4, 2), std::invalid_argument);
+    EXPECT_THROW(generalized_petersen(5, 0), std::invalid_argument);
+}
+
+TEST(IncidenceTest, ProjectivePlaneProperties) {
+    for (std::size_t q : {2u, 3u, 5u}) {
+        const Graph g = projective_plane_incidence(q);
+        const std::size_t count = q * q + q + 1;
+        EXPECT_EQ(g.num_vertices(), 2 * count);
+        EXPECT_EQ(g.num_edges(), (q + 1) * count);
+        // (q+1)-regular.
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            EXPECT_EQ(g.degree(v), q + 1) << "q=" << q << " v=" << v;
+        }
+        EXPECT_EQ(unweighted_girth(g), 6u) << "q=" << q;
+        EXPECT_TRUE(is_connected(g));
+    }
+}
+
+TEST(IncidenceTest, PrimeValidation) {
+    EXPECT_TRUE(is_supported_prime(7));
+    EXPECT_FALSE(is_supported_prime(4));
+    EXPECT_FALSE(is_supported_prime(1));
+    EXPECT_FALSE(is_supported_prime(103));
+    EXPECT_THROW(projective_plane_incidence(4), std::invalid_argument);
+}
+
+TEST(Figure1Test, InstanceShape) {
+    const Graph h = petersen_graph();
+    const Figure1Instance inst = figure1_instance(h, 0.1);
+    // 15 H edges + star edges to the 6 non-neighbors of vertex 0.
+    EXPECT_EQ(inst.h_edges, 15u);
+    EXPECT_EQ(inst.graph.num_edges(), 15u + 6u);
+    EXPECT_EQ(inst.star_weight, 1.1);
+    // The star center's degree: 3 H-neighbors + 6 new edges = 9 = n-1.
+    EXPECT_EQ(inst.graph.degree(inst.star_center), 9u);
+}
+
+TEST(Figure1Test, Validation) {
+    const Graph h = petersen_graph();
+    EXPECT_THROW(figure1_instance(h, 0.0), std::invalid_argument);
+    EXPECT_THROW(figure1_instance(h, 0.1, 99), std::invalid_argument);
+    Graph weighted(2);
+    weighted.add_edge(0, 1, 2.0);
+    EXPECT_THROW(figure1_instance(weighted, 0.1), std::invalid_argument);
+}
+
+TEST(GeometricStarTest, IsAValidDoublingMetric) {
+    const MatrixMetric star = geometric_star_metric(48, 2.0);
+    EXPECT_TRUE(check_metric(star).ok());
+    // Doubling estimate stays tiny even as n grows: the construction's
+    // whole point is constant ddim with unbounded greedy degree.
+    const DoublingEstimate est = estimate_doubling(star);
+    EXPECT_LE(est.ddim_upper(), 3.0);
+}
+
+TEST(GeometricStarTest, GreedyDegreeIsNMinusOne) {
+    for (std::size_t n : {16u, 32u, 64u}) {
+        const MatrixMetric star = geometric_star_metric(n, 2.0);
+        const Graph h = greedy_spanner_metric(star, 1.5);
+        EXPECT_EQ(h.num_edges(), n - 1);
+        EXPECT_EQ(h.max_degree(), n - 1) << "n=" << n;
+        EXPECT_EQ(h.degree(0), n - 1);
+    }
+}
+
+TEST(GeometricStarTest, Validation) {
+    EXPECT_THROW(geometric_star_metric(1), std::invalid_argument);
+    EXPECT_THROW(geometric_star_metric(10, 1.0), std::invalid_argument);
+    EXPECT_THROW(geometric_star_metric(2000, 2.0), std::invalid_argument);  // overflow
+}
+
+TEST(PointGenTest, SizesAndRanges) {
+    Rng rng(3);
+    const EuclideanMetric u = uniform_points(50, 3, 10.0, rng);
+    EXPECT_EQ(u.size(), 50u);
+    EXPECT_EQ(u.dim(), 3u);
+    for (VertexId p = 0; p < u.size(); ++p) {
+        for (double c : u.point(p)) {
+            EXPECT_GE(c, 0.0);
+            EXPECT_LE(c, 10.0);
+        }
+    }
+    const EuclideanMetric cl = clustered_points(64, 2, 4, 100.0, 1.0, rng);
+    EXPECT_EQ(cl.size(), 64u);
+    const EuclideanMetric ci = circle_points(12, 5.0);
+    EXPECT_NEAR(ci.distance(0, 6), 10.0, 1e-9);  // diameter of the circle
+    const EuclideanMetric gr = grid_points(4, 5);
+    EXPECT_EQ(gr.size(), 20u);
+    EXPECT_DOUBLE_EQ(gr.distance(0, 1), 1.0);
+    EXPECT_THROW(clustered_points(10, 2, 0, 1.0, 1.0, rng), std::invalid_argument);
+    EXPECT_THROW(exponential_spiral(10, 1.0), std::invalid_argument);
+}
+
+TEST(GraphGenTest, ErdosRenyiConnectivityOption) {
+    Rng rng(5);
+    const Graph connected = erdos_renyi(40, 0.01, {}, rng, true);
+    EXPECT_TRUE(is_connected(connected));
+    // Without the tree, p = 0 gives an empty graph.
+    const Graph empty = erdos_renyi(40, 0.0, {}, rng, false);
+    EXPECT_EQ(empty.num_edges(), 0u);
+}
+
+TEST(GraphGenTest, RandomGraphNmEdgeCount) {
+    Rng rng(7);
+    const Graph g = random_graph_nm(30, 50, {}, rng, true);
+    EXPECT_EQ(g.num_edges(), 29u + 50u);
+    EXPECT_TRUE(is_connected(g));
+    // Request beyond capacity clamps.
+    const Graph full = random_graph_nm(5, 100, {}, rng, true);
+    EXPECT_EQ(full.num_edges(), 10u);
+}
+
+TEST(GraphGenTest, PreferentialAttachmentShape) {
+    Rng rng(9);
+    const Graph g = preferential_attachment(100, 2, {}, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(g.num_edges(), 2u * 100u);
+}
+
+TEST(GraphGenTest, GridAndHypercube) {
+    Rng rng(11);
+    const Graph grid = grid_graph(4, 6, {.lo = 1.0, .hi = 1.0}, rng);
+    EXPECT_EQ(grid.num_vertices(), 24u);
+    EXPECT_EQ(grid.num_edges(), 4u * 5u + 3u * 6u);
+    const Graph cube = hypercube_graph(4, {.lo = 1.0, .hi = 1.0}, rng);
+    EXPECT_EQ(cube.num_vertices(), 16u);
+    EXPECT_EQ(cube.num_edges(), 32u);
+    EXPECT_EQ(unweighted_girth(cube), 4u);
+}
+
+TEST(GraphGenTest, RandomGeometricConnected) {
+    Rng rng(13);
+    const Graph g = random_geometric(60, 0.08, rng, true);
+    EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace gsp

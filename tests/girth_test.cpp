@@ -1,0 +1,128 @@
+#include "graph/girth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+Graph cycle_graph(std::size_t n, Weight w = 1.0) {
+    Graph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+        g.add_edge(i, static_cast<VertexId>((i + 1) % n), w);
+    }
+    return g;
+}
+
+/// The Petersen graph, built inline (the generator module has its own copy;
+/// this test must not depend on it).
+Graph petersen() {
+    Graph g(10);
+    for (VertexId i = 0; i < 5; ++i) {
+        g.add_edge(i, (i + 1) % 5, 1.0);               // outer C5
+        g.add_edge(5 + i, 5 + (i + 2) % 5, 1.0);       // inner pentagram
+        g.add_edge(i, 5 + i, 1.0);                     // spokes
+    }
+    return g;
+}
+
+TEST(GirthTest, TreeIsAcyclic) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(1, 3, 1.0);
+    EXPECT_EQ(unweighted_girth(g), std::numeric_limits<std::uint32_t>::max());
+    EXPECT_EQ(weighted_girth(g), kInfiniteWeight);
+}
+
+TEST(GirthTest, CycleGirthEqualsLength) {
+    for (std::size_t n : {3u, 4u, 5u, 9u}) {
+        EXPECT_EQ(unweighted_girth(cycle_graph(n)), n) << "n=" << n;
+        EXPECT_DOUBLE_EQ(weighted_girth(cycle_graph(n, 2.0)), 2.0 * static_cast<double>(n));
+    }
+}
+
+TEST(GirthTest, PetersenHasGirthFive) {
+    const Graph p = petersen();
+    ASSERT_TRUE(is_connected(p));
+    EXPECT_EQ(p.num_edges(), 15u);
+    EXPECT_EQ(unweighted_girth(p), 5u);
+    EXPECT_DOUBLE_EQ(weighted_girth(p), 5.0);
+}
+
+TEST(GirthTest, ParallelEdgesFormTwoCycle) {
+    Graph g(2);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(0, 1, 3.0);
+    EXPECT_EQ(unweighted_girth(g), 2u);
+    EXPECT_DOUBLE_EQ(weighted_girth(g), 4.0);
+}
+
+TEST(GirthTest, TriangleWithHeavyChordlessCycle) {
+    // Weighted girth need not live on the unweighted girth cycle.
+    Graph g(5);
+    // Triangle of heavy edges: total weight 30.
+    g.add_edge(0, 1, 10.0);
+    g.add_edge(1, 2, 10.0);
+    g.add_edge(2, 0, 10.0);
+    // 4-cycle of light edges: total weight 4.
+    g.add_edge(1, 3, 1.0);
+    g.add_edge(3, 4, 1.0);
+    g.add_edge(4, 2, 1.0);
+    g.add_edge(2, 1, 1.0);  // parallel to the heavy (1,2) edge
+    EXPECT_EQ(unweighted_girth(g), 2u);  // parallel pair
+    EXPECT_DOUBLE_EQ(weighted_girth(g), 4.0);
+}
+
+TEST(GirthTest, CompleteGraphGirthThree) {
+    Graph g(5);
+    for (VertexId i = 0; i < 5; ++i) {
+        for (VertexId j = i + 1; j < 5; ++j) g.add_edge(i, j, 1.0);
+    }
+    EXPECT_EQ(unweighted_girth(g), 3u);
+}
+
+TEST(GirthTest, RandomGraphsWeightedGirthMatchesBruteForce) {
+    // Brute force: enumerate all simple cycles up to length n via DFS.
+    // Small n keeps this tractable; it validates the edge-removal method.
+    Rng rng(21);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 7;
+        Graph g(n);
+        for (VertexId i = 0; i < n; ++i) {
+            for (VertexId j = i + 1; j < n; ++j) {
+                if (rng.chance(0.4)) g.add_edge(i, j, rng.uniform(0.5, 4.0));
+            }
+        }
+        // Brute force minimal cycle weight via DFS from each start vertex.
+        Weight best = kInfiniteWeight;
+        std::vector<bool> visited(n, false);
+        auto dfs = [&](auto&& self, VertexId start, VertexId cur, EdgeId in_edge,
+                       Weight acc) -> void {
+            for (const HalfEdge& h : g.neighbors(cur)) {
+                if (h.edge == in_edge) continue;
+                if (h.to == start) {
+                    best = std::min(best, acc + h.weight);
+                } else if (!visited[h.to] && h.to > start) {  // canonical start
+                    visited[h.to] = true;
+                    self(self, start, h.to, h.edge, acc + h.weight);
+                    visited[h.to] = false;
+                }
+            }
+        };
+        for (VertexId s = 0; s < n; ++s) {
+            visited[s] = true;
+            dfs(dfs, s, s, kNoEdge, 0.0);
+            visited[s] = false;
+        }
+        EXPECT_DOUBLE_EQ(weighted_girth(g), best) << "trial=" << trial;
+    }
+}
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,91 @@
+#include "io/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/graphs.hpp"
+#include "gen/points.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+    Rng rng(3);
+    const Graph g = erdos_renyi(40, 0.2, {.lo = 0.1, .hi = 9.0}, rng);
+    std::stringstream ss;
+    write_graph(ss, g);
+    const Graph back = read_graph(ss);
+    EXPECT_TRUE(same_edge_set(g, back));
+}
+
+TEST(GraphIoTest, RoundTripFullPrecisionWeights) {
+    Graph g(2);
+    g.add_edge(0, 1, 0.1 + 0.2);  // a value that truncates badly at low precision
+    std::stringstream ss;
+    write_graph(ss, g);
+    const Graph back = read_graph(ss);
+    EXPECT_EQ(back.edge(0).weight, g.edge(0).weight);  // bitwise round-trip
+}
+
+TEST(GraphIoTest, MalformedInputsThrow) {
+    {
+        std::stringstream ss("");
+        EXPECT_THROW((void)read_graph(ss), std::invalid_argument);
+    }
+    {
+        std::stringstream ss("3 2\n0 1 1.0\n");  // promises 2 edges, has 1
+        EXPECT_THROW((void)read_graph(ss), std::invalid_argument);
+    }
+    {
+        std::stringstream ss("2 1\n0 5 1.0\n");  // endpoint out of range
+        EXPECT_THROW((void)read_graph(ss), std::out_of_range);
+    }
+    {
+        std::stringstream ss("2 1\n0 1 -1.0\n");  // bad weight
+        EXPECT_THROW((void)read_graph(ss), std::invalid_argument);
+    }
+}
+
+TEST(PointIoTest, RoundTrip) {
+    Rng rng(7);
+    const EuclideanMetric pts = uniform_points(30, 3, 100.0, rng);
+    std::stringstream ss;
+    write_points(ss, pts);
+    const EuclideanMetric back = read_points(ss);
+    ASSERT_EQ(back.size(), pts.size());
+    ASSERT_EQ(back.dim(), pts.dim());
+    for (VertexId i = 0; i < pts.size(); ++i) {
+        for (std::size_t k = 0; k < pts.dim(); ++k) {
+            EXPECT_EQ(back.point(i)[k], pts.point(i)[k]);
+        }
+    }
+}
+
+TEST(PointIoTest, MalformedInputsThrow) {
+    {
+        std::stringstream ss("5 0\n");
+        EXPECT_THROW((void)read_points(ss), std::invalid_argument);
+    }
+    {
+        std::stringstream ss("2 2\n1.0 2.0\n");  // truncated
+        EXPECT_THROW((void)read_points(ss), std::invalid_argument);
+    }
+}
+
+TEST(DotTest, EmitsAllEdges) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.5);
+    g.add_edge(1, 2, 2.5);
+    std::stringstream ss;
+    write_dot(ss, g, "demo");
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("graph demo {"), std::string::npos);
+    EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+    EXPECT_NE(out.find("1 -- 2"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsp

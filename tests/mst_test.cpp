@@ -1,0 +1,147 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/graph.hpp"
+#include "graph/union_find.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+Graph random_connected_graph(std::size_t n, double extra_p, Rng& rng) {
+    Graph g(n);
+    // Random spanning tree first (guarantees connectivity), then extras.
+    for (VertexId v = 1; v < n; ++v) {
+        const auto parent = static_cast<VertexId>(rng.index(v));
+        g.add_edge(parent, v, rng.uniform(0.1, 10.0));
+    }
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            if (!g.has_edge(i, j) && rng.chance(extra_p)) {
+                g.add_edge(i, j, rng.uniform(0.1, 10.0));
+            }
+        }
+    }
+    return g;
+}
+
+TEST(UnionFindTest, Basics) {
+    UnionFind uf(5);
+    EXPECT_EQ(uf.components(), 5u);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_FALSE(uf.connected(0, 2));
+    EXPECT_EQ(uf.components(), 4u);
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_TRUE(uf.unite(0, 3));
+    EXPECT_TRUE(uf.connected(1, 2));
+    EXPECT_EQ(uf.component_size(1), 4u);
+    EXPECT_EQ(uf.components(), 2u);
+}
+
+TEST(MstTest, TriangleKeepsTwoLightestEdges) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(0, 2, 3.0);
+    const MstResult mst = kruskal_mst(g);
+    EXPECT_TRUE(mst.spanning);
+    EXPECT_EQ(mst.edges.size(), 2u);
+    EXPECT_DOUBLE_EQ(mst.weight, 3.0);
+}
+
+TEST(MstTest, DisconnectedGraphYieldsForest) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(2, 3, 2.0);
+    const MstResult mst = kruskal_mst(g);
+    EXPECT_FALSE(mst.spanning);
+    EXPECT_EQ(mst.edges.size(), 2u);
+    EXPECT_DOUBLE_EQ(mst.weight, 3.0);
+    EXPECT_THROW(mst_weight(g), std::invalid_argument);
+}
+
+TEST(MstTest, MstWeightOfConnectedGraph) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(0, 2, 3.0);
+    EXPECT_DOUBLE_EQ(mst_weight(g), 3.0);
+}
+
+TEST(MstTest, EmptyAndSingletonGraphs) {
+    EXPECT_TRUE(kruskal_mst(Graph(0)).spanning);
+    EXPECT_TRUE(kruskal_mst(Graph(1)).spanning);
+    EXPECT_TRUE(prim_mst(Graph(1)).spanning);
+    EXPECT_EQ(kruskal_mst(Graph(1)).edges.size(), 0u);
+}
+
+TEST(MstTest, KruskalTieBreakIsDeterministic) {
+    // All weights equal: the deterministic MST is the one Kruskal picks by
+    // canonical endpoint order -- the "star from low ids" shape below.
+    Graph g(4);
+    for (VertexId i = 0; i < 4; ++i) {
+        for (VertexId j = i + 1; j < 4; ++j) g.add_edge(i, j, 1.0);
+    }
+    const MstResult a = kruskal_mst(g);
+    const MstResult b = kruskal_mst(g);
+    EXPECT_EQ(a.edges, b.edges);
+    // (0,1), (0,2), (0,3) by the canonical ordering.
+    EXPECT_EQ(a.edges.size(), 3u);
+    for (EdgeId id : a.edges) EXPECT_EQ(std::min(g.edge(id).u, g.edge(id).v), 0u);
+}
+
+class MstPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, double>> {};
+
+TEST_P(MstPropertyTest, KruskalEqualsPrimWeight) {
+    const auto [seed, n, p] = GetParam();
+    Rng rng(seed);
+    const Graph g = random_connected_graph(n, p, rng);
+    const MstResult k = kruskal_mst(g);
+    const MstResult pr = prim_mst(g);
+    EXPECT_TRUE(k.spanning);
+    EXPECT_TRUE(pr.spanning);
+    EXPECT_EQ(k.edges.size(), n - 1);
+    EXPECT_EQ(pr.edges.size(), n - 1);
+    EXPECT_NEAR(k.weight, pr.weight, 1e-9);
+}
+
+TEST_P(MstPropertyTest, CutPropertyHolds) {
+    // Every non-MST edge closes a cycle where it is a heaviest edge: removing
+    // any MST edge and reconnecting with a cheaper non-tree edge must fail.
+    const auto [seed, n, p] = GetParam();
+    Rng rng(seed ^ 0xabcdef);
+    const Graph g = random_connected_graph(n, p, rng);
+    const MstResult k = kruskal_mst(g);
+    std::vector<bool> in_mst(g.num_edges(), false);
+    for (EdgeId id : k.edges) in_mst[id] = true;
+
+    for (EdgeId removed : k.edges) {
+        // Components of MST minus `removed`.
+        UnionFind uf(g.num_vertices());
+        for (EdgeId id : k.edges) {
+            if (id != removed) uf.unite(g.edge(id).u, g.edge(id).v);
+        }
+        // The cheapest edge crossing the cut must be (a tie of) the removed one.
+        Weight cheapest_cross = kInfiniteWeight;
+        for (EdgeId id = 0; id < g.num_edges(); ++id) {
+            const Edge& e = g.edge(id);
+            if (!uf.connected(e.u, e.v)) cheapest_cross = std::min(cheapest_cross, e.weight);
+        }
+        EXPECT_GE(cheapest_cross, g.edge(removed).weight - 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MstPropertyTest,
+                         ::testing::Combine(::testing::Values(1u, 4u, 9u, 16u),
+                                            ::testing::Values(8u, 20u, 45u),
+                                            ::testing::Values(0.05, 0.3)));
+
+}  // namespace
+}  // namespace gsp

@@ -1,0 +1,149 @@
+#include "nets/net_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/points.hpp"
+#include "metric/matrix_metric.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+MatrixMetric as_matrix(const EuclideanMetric& e) {
+    const std::size_t n = e.size();
+    std::vector<std::vector<Weight>> d(n, std::vector<Weight>(n, 0.0));
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = 0; j < n; ++j) d[i][j] = e.distance(i, j);
+    }
+    return MatrixMetric(std::move(d), /*validate_triangle=*/false);
+}
+
+TEST(MinDistanceTest, MatchesBruteForce) {
+    Rng rng(3);
+    const EuclideanMetric pts = uniform_points(200, 2, 10.0, rng);
+    Weight brute = kInfiniteWeight;
+    for (VertexId i = 0; i < pts.size(); ++i) {
+        for (VertexId j = i + 1; j < pts.size(); ++j) {
+            brute = std::min(brute, pts.distance(i, j));
+        }
+    }
+    EXPECT_NEAR(min_interpoint_distance(pts), brute, 1e-12);
+}
+
+TEST(MinDistanceTest, GenericMetricPath) {
+    const MatrixMetric m({{0, 3, 5}, {3, 0, 4}, {5, 4, 0}});
+    EXPECT_DOUBLE_EQ(min_interpoint_distance(m), 3.0);
+}
+
+TEST(MinDistanceTest, RequiresTwoPoints) {
+    const EuclideanMetric one(1, {0.0});
+    EXPECT_THROW(min_interpoint_distance(one), std::invalid_argument);
+}
+
+TEST(NetHierarchyTest, InvariantsOnUniformPoints) {
+    Rng rng(7);
+    const EuclideanMetric pts = uniform_points(300, 2, 100.0, rng);
+    const NetHierarchy nets(pts);
+    EXPECT_TRUE(nets.check_invariants());
+    EXPECT_EQ(nets.level(0).size(), pts.size());
+    EXPECT_EQ(nets.level(nets.num_levels() - 1).size(), 1u);
+    // Scales double.
+    for (std::size_t l = 1; l < nets.num_levels(); ++l) {
+        EXPECT_DOUBLE_EQ(nets.scale(l), 2.0 * nets.scale(l - 1));
+    }
+    // Level sizes never grow.
+    for (std::size_t l = 1; l < nets.num_levels(); ++l) {
+        EXPECT_LE(nets.level(l).size(), nets.level(l - 1).size());
+    }
+}
+
+TEST(NetHierarchyTest, GridAndGenericPathsAgree) {
+    Rng rng(11);
+    const EuclideanMetric pts = uniform_points(120, 2, 50.0, rng);
+    const MatrixMetric mirror = as_matrix(pts);
+    const NetHierarchy grid_nets(pts);
+    const NetHierarchy generic_nets(mirror);
+    ASSERT_EQ(grid_nets.num_levels(), generic_nets.num_levels());
+    for (std::size_t l = 0; l < grid_nets.num_levels(); ++l) {
+        EXPECT_EQ(grid_nets.level(l), generic_nets.level(l)) << "level " << l;
+    }
+}
+
+TEST(NetHierarchyTest, ParentsAndChildrenAreConsistent) {
+    Rng rng(13);
+    const EuclideanMetric pts = uniform_points(150, 2, 50.0, rng);
+    const NetHierarchy nets(pts);
+    for (std::size_t l = 0; l + 1 < nets.num_levels(); ++l) {
+        for (VertexId p : nets.level(l)) {
+            const VertexId par = nets.parent(l, p);
+            const auto& kids = nets.children(l, par);
+            EXPECT_NE(std::find(kids.begin(), kids.end(), p), kids.end());
+        }
+    }
+    // Non-members have no parent.
+    const std::size_t top = nets.num_levels() - 1;
+    if (top >= 1) {
+        // Some point is absent from level 1 in a 150-point set.
+        VertexId missing = kNoVertex;
+        for (VertexId p : nets.level(0)) {
+            if (!nets.is_member(1, p)) {
+                missing = p;
+                break;
+            }
+        }
+        if (missing != kNoVertex && top >= 2) {
+            EXPECT_THROW((void)nets.parent(1, missing), std::invalid_argument);
+        }
+    }
+}
+
+TEST(NetHierarchyTest, NearPairEnumerationMatchesBruteForce) {
+    Rng rng(17);
+    const EuclideanMetric pts = uniform_points(100, 2, 30.0, rng);
+    const NetHierarchy nets(pts);
+    const std::size_t l = std::min<std::size_t>(2, nets.num_levels() - 1);
+    const double radius = 3.0 * nets.scale(l);
+    std::set<std::pair<VertexId, VertexId>> enumerated;
+    nets.for_each_near_pair(l, radius, [&](VertexId a, VertexId b, double d) {
+        EXPECT_LE(d, radius + 1e-12);
+        EXPECT_NEAR(d, pts.distance(a, b), 1e-12);
+        const bool inserted = enumerated.insert({a, b}).second;
+        EXPECT_TRUE(inserted) << "duplicate pair";
+    });
+    const auto& members = nets.level(l);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+            if (pts.distance(members[i], members[j]) <= radius) ++expected;
+        }
+    }
+    EXPECT_EQ(enumerated.size(), expected);
+}
+
+TEST(NetHierarchyTest, HugeAspectRatioStaysShallow) {
+    // Exponentially spread points: the hierarchy must have ~log(aspect)
+    // levels, not choke.
+    const EuclideanMetric pts = exponential_spiral(60, 1.6);
+    const NetHierarchy nets(pts);
+    EXPECT_TRUE(nets.check_invariants());
+    EXPECT_LT(nets.num_levels(), 120u);
+}
+
+TEST(NetHierarchyTest, RejectsDegenerateInputs) {
+    const EuclideanMetric empty(2, {});
+    EXPECT_THROW(NetHierarchy{empty}, std::invalid_argument);
+    const EuclideanMetric dup(2, {1.0, 1.0, 1.0, 1.0});
+    EXPECT_THROW(NetHierarchy{dup}, std::invalid_argument);
+}
+
+TEST(NetHierarchyTest, SinglePointHierarchy) {
+    const EuclideanMetric one(2, {5.0, 5.0});
+    const NetHierarchy nets(one);
+    EXPECT_EQ(nets.num_levels(), 1u);
+    EXPECT_EQ(nets.level(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace gsp

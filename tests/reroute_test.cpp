@@ -1,0 +1,80 @@
+// Tests for the §5-Remark combination transform (light spanner rerouted
+// through a bounded-degree spanner).
+#include "spanners/reroute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/audit.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/hard_instances.hpp"
+#include "gen/points.hpp"
+#include "spanners/net_spanner.hpp"
+#include "spanners/theta_graph.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(RerouteTest, ResultIsSubgraphOfH2) {
+    Rng rng(3);
+    const EuclideanMetric pts = uniform_points(100, 2, 50.0, rng);
+    const Graph h1 = greedy_spanner_metric(pts, 1.5);  // light
+    const Graph h2 = theta_graph(pts, 12);             // bounded out-degree
+    const Graph h = reroute_through(h1, h2);
+    EXPECT_LE(h.num_edges(), h2.num_edges());
+    for (const Edge& e : h.edges()) {
+        EXPECT_TRUE(h2.has_edge(e.u, e.v));
+    }
+    EXPECT_LE(h.max_degree(), h2.max_degree());
+}
+
+TEST(RerouteTest, StretchComposes) {
+    Rng rng(7);
+    const EuclideanMetric pts = uniform_points(80, 2, 50.0, rng);
+    const double t1 = 1.5;
+    const Graph h1 = greedy_spanner_metric(pts, t1);
+    const Graph h2 = theta_graph(pts, 16);
+    const double t2 = max_stretch_metric(pts, h2);
+    const Graph h = reroute_through(h1, h2);
+    EXPECT_LE(max_stretch_metric(pts, h), t1 * t2 + 1e-9);
+}
+
+TEST(RerouteTest, TamesGreedyHubOnStarMetric) {
+    // The Remark's use case: H1 light but high degree (the greedy on the
+    // star metric has hub degree n-1); H2 bounded degree. The reroute must
+    // keep H2's degree while staying reasonably light.
+    const std::size_t n = 96;
+    const MatrixMetric star = geometric_star_metric(n, 1.7);
+    const Graph h1 = greedy_spanner_metric(star, 1.5);
+    ASSERT_EQ(h1.max_degree(), n - 1);
+    const Graph h2 = net_spanner(star, NetSpannerOptions{.epsilon = 0.5, .degree_cap = 12});
+    const Graph h = reroute_through(h1, h2);
+    EXPECT_LE(h.max_degree(), h2.max_degree());
+    EXPECT_LT(h.max_degree(), n / 3);
+    // Weight within (1 + eps) * t1-ish of the light spanner.
+    EXPECT_LE(h.total_weight(), 1.5 * 1.5 * h1.total_weight() + 1e-9);
+}
+
+TEST(RerouteTest, IdentityWhenH1SubgraphOfH2) {
+    // Rerouting H2 through itself keeps exactly the union of shortest-path
+    // trees' used edges -- for H1 == H2 every H1 edge is its own shortest
+    // path (edges are metric distances), so nothing is lost.
+    Rng rng(11);
+    const EuclideanMetric pts = uniform_points(50, 2, 30.0, rng);
+    const Graph h2 = greedy_spanner_metric(pts, 1.3);
+    const Graph h = reroute_through(h2, h2);
+    EXPECT_TRUE(same_edge_set(h, h2));
+}
+
+TEST(RerouteTest, Validation) {
+    Graph a(3);
+    a.add_edge(0, 1, 1.0);
+    Graph b(4);
+    EXPECT_THROW(reroute_through(a, b), std::invalid_argument);
+    Graph disconnected(3);
+    disconnected.add_edge(1, 2, 1.0);
+    EXPECT_THROW(reroute_through(a, disconnected), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsp

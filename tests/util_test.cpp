@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/fit.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(RngTest, Deterministic) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    }
+}
+
+TEST(RngTest, UniformIntBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.uniform_int(-3, 5);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 5);
+    }
+    EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ChanceExtremes) {
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+    Rng a(5);
+    Rng fork = a.fork();
+    // Forked stream should not replay the parent's draws.
+    bool any_diff = false;
+    for (int i = 0; i < 20; ++i) {
+        if (a.uniform_int(0, 1 << 30) != fork.uniform_int(0, 1 << 30)) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(TableTest, AlignedOutput) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22.5"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+    Table t({"a", "b"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowArityChecked) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FmtTest, TrimsTrailingZeros) {
+    EXPECT_EQ(fmt(1.5, 3), "1.5");
+    EXPECT_EQ(fmt(2.0, 3), "2");
+    EXPECT_EQ(fmt(0.125, 3), "0.125");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "inf");
+    EXPECT_EQ(fmt_ratio(12.339, 2), "12.34x");
+}
+
+TEST(FitTest, RecoversExactPowerLaw) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (double x : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, 1.5));
+    }
+    const PowerFit fit = fit_power_law(xs, ys);
+    EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+    EXPECT_NEAR(fit.coefficient, 3.0, 1e-6);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitTest, NoisyPowerLawStillClose) {
+    Rng rng(3);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 1; i <= 12; ++i) {
+        const double x = 100.0 * i;
+        xs.push_back(x);
+        ys.push_back(2.0 * std::pow(x, 2.0) * rng.uniform(0.9, 1.1));
+    }
+    const PowerFit fit = fit_power_law(xs, ys);
+    EXPECT_NEAR(fit.exponent, 2.0, 0.1);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitTest, InputValidation) {
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW(fit_power_law(one, one), std::invalid_argument);
+    const std::vector<double> xs = {1.0, 2.0};
+    const std::vector<double> bad = {1.0, -2.0};
+    EXPECT_THROW(fit_power_law(xs, bad), std::invalid_argument);
+    const std::vector<double> same_x = {2.0, 2.0};
+    EXPECT_THROW(fit_slope(same_x, xs), std::invalid_argument);
+}
+
+TEST(FitTest, SlopeOfLine) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    EXPECT_NEAR(fit_slope(xs, ys), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gsp

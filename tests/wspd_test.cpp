@@ -1,0 +1,118 @@
+#include "wspd/wspd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/audit.hpp"
+#include "gen/points.hpp"
+#include "graph/traversal.hpp"
+#include "spanners/wspd_spanner.hpp"
+#include "util/random.hpp"
+#include "wspd/quadtree.hpp"
+
+namespace gsp {
+namespace {
+
+TEST(QuadTreeTest, SinglePoint) {
+    const EuclideanMetric one(2, {3.0, 4.0});
+    const QuadTree tree(one);
+    EXPECT_EQ(tree.num_nodes(), 1u);
+    EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(QuadTreeTest, InvariantsOnRandomSets) {
+    for (std::uint64_t seed : {1u, 7u, 42u}) {
+        Rng rng(seed);
+        const EuclideanMetric pts = uniform_points(200, 2, 100.0, rng);
+        const QuadTree tree(pts);
+        EXPECT_TRUE(tree.check_invariants()) << "seed=" << seed;
+        // Compressed: O(n) nodes.
+        EXPECT_LE(tree.num_nodes(), 4 * pts.size());
+    }
+}
+
+TEST(QuadTreeTest, ThreeDimensionalPoints) {
+    Rng rng(11);
+    const EuclideanMetric pts = uniform_points(150, 3, 10.0, rng);
+    const QuadTree tree(pts);
+    EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(QuadTreeTest, PathologicalClusteredSpread) {
+    // Two tight clusters far apart: compression must keep the tree small.
+    std::vector<double> coords;
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        coords.push_back(rng.uniform(0.0, 1e-3));
+        coords.push_back(rng.uniform(0.0, 1e-3));
+    }
+    for (int i = 0; i < 50; ++i) {
+        coords.push_back(1e6 + rng.uniform(0.0, 1e-3));
+        coords.push_back(1e6 + rng.uniform(0.0, 1e-3));
+    }
+    const EuclideanMetric pts(2, std::move(coords));
+    const QuadTree tree(pts);
+    EXPECT_TRUE(tree.check_invariants());
+    EXPECT_LE(tree.num_nodes(), 4 * pts.size());
+}
+
+TEST(QuadTreeTest, RejectsDuplicates) {
+    const EuclideanMetric dup(2, {1.0, 2.0, 1.0, 2.0});
+    EXPECT_THROW(QuadTree{dup}, std::logic_error);
+}
+
+class WspdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, double>> {};
+
+TEST_P(WspdPropertyTest, SeparationAndCoverage) {
+    const auto [seed, n, s] = GetParam();
+    Rng rng(seed);
+    const EuclideanMetric pts = uniform_points(n, 2, 50.0, rng);
+    const QuadTree tree(pts);
+    const auto pairs = well_separated_pairs(tree, s);
+    EXPECT_TRUE(check_separation(tree, pairs, s));
+    EXPECT_TRUE(check_unique_coverage(tree, pairs));
+}
+
+INSTANTIATE_TEST_SUITE_P(UniformPoints, WspdPropertyTest,
+                         ::testing::Combine(::testing::Values(3u, 19u),
+                                            ::testing::Values(40u, 90u),
+                                            ::testing::Values(1.0, 2.0, 6.0)));
+
+TEST(WspdTest, PairCountGrowsLinearly) {
+    Rng rng(5);
+    const EuclideanMetric small = uniform_points(200, 2, 100.0, rng);
+    const EuclideanMetric big = uniform_points(800, 2, 200.0, rng);
+    const double per_small =
+        static_cast<double>(well_separated_pairs(QuadTree(small), 4.0).size()) / 200.0;
+    const double per_big =
+        static_cast<double>(well_separated_pairs(QuadTree(big), 4.0).size()) / 800.0;
+    EXPECT_LT(per_big, per_small * 2.5);  // O(n * s^d) pairs, not O(n^2)
+}
+
+TEST(WspdSpannerTest, StretchMeetsEpsilonTarget) {
+    Rng rng(21);
+    for (double eps : {0.5, 1.0}) {
+        const EuclideanMetric pts = uniform_points(150, 2, 100.0, rng);
+        const Graph h = wspd_spanner(pts, eps);
+        EXPECT_TRUE(is_connected(h));
+        EXPECT_LE(max_stretch_metric(pts, h), 1.0 + eps + 1e-9);
+    }
+}
+
+TEST(WspdSpannerTest, InputValidation) {
+    Rng rng(1);
+    const EuclideanMetric pts = uniform_points(10, 2, 1.0, rng);
+    EXPECT_THROW(wspd_spanner(pts, 0.0), std::invalid_argument);
+    const QuadTree tree(pts);
+    EXPECT_THROW(well_separated_pairs(tree, 0.0), std::invalid_argument);
+}
+
+TEST(WspdSpannerTest, TrivialInput) {
+    const EuclideanMetric one(2, {0.0, 0.0});
+    EXPECT_EQ(wspd_spanner(one, 0.5).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace gsp
