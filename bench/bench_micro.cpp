@@ -1,12 +1,23 @@
 // Micro-benchmarks (google-benchmark) for the inner loops everything else
-// is built from: limited Dijkstra, MST, net hierarchy, quadtree, WSPD,
-// theta graph, greedy core.
+// is built from: limited Dijkstra (one- and two-sided), CSR snapshots, MST,
+// net hierarchy, quadtree, WSPD, theta graph, greedy engine configurations.
+//
+// main() additionally runs a small greedy-kernel sweep and writes the
+// BENCH_greedy.json artifact before the registered benchmarks execute, so
+// CI can smoke-validate the schema cheaply:
+//   ./bench_micro --benchmark_filter='^$'   # JSON only, no benchmarks
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "greedy_kernel_bench.hpp"
+
 #include "core/greedy.hpp"
+#include "core/greedy_engine.hpp"
 #include "core/greedy_metric.hpp"
 #include "gen/graphs.hpp"
 #include "gen/points.hpp"
+#include "graph/csr_view.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/mst.hpp"
 #include "nets/net_hierarchy.hpp"
@@ -52,6 +63,41 @@ void BM_DijkstraLimited(benchmark::State& state) {
 }
 BENCHMARK(BM_DijkstraLimited)->Arg(1024)->Arg(4096);
 
+void BM_DijkstraBidirectional(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    DijkstraWorkspace ws(g.num_vertices());
+    VertexId s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ws.distance_bidirectional(g, s, (s + 7) % g.num_vertices(), 3.0));
+        s = (s + 1) % g.num_vertices();
+    }
+}
+BENCHMARK(BM_DijkstraBidirectional)->Arg(1024)->Arg(4096);
+
+void BM_DijkstraLimitedCsr(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    CsrOverlayView view;
+    view.snapshot(g);
+    DijkstraWorkspace ws(g.num_vertices());
+    VertexId s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ws.distance(view, s, (s + 7) % g.num_vertices(), 3.0));
+        s = (s + 1) % g.num_vertices();
+    }
+}
+BENCHMARK(BM_DijkstraLimitedCsr)->Arg(1024)->Arg(4096);
+
+void BM_CsrSnapshotRebuild(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    CsrOverlayView view;
+    for (auto _ : state) {
+        view.snapshot(g);
+        benchmark::DoNotOptimize(view.num_vertices());
+    }
+}
+BENCHMARK(BM_CsrSnapshotRebuild)->Arg(1024)->Arg(4096);
+
 void BM_KruskalMst(benchmark::State& state) {
     const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) benchmark::DoNotOptimize(kruskal_mst(g));
@@ -89,6 +135,19 @@ void BM_GreedyGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyGraph)->Arg(512)->Arg(1024);
 
+void BM_GreedyGraphNaive(benchmark::State& state) {
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    GreedyEngineOptions options;
+    options.stretch = 3.0;
+    options.bidirectional = false;
+    options.ball_sharing = false;
+    options.csr_snapshot = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(greedy_spanner_with(g, options).num_edges());
+    }
+}
+BENCHMARK(BM_GreedyGraphNaive)->Arg(512)->Arg(1024);
+
 void BM_GreedyMetricCached(benchmark::State& state) {
     const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
@@ -97,6 +156,29 @@ void BM_GreedyMetricCached(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyMetricCached)->Arg(256)->Arg(512);
 
+/// Quick kernel sweep + BENCH_greedy.json, sized for a CI smoke run.
+void write_smoke_json() {
+    Rng rng(42);
+    const std::size_t n = 512;
+    const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
+    const double t = 2.0;
+    const auto runs = benchutil::run_kernel_sweep(g, t);
+    const std::string path = benchutil::bench_json_path();
+    benchutil::write_bench_greedy_json(path, "bench_micro", "random_nm", n,
+                                       g.num_edges(), t, runs);
+    bool all_match = true;
+    for (const auto& r : runs) all_match = all_match && r.matches_naive;
+    std::cout << "wrote " << path << " (smoke sweep, n=" << n
+              << ", edge sets " << (all_match ? "identical" : "MISMATCHED") << ")\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    write_smoke_json();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

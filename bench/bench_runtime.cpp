@@ -10,15 +10,65 @@
 #include <iostream>
 #include <vector>
 
+#include "greedy_kernel_bench.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy_metric.hpp"
+#include "gen/graphs.hpp"
 #include "gen/points.hpp"
 #include "util/fit.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+/// Graph-kernel ablation on the stock instance (n = 2^13, m = 16n, t = 2):
+/// every GreedyEngine configuration against the naive kernel, edge sets
+/// verified in-benchmark, timings dumped to BENCH_greedy.json so the perf
+/// trajectory is tracked from this PR onward.
+void graph_kernel_section() {
+    using namespace gsp;
+    const std::size_t n = 1u << 13;
+    const std::size_t m = 16 * n;
+    const double t = 2.0;
+    Rng rng(42);
+    const Graph g = random_graph_nm(n, m, {.lo = 1.0, .hi = 2.0}, rng);
+    std::cout << "== Graph-kernel ablation: GreedyEngine configurations ==\n"
+              << "instance: " << g.summary() << ", t = " << t << "\n\n";
+
+    const auto runs = benchutil::run_kernel_sweep(g, t);
+    Table table({"config", "seconds", "speedup", "|H|", "queries", "balls",
+                 "cache hits", "meets", "same edges"});
+    const double naive_s = runs.front().seconds;
+    for (const auto& r : runs) {
+        table.add_row({r.config.name, fmt(r.seconds, 3), fmt_ratio(naive_s / r.seconds),
+                       std::to_string(r.edges), std::to_string(r.stats.dijkstra_runs),
+                       std::to_string(r.stats.balls_computed),
+                       std::to_string(r.stats.cache_hits),
+                       std::to_string(r.stats.bidirectional_meets),
+                       r.matches_naive ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    bool all_match = true;
+    for (const auto& r : runs) all_match = all_match && r.matches_naive;
+    const double speedup = naive_s / runs.back().seconds;
+    std::cout << "\nfull-engine speedup over naive: " << fmt_ratio(speedup)
+              << (all_match ? " (all edge sets verified identical)"
+                            : " (EDGE SET MISMATCH -- engine bug!)")
+              << "\n";
+
+    const std::string path = benchutil::bench_json_path();
+    benchutil::write_bench_greedy_json(path, "bench_runtime", "random_nm", n,
+                                       g.num_edges(), t, runs);
+    std::cout << "wrote " << path << "\n\n";
+}
+
+}  // namespace
+
 int main() {
     using namespace gsp;
+    graph_kernel_section();
+
     const double eps = 0.5;
     std::cout << "== Runtime scaling: exact greedy vs approximate-greedy (eps = " << eps
               << ") ==\n\n";

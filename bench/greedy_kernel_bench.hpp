@@ -1,0 +1,137 @@
+// Shared harness for the greedy-kernel configuration sweep and the
+// machine-readable BENCH_greedy.json artifact.
+//
+// Both bench_runtime (full-size sweep, the perf-trajectory source of truth)
+// and bench_micro (CI smoke that validates the schema) emit the same JSON
+// shape, version-tagged "gsp.bench_greedy.v1":
+//
+//   {
+//     "schema": "gsp.bench_greedy.v1",
+//     "source": "<bench binary>",
+//     "stretch": <t>,
+//     "instance": {"kind": ..., "n": ..., "m": ...},
+//     "configs": [
+//       {"name": ..., "bidirectional": ..., "ball_sharing": ...,
+//        "csr_snapshot": ..., "seconds": ..., "edges": ...,
+//        "matches_naive": ..., "stats": {...}}, ...],
+//     "speedup_full_vs_naive": <naive seconds / full seconds>
+//   }
+//
+// The output path defaults to BENCH_greedy.json in the working directory;
+// override with the GSP_BENCH_JSON environment variable.
+// scripts/validate_bench_json.py checks the schema in CI.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "core/greedy_engine.hpp"
+#include "graph/graph.hpp"
+
+namespace gsp::benchutil {
+
+struct KernelConfig {
+    const char* name;
+    bool bidirectional;
+    bool ball_sharing;
+    bool csr_snapshot;
+};
+
+/// The ablation ladder: the naive reference, each optimisation alone, and
+/// the full engine. kKernelConfigs[0] must stay the naive kernel -- the
+/// sweep verifies every other row against its edge set.
+inline constexpr KernelConfig kKernelConfigs[] = {
+    {"naive", false, false, false},
+    {"bidirectional", true, false, false},
+    {"ball_sharing", false, true, false},
+    {"csr_snapshot", false, false, true},
+    {"bidirectional+csr", true, false, true},
+    {"full", true, true, true},
+};
+
+struct KernelRun {
+    KernelConfig config;
+    double seconds = 0.0;
+    std::size_t edges = 0;
+    bool matches_naive = false;
+    GreedyStats stats;
+};
+
+/// Run every kernel configuration on (g, t) and verify each edge set
+/// against the naive kernel's -- the in-benchmark equivalence check the
+/// acceptance criteria require.
+inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
+    std::vector<KernelRun> runs;
+    Graph naive_spanner(0);
+    for (const KernelConfig& config : kKernelConfigs) {
+        GreedyEngineOptions options;
+        options.stretch = t;
+        options.bidirectional = config.bidirectional;
+        options.ball_sharing = config.ball_sharing;
+        options.csr_snapshot = config.csr_snapshot;
+        KernelRun run;
+        run.config = config;
+        const Graph h = greedy_spanner_with(g, options, &run.stats);
+        run.seconds = run.stats.seconds;
+        run.edges = h.num_edges();
+        if (runs.empty()) {
+            naive_spanner = h;
+            run.matches_naive = true;
+        } else {
+            run.matches_naive = same_edge_set(h, naive_spanner);
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+inline std::string bench_json_path() {
+    const char* env = std::getenv("GSP_BENCH_JSON");
+    return env != nullptr ? std::string(env) : std::string("BENCH_greedy.json");
+}
+
+inline void write_bench_greedy_json(const std::string& path, const std::string& source,
+                                    const std::string& instance_kind, std::size_t n,
+                                    std::size_t m, double t,
+                                    const std::vector<KernelRun>& runs) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    out << "{\n";
+    out << "  \"schema\": \"gsp.bench_greedy.v1\",\n";
+    out << "  \"source\": \"" << source << "\",\n";
+    out << "  \"stretch\": " << t << ",\n";
+    out << "  \"instance\": {\"kind\": \"" << instance_kind << "\", \"n\": " << n
+        << ", \"m\": " << m << "},\n";
+    out << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const KernelRun& r = runs[i];
+        out << "    {\"name\": \"" << r.config.name << "\", "
+            << "\"bidirectional\": " << b(r.config.bidirectional) << ", "
+            << "\"ball_sharing\": " << b(r.config.ball_sharing) << ", "
+            << "\"csr_snapshot\": " << b(r.config.csr_snapshot) << ", "
+            << "\"seconds\": " << r.seconds << ", "
+            << "\"edges\": " << r.edges << ", "
+            << "\"matches_naive\": " << b(r.matches_naive) << ",\n"
+            << "     \"stats\": {"
+            << "\"edges_examined\": " << r.stats.edges_examined << ", "
+            << "\"dijkstra_runs\": " << r.stats.dijkstra_runs << ", "
+            << "\"balls_computed\": " << r.stats.balls_computed << ", "
+            << "\"cache_hits\": " << r.stats.cache_hits << ", "
+            << "\"csr_rebuilds\": " << r.stats.csr_rebuilds << ", "
+            << "\"bidirectional_meets\": " << r.stats.bidirectional_meets << ", "
+            << "\"buckets\": " << r.stats.buckets << "}}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"speedup_full_vs_naive\": "
+        << (runs.back().seconds > 0.0 ? runs.front().seconds / runs.back().seconds : 0.0)
+        << "\n";
+    out << "}\n";
+}
+
+}  // namespace gsp::benchutil

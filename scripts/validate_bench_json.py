@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_greedy.json schema (gsp.bench_greedy.v1).
+
+Usage: validate_bench_json.py [path]    (default: BENCH_greedy.json)
+
+Exits non-zero if the file is missing, malformed, or violates the schema --
+including the engine's core contract that every configuration matched the
+naive kernel's edge set.
+"""
+import json
+import sys
+
+REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
+                "speedup_full_vs_naive"}
+REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
+                   "seconds", "edges", "matches_naive", "stats"}
+REQUIRED_STATS = {"edges_examined", "dijkstra_runs", "balls_computed",
+                  "cache_hits", "csr_rebuilds", "bidirectional_meets", "buckets"}
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_greedy.json schema violation: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_greedy.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if missing := REQUIRED_TOP - doc.keys():
+        fail(f"missing top-level keys: {sorted(missing)}")
+    if doc["schema"] != "gsp.bench_greedy.v1":
+        fail(f"unexpected schema tag {doc['schema']!r}")
+    inst = doc["instance"]
+    if {"kind", "n", "m"} - inst.keys():
+        fail("instance must carry kind/n/m")
+
+    configs = doc["configs"]
+    if not configs:
+        fail("configs is empty")
+    if configs[0]["name"] != "naive":
+        fail("configs[0] must be the naive reference")
+    names = set()
+    for c in configs:
+        if missing := REQUIRED_CONFIG - c.keys():
+            fail(f"config {c.get('name', '?')} missing keys: {sorted(missing)}")
+        if missing := REQUIRED_STATS - c["stats"].keys():
+            fail(f"config {c['name']} stats missing: {sorted(missing)}")
+        if c["seconds"] < 0:
+            fail(f"config {c['name']} has negative seconds")
+        if not c["matches_naive"]:
+            fail(f"config {c['name']} did not match the naive edge set")
+        if c["name"] in names:
+            fail(f"duplicate config name {c['name']}")
+        names.add(c["name"])
+    if "full" not in names:
+        fail("the full-engine configuration is missing")
+
+    print(f"{path}: schema OK ({len(configs)} configs, source={doc['source']}, "
+          f"full-vs-naive speedup {doc['speedup_full_vs_naive']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

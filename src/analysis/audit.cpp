@@ -10,7 +10,7 @@
 
 namespace gsp {
 
-double max_stretch_over_edges(const Graph& g, const Graph& h) {
+double max_stretch_over_edges(const Graph& g, const Graph& h, DijkstraWorkspace& ws) {
     if (g.num_vertices() != h.num_vertices()) {
         throw std::invalid_argument("max_stretch_over_edges: vertex count mismatch");
     }
@@ -20,7 +20,7 @@ double max_stretch_over_edges(const Graph& g, const Graph& h) {
     for (const Edge& e : g.edges()) {
         queries[e.u].push_back({e.v, e.weight});
     }
-    DijkstraWorkspace ws(h.num_vertices());
+    ws.resize(h.num_vertices());
     double worst = 0.0;
     for (VertexId s = 0; s < g.num_vertices(); ++s) {
         if (queries[s].empty()) continue;
@@ -32,11 +32,16 @@ double max_stretch_over_edges(const Graph& g, const Graph& h) {
     return worst;
 }
 
-double max_stretch_metric(const MetricSpace& m, const Graph& h) {
+double max_stretch_over_edges(const Graph& g, const Graph& h) {
+    DijkstraWorkspace ws(h.num_vertices());
+    return max_stretch_over_edges(g, h, ws);
+}
+
+double max_stretch_metric(const MetricSpace& m, const Graph& h, DijkstraWorkspace& ws) {
     if (m.size() != h.num_vertices()) {
         throw std::invalid_argument("max_stretch_metric: size mismatch");
     }
-    DijkstraWorkspace ws(h.num_vertices());
+    ws.resize(h.num_vertices());
     double worst = 0.0;
     for (VertexId s = 0; s < m.size(); ++s) {
         const auto& dist = ws.all_distances(h, s, kInfiniteWeight);
@@ -47,14 +52,20 @@ double max_stretch_metric(const MetricSpace& m, const Graph& h) {
     return worst;
 }
 
+double max_stretch_metric(const MetricSpace& m, const Graph& h) {
+    DijkstraWorkspace ws(h.num_vertices());
+    return max_stretch_metric(m, h, ws);
+}
+
 double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
-                                  std::size_t sources, std::uint64_t seed) {
+                                  std::size_t sources, std::uint64_t seed,
+                                  DijkstraWorkspace& ws) {
     if (m.size() != h.num_vertices()) {
         throw std::invalid_argument("max_stretch_metric_sampled: size mismatch");
     }
-    if (sources >= m.size()) return max_stretch_metric(m, h);
+    if (sources >= m.size()) return max_stretch_metric(m, h, ws);
     Rng rng(seed);
-    DijkstraWorkspace ws(h.num_vertices());
+    ws.resize(h.num_vertices());
     double worst = 0.0;
     for (std::size_t i = 0; i < sources; ++i) {
         const auto s = static_cast<VertexId>(rng.index(m.size()));
@@ -65,6 +76,12 @@ double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
         }
     }
     return worst;
+}
+
+double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
+                                  std::size_t sources, std::uint64_t seed) {
+    DijkstraWorkspace ws(h.num_vertices());
+    return max_stretch_metric_sampled(m, h, sources, seed, ws);
 }
 
 namespace {
@@ -82,18 +99,29 @@ SpannerAudit basic_stats(const Graph& h) {
 
 }  // namespace
 
-SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h) {
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h, DijkstraWorkspace& ws) {
     SpannerAudit a = basic_stats(h);
     a.lightness = a.weight / mst_weight(g);
-    a.max_stretch = max_stretch_over_edges(g, h);
+    a.max_stretch = max_stretch_over_edges(g, h, ws);
+    return a;
+}
+
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h) {
+    DijkstraWorkspace ws(h.num_vertices());
+    return audit_graph_spanner(g, h, ws);
+}
+
+SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h,
+                                  DijkstraWorkspace& ws) {
+    SpannerAudit a = basic_stats(h);
+    a.lightness = a.weight / metric_mst_weight(m);
+    a.max_stretch = max_stretch_metric(m, h, ws);
     return a;
 }
 
 SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h) {
-    SpannerAudit a = basic_stats(h);
-    a.lightness = a.weight / metric_mst_weight(m);
-    a.max_stretch = max_stretch_metric(m, h);
-    return a;
+    DijkstraWorkspace ws(h.num_vertices());
+    return audit_metric_spanner(m, h, ws);
 }
 
 }  // namespace gsp

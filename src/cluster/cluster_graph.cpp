@@ -8,14 +8,16 @@
 
 namespace gsp {
 
-ClusterGraph::ClusterGraph(const Graph& h, double radius)
+ClusterGraph::ClusterGraph(const Graph& h, double radius, DijkstraWorkspace* shared_ws)
     : radius_(radius),
       cluster_of_(h.num_vertices(), 0xffffffffu),
       to_center_(h.num_vertices(), kInfiniteWeight) {
     if (!(radius > 0.0)) throw std::invalid_argument("ClusterGraph: radius must be > 0");
     const std::size_t n = h.num_vertices();
 
-    DijkstraWorkspace ws(n);
+    DijkstraWorkspace local_ws(shared_ws != nullptr ? 0 : n);
+    DijkstraWorkspace& ws = shared_ws != nullptr ? *shared_ws : local_ws;
+    ws.resize(n);
     for (VertexId v = 0; v < n; ++v) {
         if (cluster_of_[v] != 0xffffffffu) continue;
         const auto idx = static_cast<std::uint32_t>(centers_.size());

@@ -21,10 +21,16 @@
 
 namespace gsp {
 
+class DijkstraWorkspace;
+
 class ClusterGraph {
 public:
-    /// Build ball clusters of the given radius over spanner h.
-    ClusterGraph(const Graph& h, double radius);
+    /// Build ball clusters of the given radius over spanner h. Pass a
+    /// workspace to reuse across rebuilds (the approximate-greedy simulation
+    /// rebuilds one oracle per weight bucket; a shared workspace saves the
+    /// O(n) allocation per rebuild). A null workspace uses a local one.
+    explicit ClusterGraph(const Graph& h, double radius,
+                          DijkstraWorkspace* ws = nullptr);
 
     [[nodiscard]] std::size_t num_clusters() const { return centers_.size(); }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/cluster_graph.hpp"
+#include "core/greedy_engine.hpp"
 #include "graph/dijkstra.hpp"
 #include "metric/euclidean.hpp"
 #include "spanners/net_spanner.hpp"
@@ -91,35 +92,44 @@ ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m,
     }
     result.light_edges = cursor;
 
-    // Greedy simulation over the remaining edges, bucket by bucket.
-    DijkstraWorkspace ws(n);
-    const double t = result.t_sim;
-    std::unique_ptr<ClusterGraph> oracle;
-    Weight bucket_lo = 0.0;
-    Weight bucket_hi = 0.0;
-
+    // Greedy simulation over the remaining edges: the shared GreedyEngine
+    // runs the bucket loop; the cluster oracle rides along as a reject-only
+    // prefilter rebuilt at each bucket boundary (reusing one Dijkstra
+    // workspace across rebuilds).
+    std::vector<GreedyCandidate> candidates;
+    candidates.reserve(order.size() - cursor);
     for (; cursor < order.size(); ++cursor) {
         const Edge& e = base.edge(order[cursor]);
-        if (e.weight > bucket_hi) {
-            // Entering a new bucket: rebuild the coarse oracle at this scale.
-            bucket_lo = e.weight;
-            bucket_hi = bucket_lo * options.bucket_ratio;
-            ++result.buckets;
-            if (options.use_cluster_oracle) {
-                oracle = std::make_unique<ClusterGraph>(h, (eps / 16.0) * bucket_lo);
-            }
-        }
-        const Weight threshold = t * e.weight;
-        if (oracle != nullptr &&
-            oracle->upper_bound_distance(e.u, e.v, threshold) <= threshold) {
-            ++result.oracle_rejects;  // sound: a realizable witness path exists
-            continue;
-        }
-        ++result.exact_queries;
-        if (ws.distance(h, e.u, e.v, threshold) > threshold) {
-            h.add_edge(e.u, e.v, e.weight);
-        }
+        candidates.push_back(GreedyCandidate{e.u, e.v, e.weight});
     }
+
+    GreedyEngineOptions engine_options;
+    engine_options.stretch = result.t_sim;
+    engine_options.bucket_ratio = options.bucket_ratio;
+    DijkstraWorkspace oracle_ws(n);
+    std::unique_ptr<ClusterGraph> oracle;
+    if (options.use_cluster_oracle) {
+        engine_options.on_bucket = [&](const Graph& spanner, Weight bucket_lo) {
+            // Entering a new bucket: rebuild the coarse oracle at this scale.
+            oracle = std::make_unique<ClusterGraph>(spanner, (eps / 16.0) * bucket_lo,
+                                                    &oracle_ws);
+        };
+        engine_options.prefilter = [&](VertexId u, VertexId v, Weight threshold) {
+            if (oracle->upper_bound_distance(u, v, threshold) <= threshold) {
+                ++result.oracle_rejects;  // sound: a realizable witness path exists
+                return true;
+            }
+            return false;
+        };
+    }
+
+    GreedyEngine engine(n, std::move(engine_options));
+    GreedyStats sim_stats;
+    result.spanner = engine.run(std::move(h), candidates, &sim_stats);
+    result.buckets = sim_stats.buckets;
+    // Candidates that got past the oracle were decided by the exact kernel
+    // (cached exact bounds included).
+    result.exact_queries = sim_stats.edges_examined - result.oracle_rejects;
 
     result.seconds_total = total_timer.seconds();
     return result;

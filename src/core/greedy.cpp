@@ -1,45 +1,13 @@
 #include "core/greedy.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <tuple>
-#include <vector>
-
-#include "graph/dijkstra.hpp"
-#include "util/timer.hpp"
+#include "core/greedy_engine.hpp"
 
 namespace gsp {
 
 Graph greedy_spanner(const Graph& g, double t, GreedyStats* stats) {
-    if (t < 1.0) throw std::invalid_argument("greedy_spanner: stretch must be >= 1");
-    const Timer timer;
-
-    std::vector<EdgeId> order(g.num_edges());
-    for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
-        const Edge& ea = g.edge(a);
-        const Edge& eb = g.edge(b);
-        return std::make_tuple(ea.weight, std::min(ea.u, ea.v), std::max(ea.u, ea.v), a) <
-               std::make_tuple(eb.weight, std::min(eb.u, eb.v), std::max(eb.u, eb.v), b);
-    });
-
-    Graph h(g.num_vertices());
-    DijkstraWorkspace ws(g.num_vertices());
-    GreedyStats local;
-    for (EdgeId id : order) {
-        const Edge& e = g.edge(id);
-        ++local.edges_examined;
-        const Weight threshold = t * e.weight;
-        ++local.dijkstra_runs;
-        const Weight in_spanner = ws.distance(h, e.u, e.v, threshold);
-        if (in_spanner > threshold) {
-            h.add_edge(e.u, e.v, e.weight);
-            ++local.edges_added;
-        }
-    }
-    local.seconds = timer.seconds();
-    if (stats != nullptr) *stats = local;
-    return h;
+    GreedyEngineOptions options;  // all engine optimisations on by default
+    options.stretch = t;
+    return greedy_spanner_with(g, options, stats);
 }
 
 }  // namespace gsp

@@ -21,18 +21,32 @@
 
 namespace gsp {
 
-/// Counters describing one greedy run (for the runtime experiments).
+/// Counters describing one greedy run (for the runtime experiments and the
+/// BENCH_greedy.json kernel-ablation artifact).
 struct GreedyStats {
     std::size_t edges_examined = 0;  ///< candidate edges processed
     std::size_t edges_added = 0;     ///< edges kept in the spanner
-    std::size_t dijkstra_runs = 0;   ///< distance queries actually executed
+    std::size_t dijkstra_runs = 0;   ///< distance/ball queries actually executed
     double seconds = 0.0;            ///< wall-clock time of the run
+
+    // GreedyEngine counters (zero when the matching optimisation is off).
+    std::size_t balls_computed = 0;       ///< shared ball() queries grown
+    std::size_t cache_hits = 0;           ///< candidates decided from cached bounds
+    std::size_t csr_rebuilds = 0;         ///< CSR snapshot refreezes (one per bucket)
+    std::size_t bidirectional_meets = 0;  ///< improving frontier-meet events
+    std::size_t prefilter_rejects = 0;    ///< candidates rejected by the prefilter hook
+    std::size_t buckets = 0;              ///< weight buckets processed
 };
 
 /// The greedy t-spanner of g. Requires t >= 1. Works on disconnected
 /// graphs (the spanner then spans each component). Parallel edges are
 /// handled naturally: the second copy is rejected because the first copy is
 /// a path of equal weight (<= t * w since t >= 1).
+///
+/// Runs on the full-featured GreedyEngine (bidirectional bounded Dijkstra,
+/// per-bucket ball sharing, CSR snapshots); use greedy_spanner_with from
+/// core/greedy_engine.hpp to select individual optimisations. Every
+/// configuration returns the same edge set.
 Graph greedy_spanner(const Graph& g, double t, GreedyStats* stats = nullptr);
 
 }  // namespace gsp

@@ -1,0 +1,296 @@
+#include "core/greedy_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "graph/csr_view.hpp"
+#include "util/timer.hpp"
+
+namespace gsp {
+
+namespace {
+
+/// Queries run directly on the growing Graph (csr_snapshot off).
+struct LiveAdapter {
+    static constexpr bool kCountsRebuilds = false;
+    const Graph* h = nullptr;
+    void snapshot(const Graph& g) { h = &g; }
+    void add_edge(VertexId, VertexId, Weight, EdgeId) {}
+    [[nodiscard]] const Graph& view() const { return *h; }
+};
+
+/// Queries run on a per-bucket frozen CSR chained with the intra-bucket
+/// insertion overlay (csr_snapshot on) -- exact, but contiguous scans.
+struct CsrAdapter {
+    static constexpr bool kCountsRebuilds = true;
+    CsrOverlayView v;
+    void snapshot(const Graph& g) { v.snapshot(g); }
+    void add_edge(VertexId a, VertexId b, Weight w, EdgeId id) { v.add_edge(a, b, w, id); }
+    [[nodiscard]] const CsrOverlayView& view() const { return v; }
+};
+
+}  // namespace
+
+GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
+    : options_(std::move(options)), n_(n), ws_(n) {
+    if (options_.stretch < 1.0) {
+        throw std::invalid_argument("GreedyEngine: stretch must be >= 1");
+    }
+    if (!(options_.bucket_ratio > 1.0)) {
+        throw std::invalid_argument("GreedyEngine: bucket_ratio must be > 1");
+    }
+}
+
+Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
+                        GreedyStats* stats) {
+    const Timer timer;
+    if (h.num_vertices() != n_) {
+        throw std::invalid_argument("GreedyEngine::run: vertex count mismatch");
+    }
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].weight < candidates[i - 1].weight) {
+            throw std::invalid_argument(
+                "GreedyEngine::run: candidates must be sorted by weight");
+        }
+    }
+    GreedyStats local;
+    Graph out(0);
+    if (options_.csr_snapshot) {
+        CsrAdapter adapter;
+        out = run_impl(adapter, std::move(h), candidates, local);
+    } else {
+        LiveAdapter adapter;
+        out = run_impl(adapter, std::move(h), candidates, local);
+    }
+    local.seconds = timer.seconds();
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+template <class Adapter>
+Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
+                             std::span<const GreedyCandidate> cands, GreedyStats& stats) {
+    const double t = options_.stretch;
+    const std::size_t m = cands.size();
+    const bool sharing = options_.ball_sharing;
+    const std::size_t meets_before = ws_.meet_events();
+    ws_.resize(n_);
+
+    if (sharing) {
+        cand_bound_.assign(m, kInfiniteWeight);
+        group_.resize(n_);
+        ball_bucket_.assign(n_, 0);
+        ball_epoch_.assign(n_, 0);
+        ball_radius_.assign(n_, 0.0);
+        remaining_.assign(n_, 0);
+    }
+
+    std::uint64_t insert_epoch = 1;  // bumped on every accepted edge
+    std::uint64_t bucket_id = 0;
+
+    // Online cost model for the ball-vs-point decision: exponential moving
+    // averages of heap pushes per query kind, and of how many candidates a
+    // ball actually resolves (its own decision plus the cache hits its
+    // harvested bounds will produce). Zero = not yet calibrated this run.
+    double ball_cost = 0.0;
+    double point_cost = 0.0;
+    double ball_value = 0.0;
+    const auto update_ema = [](double& ema, double sample) {
+        ema = ema == 0.0 ? sample : 0.75 * ema + 0.25 * sample;
+    };
+
+    std::size_t k = 0;
+    while (k < m) {
+        // Bucket [bucket_lo, bucket_ratio * bucket_lo] -- the same boundary
+        // rule the approximate-greedy simulation has always used.
+        const Weight bucket_lo = cands[k].weight;
+        const Weight bucket_hi = bucket_lo * options_.bucket_ratio;
+        std::size_t end = k;
+        while (end < m && cands[end].weight <= bucket_hi) ++end;
+        ++bucket_id;
+        ++stats.buckets;
+
+        adapter.snapshot(h);
+        if (Adapter::kCountsRebuilds) ++stats.csr_rebuilds;
+        if (options_.on_bucket) options_.on_bucket(h, bucket_lo);
+
+        if (sharing) {
+            for (VertexId s : group_sources_) {
+                group_[s].clear();
+                remaining_[s] = 0;
+            }
+            group_sources_.clear();
+            for (std::size_t i = k; i < end; ++i) {
+                const VertexId u = cands[i].u;
+                if (group_[u].empty()) group_sources_.push_back(u);
+                group_[u].push_back(static_cast<std::uint32_t>(i));
+                ++remaining_[u];
+            }
+        }
+
+        for (std::size_t i = k; i < end; ++i) {
+            const GreedyCandidate& c = cands[i];
+            const Weight threshold = t * c.weight;
+            ++stats.edges_examined;
+            // This candidate is decided this iteration, whichever path runs.
+            if (sharing) --remaining_[c.u];
+            if (options_.prefilter && options_.prefilter(c.u, c.v, threshold)) {
+                ++stats.prefilter_rejects;
+                continue;
+            }
+
+            bool accept;
+            if (sharing) {
+                const std::uint32_t peers = remaining_[c.u];
+                if (cand_bound_[i] <= threshold) {
+                    // A realizable witness path no heavier than the
+                    // threshold is already known; the spanner only grows,
+                    // so the bound can only have improved since.
+                    ++stats.cache_hits;
+                    continue;
+                }
+                const auto& grp = group_[c.u];
+                // Ball-vs-point gate: a ball pays off iff its measured work
+                // amortizes below the point-query work of the candidates it
+                // realistically resolves (accept-heavy phases make balls
+                // near-worthless -- harvested bounds reject nothing).
+                // Bootstrap: one ball for a large group calibrates the ball
+                // side, then one point query calibrates the other.
+                bool want_ball = false;
+                if (peers > 0) {
+                    if (ball_cost == 0.0) {
+                        want_ball = grp.size() >= options_.ball_share_min_group;
+                    } else if (point_cost != 0.0) {
+                        want_ball = 2.0 * ball_cost <= std::max(ball_value, 1.0) * point_cost;
+                    }
+                }
+                if (ball_bucket_[c.u] == bucket_id && ball_epoch_[c.u] == insert_epoch &&
+                    ball_radius_[c.u] >= threshold) {
+                    // Lazy revalidation pay-off: the last ball from this
+                    // source is still exact (no insertion anywhere since)
+                    // and covered this radius, so bound > threshold means
+                    // the true distance exceeds the threshold.
+                    ++stats.cache_hits;
+                    accept = true;
+                } else if (want_ball) {
+                    // Shared ball: one query answers every candidate of
+                    // this source in the bucket (radius covers the
+                    // heaviest of them).
+                    const Weight radius = t * cands[grp.back()].weight;
+                    ++stats.dijkstra_runs;
+                    ++stats.balls_computed;
+                    (void)ws_.ball(adapter.view(), c.u, radius);
+                    update_ema(ball_cost, static_cast<double>(ws_.last_work()));
+                    std::size_t resolved = 1;  // this candidate
+                    for (std::uint32_t idx : grp) {
+                        const Weight d = ws_.settled_distance(cands[idx].v);
+                        if (d < cand_bound_[idx]) {
+                            cand_bound_[idx] = d;
+                            if (idx > i && d <= t * cands[idx].weight) ++resolved;
+                        }
+                    }
+                    update_ema(ball_value, static_cast<double>(resolved));
+                    ball_bucket_[c.u] = bucket_id;
+                    ball_epoch_[c.u] = insert_epoch;
+                    ball_radius_[c.u] = radius;
+                    accept = cand_bound_[i] > threshold;
+                } else {
+                    // Small group: an early-exit point query decides this
+                    // candidate, and every label it touched is a realizable
+                    // path length -- harvest them as upper bounds for the
+                    // source's (and, bidirectionally, the target's) other
+                    // candidates in the bucket.
+                    ++stats.dijkstra_runs;
+                    Weight d;
+                    if (options_.bidirectional) {
+                        d = ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
+                        update_ema(point_cost, static_cast<double>(ws_.last_work()));
+                        for (std::uint32_t idx : grp) {
+                            if (idx <= i) continue;
+                            const Weight b = ws_.last_forward_bound(cands[idx].v);
+                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                        }
+                        for (std::uint32_t idx : group_[c.v]) {
+                            if (idx <= i) continue;
+                            const Weight b = ws_.last_backward_bound(cands[idx].v);
+                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                        }
+                    } else {
+                        d = ws_.distance(adapter.view(), c.u, c.v, threshold);
+                        update_ema(point_cost, static_cast<double>(ws_.last_work()));
+                        for (std::uint32_t idx : grp) {
+                            if (idx <= i) continue;
+                            const Weight b = ws_.last_forward_bound(cands[idx].v);
+                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                        }
+                    }
+                    accept = d > threshold;
+                }
+            } else {
+                ++stats.dijkstra_runs;
+                const Weight d =
+                    options_.bidirectional
+                        ? ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold)
+                        : ws_.distance(adapter.view(), c.u, c.v, threshold);
+                accept = d > threshold;
+            }
+            if (!accept) continue;
+
+            const EdgeId id = h.add_edge(c.u, c.v, c.weight);
+            adapter.add_edge(c.u, c.v, c.weight, id);
+            ++stats.edges_added;
+            ++insert_epoch;
+            if (sharing) {
+                // Parallel candidates of the same pair now have a one-edge
+                // witness; lower their bounds so they hit the cache.
+                for (std::uint32_t idx : group_[c.u]) {
+                    if (idx > i && cands[idx].v == c.v && c.weight < cand_bound_[idx]) {
+                        cand_bound_[idx] = c.weight;
+                    }
+                }
+                for (std::uint32_t idx : group_[c.v]) {
+                    if (idx > i && cands[idx].v == c.u && c.weight < cand_bound_[idx]) {
+                        cand_bound_[idx] = c.weight;
+                    }
+                }
+            }
+        }
+        k = end;
+    }
+    stats.bidirectional_meets = ws_.meet_events() - meets_before;
+    return h;
+}
+
+std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g) {
+    std::vector<EdgeId> order(g.num_edges());
+    for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+        const Edge& ea = g.edge(a);
+        const Edge& eb = g.edge(b);
+        return std::make_tuple(ea.weight, std::min(ea.u, ea.v), std::max(ea.u, ea.v), a) <
+               std::make_tuple(eb.weight, std::min(eb.u, eb.v), std::max(eb.u, eb.v), b);
+    });
+    std::vector<GreedyCandidate> cands;
+    cands.reserve(order.size());
+    for (EdgeId id : order) {
+        const Edge& e = g.edge(id);
+        cands.push_back(GreedyCandidate{e.u, e.v, e.weight});
+    }
+    return cands;
+}
+
+Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
+                          GreedyStats* stats) {
+    const Timer timer;  // include the candidate sort, as the naive kernel did
+    GreedyEngine engine(g.num_vertices(), options);
+    const auto candidates = sorted_graph_candidates(g);
+    GreedyStats local;
+    Graph h = engine.run(Graph(g.num_vertices()), candidates, &local);
+    local.seconds = timer.seconds();
+    if (stats != nullptr) *stats = local;
+    return h;
+}
+
+}  // namespace gsp

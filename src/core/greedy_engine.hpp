@@ -1,0 +1,135 @@
+// The unified high-throughput greedy kernel.
+//
+// Every greedy entry point in the library -- greedy_spanner (graph inputs),
+// greedy_spanner_metric (all-pairs candidates), approx_greedy_spanner (the
+// Theorem-6 simulation over a base spanner) -- is the same loop: examine
+// candidate edges in non-decreasing weight order and keep an edge iff the
+// growing spanner's distance between its endpoints exceeds t * w(e).
+// GreedyEngine runs that loop once, with three stacked optimisations that
+// are individually toggleable (for the ablation benches) and *decision
+// preserving*: every configuration returns the same edge set as the naive
+// kernel (one one-sided distance-limited Dijkstra per candidate).
+//
+//  1. `bidirectional` -- point-to-point queries use two frontiers meeting
+//     near limit/2 (DijkstraWorkspace::distance_bidirectional); on
+//     bounded-growth instances the settled ball shrinks superlinearly.
+//  2. `ball_sharing` -- candidates are processed in weight buckets
+//     [w, bucket_ratio * w) and grouped by source vertex; one ball() query
+//     from the source answers every candidate of that source, its exact
+//     distances are cached as upper bounds (the spanner only grows, so
+//     bounds only become stale in the *safe* direction and may reject
+//     forever), and a candidate is re-verified only when its cached bound
+//     exceeds t * w(e) *and* an insertion occurred since the ball was
+//     grown (lazy revalidation). This generalises the Farshi-Gudmundsson
+//     n^2 DistanceCache of the metric kernel to sparse candidate sets
+//     without the n^2 memory.
+//  3. `csr_snapshot` -- shortest-path queries scan a frozen CSR copy of
+//     the spanner (rebuilt once per bucket, the spanner grows slowly)
+//     chained with a small overlay of intra-bucket insertions, instead of
+//     chasing the vector-of-vectors adjacency.
+//
+// Callers with scale-dependent side structures (the approximate-greedy
+// cluster oracle) hook the bucket boundary via `on_bucket` and may install
+// a reject-only `prefilter` consulted before any exact machinery.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// One candidate edge for the greedy loop.
+struct GreedyCandidate {
+    VertexId u = kNoVertex;
+    VertexId v = kNoVertex;
+    Weight weight = 0.0;
+};
+
+struct GreedyEngineOptions {
+    double stretch = 2.0;  ///< t >= 1
+
+    bool bidirectional = true;  ///< meet-in-the-middle point queries
+    bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
+    bool csr_snapshot = true;   ///< frozen CSR adjacency per bucket
+
+    /// Geometric ratio of the weight buckets that pace ball sharing, CSR
+    /// rebuilds, and `on_bucket` callbacks. Must be > 1.
+    double bucket_ratio = 2.0;
+
+    /// Ball sharing decides ball-vs-point adaptively from measured work (a
+    /// ball pays off when its touched-vertex count amortizes below the
+    /// per-query cost of the group's remaining point queries -- the metric
+    /// regime, where one ball answers hundreds of pairs; on expander-like
+    /// graphs a full ball costs far more than a meet-in-the-middle query).
+    /// Until the first ball of a run calibrates the cost model, a ball is
+    /// attempted only for groups with at least this many undecided
+    /// candidates.
+    std::size_t ball_share_min_group = 16;
+
+    /// Optional sound reject-only fast path, consulted first for every
+    /// candidate: return true only if a realizable witness path of length
+    /// <= threshold is known (e.g. the cluster-graph oracle). Must never
+    /// reject a candidate the exact test would keep.
+    std::function<bool(VertexId u, VertexId v, Weight threshold)> prefilter;
+
+    /// Called on entering each weight bucket, after the spanner reflects
+    /// every decision of earlier buckets: rebuild scale-dependent helpers
+    /// here. `bucket_lo` is the weight of the bucket's first candidate.
+    std::function<void(const Graph& h, Weight bucket_lo)> on_bucket;
+};
+
+/// The shared greedy kernel. One engine instance holds the reusable query
+/// workspace and cache scratch; `run` may be called repeatedly.
+class GreedyEngine {
+public:
+    GreedyEngine(std::size_t n, GreedyEngineOptions options);
+
+    /// Run the greedy loop: candidates must be sorted by non-decreasing
+    /// weight (the caller fixes tie order -- the engine preserves it).
+    /// Decisions are appended to `h`, which carries any pre-seeded edges
+    /// (the approximate-greedy E0 set); returns the final spanner.
+    Graph run(Graph h, std::span<const GreedyCandidate> candidates,
+              GreedyStats* stats = nullptr);
+
+    [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
+
+private:
+    template <class Adapter>
+    Graph run_impl(Adapter& adapter, Graph h, std::span<const GreedyCandidate> candidates,
+                   GreedyStats& stats);
+
+    GreedyEngineOptions options_;
+    std::size_t n_;
+
+    DijkstraWorkspace ws_;
+
+    // Ball-sharing scratch, reused across runs. `group_` entries are cleared
+    // lazily through `group_sources_` so a bucket costs O(its candidates),
+    // not O(n).
+    std::vector<Weight> cand_bound_;                ///< per-candidate upper bound
+    std::vector<std::vector<std::uint32_t>> group_; ///< source -> candidate idxs
+    std::vector<VertexId> group_sources_;           ///< sources of current bucket
+    std::vector<std::uint64_t> ball_bucket_;        ///< bucket of last ball per source
+    std::vector<std::uint64_t> ball_epoch_;         ///< insert epoch of last ball
+    std::vector<Weight> ball_radius_;               ///< radius of last ball
+    std::vector<std::uint32_t> remaining_;          ///< undecided candidates per source
+};
+
+/// The candidate list of a graph input: all edges of g sorted by
+/// (weight, min endpoint, max endpoint, edge id) -- the deterministic tie
+/// order the naive kernel has always used.
+std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g);
+
+/// greedy_spanner with explicit engine configuration (the plain
+/// greedy_spanner(g, t) overload runs the full-featured engine).
+Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
+                          GreedyStats* stats = nullptr);
+
+}  // namespace gsp

@@ -4,59 +4,28 @@
 #include <stdexcept>
 #include <vector>
 
-#include "graph/dijkstra.hpp"
+#include "core/greedy_engine.hpp"
 #include "util/timer.hpp"
 
 namespace gsp {
 
 namespace {
 
-struct Pair {
-    Weight weight;
-    VertexId u;
-    VertexId v;
-};
-
-std::vector<Pair> sorted_pairs(const MetricSpace& m) {
+std::vector<GreedyCandidate> sorted_pairs(const MetricSpace& m) {
     const std::size_t n = m.size();
-    std::vector<Pair> pairs;
+    std::vector<GreedyCandidate> pairs;
     pairs.reserve(n * (n - 1) / 2);
     for (VertexId i = 0; i < n; ++i) {
         for (VertexId j = i + 1; j < n; ++j) {
-            pairs.push_back(Pair{m.distance(i, j), i, j});
+            pairs.push_back(GreedyCandidate{i, j, m.distance(i, j)});
         }
     }
-    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
-        return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
-    });
+    std::sort(pairs.begin(), pairs.end(),
+              [](const GreedyCandidate& a, const GreedyCandidate& b) {
+                  return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+              });
     return pairs;
 }
-
-/// Upper-bound cache on current spanner distances. Entries only decrease;
-/// +infinity means "never computed".
-class DistanceCache {
-public:
-    explicit DistanceCache(std::size_t n) : n_(n), data_(n * n, kInfiniteWeight) {
-        for (std::size_t i = 0; i < n; ++i) data_[i * n + i] = 0.0;
-    }
-
-    [[nodiscard]] Weight get(VertexId a, VertexId b) const { return data_[idx(a, b)]; }
-
-    void lower_to(VertexId a, VertexId b, Weight d) {
-        Weight& x = data_[idx(a, b)];
-        if (d < x) {
-            x = d;
-            data_[idx(b, a)] = d;
-        }
-    }
-
-private:
-    [[nodiscard]] std::size_t idx(VertexId a, VertexId b) const {
-        return static_cast<std::size_t>(a) * n_ + b;
-    }
-    std::size_t n_;
-    std::vector<Weight> data_;
-};
 
 }  // namespace
 
@@ -64,44 +33,27 @@ Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& opt
                             GreedyStats* stats) {
     const double t = options.stretch;
     if (t < 1.0) throw std::invalid_argument("greedy_spanner_metric: stretch must be >= 1");
-    const Timer timer;
     const std::size_t n = m.size();
-
-    Graph h(n);
-    GreedyStats local;
-    if (n >= 2) {
-        const auto pairs = sorted_pairs(m);
-        DijkstraWorkspace ws(n);
-
-        if (options.use_distance_cache) {
-            DistanceCache cache(n);
-            for (const Pair& p : pairs) {
-                ++local.edges_examined;
-                const Weight threshold = t * p.weight;
-                if (cache.get(p.u, p.v) <= threshold) continue;  // cached witness path
-                // Cached bound too weak: compute the exact ball around u and
-                // refresh every distance it certifies.
-                ++local.dijkstra_runs;
-                const auto& ball = ws.ball(h, p.u, threshold);
-                for (const auto& [vertex, dist] : ball) cache.lower_to(p.u, vertex, dist);
-                if (cache.get(p.u, p.v) > threshold) {
-                    h.add_edge(p.u, p.v, p.weight);
-                    ++local.edges_added;
-                    cache.lower_to(p.u, p.v, p.weight);
-                }
-            }
-        } else {
-            for (const Pair& p : pairs) {
-                ++local.edges_examined;
-                const Weight threshold = t * p.weight;
-                ++local.dijkstra_runs;
-                if (ws.distance(h, p.u, p.v, threshold) > threshold) {
-                    h.add_edge(p.u, p.v, p.weight);
-                    ++local.edges_added;
-                }
-            }
-        }
+    if (n < 2) {
+        if (stats != nullptr) *stats = GreedyStats{};
+        return Graph(n);
     }
+
+    // The cached variant is the full engine: per-bucket shared balls play
+    // the role of the Farshi-Gudmundsson n^2 matrix (upper bounds that only
+    // ever improve), without the n^2 memory. The naive variant is the
+    // reference kernel: one one-sided distance-limited Dijkstra per pair.
+    GreedyEngineOptions engine_options;
+    engine_options.stretch = t;
+    engine_options.bidirectional = options.use_distance_cache;
+    engine_options.ball_sharing = options.use_distance_cache;
+    engine_options.csr_snapshot = options.use_distance_cache;
+
+    const Timer timer;  // include pair enumeration + sort, as before
+    const auto pairs = sorted_pairs(m);
+    GreedyEngine engine(n, engine_options);
+    GreedyStats local;
+    Graph h = engine.run(Graph(n), pairs, &local);
     local.seconds = timer.seconds();
     if (stats != nullptr) *stats = local;
     return h;

@@ -1,19 +1,20 @@
 // The greedy spanner over a metric space (Sections 4-5 of the paper).
 //
 // In a metric space the candidate edge set is all n(n-1)/2 pairs. Two
-// implementations share one output (they are observationally identical):
+// configurations of the shared GreedyEngine produce one output (they are
+// observationally identical):
 //
-//  * the naive greedy -- one distance-limited Dijkstra per pair;
-//  * the Farshi-Gudmundsson cached greedy (the practical variant behind the
-//    O(n^2 log n) bound the paper cites as [BCF+10]): the spanner only ever
-//    grows, so any previously computed spanner distance is an *upper bound*
-//    on the current one. A pair whose cached upper bound already satisfies
-//    the stretch test is rejected without running Dijkstra; otherwise one
-//    Dijkstra ball is grown and its exact distances refresh the cache.
-//
-// The cached variant stores an n x n matrix (8 n^2 bytes); instances are
-// expected to stay within a few thousand points, which matches the
-// experiment envelope in DESIGN.md.
+//  * the naive greedy -- one one-sided distance-limited Dijkstra per pair
+//    (every engine optimisation off);
+//  * the cached greedy -- the full engine: per-bucket shared balls cache
+//    spanner distances as upper bounds in the Farshi-Gudmundsson style (the
+//    practical variant behind the O(n^2 log n) bound the paper cites as
+//    [BCF+10]); the spanner only grows, so a cached bound may reject a pair
+//    forever, and only bound-exceeding pairs are re-verified. The engine
+//    keeps one bound per candidate pair (8 bytes on top of the 16-byte
+//    candidate record the sorted pair list already stores) instead of a
+//    separate n x n matrix, and shares its balls only within a weight
+//    bucket.
 #pragma once
 
 #include "core/greedy.hpp"
@@ -24,7 +25,9 @@ namespace gsp {
 
 struct MetricGreedyOptions {
     double stretch = 2.0;
-    /// Use the Farshi-Gudmundsson distance cache (identical output, faster).
+    /// Run the full GreedyEngine (FG-style shared-ball cache, bidirectional
+    /// queries, CSR snapshots). Identical output, faster. Off = the naive
+    /// reference kernel.
     bool use_distance_cache = true;
 };
 

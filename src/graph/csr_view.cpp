@@ -1,0 +1,40 @@
+#include "graph/csr_view.hpp"
+
+namespace gsp {
+
+void CsrView::rebuild(const Graph& g) {
+    const std::size_t n = g.num_vertices();
+    offsets_.assign(n + 1, 0);
+    for (const Edge& e : g.edges()) {
+        ++offsets_[e.u + 1];
+        ++offsets_[e.v + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+    half_.resize(2 * g.num_edges());
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        const Edge& e = g.edge(id);
+        half_[cursor_[e.u]++] = HalfEdge{e.v, e.weight, id};
+        half_[cursor_[e.v]++] = HalfEdge{e.u, e.weight, id};
+    }
+}
+
+void CsrOverlayView::snapshot(const Graph& g) {
+    csr_.rebuild(g);
+    // Clear stale overlay runs *before* resizing: a smaller graph would
+    // otherwise leave touched_ entries pointing past the new size.
+    for (VertexId v : touched_) overlay_[v].clear();
+    touched_.clear();
+    overlay_.resize(g.num_vertices());
+    overlay_edges_ = 0;
+}
+
+void CsrOverlayView::add_edge(VertexId u, VertexId v, Weight w, EdgeId id) {
+    if (overlay_[u].empty()) touched_.push_back(u);
+    overlay_[u].push_back(HalfEdge{v, w, id});
+    if (overlay_[v].empty()) touched_.push_back(v);
+    overlay_[v].push_back(HalfEdge{u, w, id});
+    ++overlay_edges_;
+}
+
+}  // namespace gsp

@@ -1,0 +1,121 @@
+// Frozen compressed-sparse-row adjacency snapshots.
+//
+// The greedy engine's inner loop is a distance-limited Dijkstra over the
+// growing spanner. The spanner grows *slowly* (one edge per accepted
+// candidate, and most candidates are rejected), so the engine freezes the
+// adjacency into a CSR snapshot once per weight bucket and scans contiguous
+// arrays instead of chasing the vector-of-vectors adjacency of `Graph`.
+// Edges accepted after the snapshot land in a small per-vertex overlay, so
+// queries remain *exact* on the current spanner: CsrOverlayView::neighbors
+// chains the frozen CSR run with the overlay run of that vertex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// Immutable CSR copy of a Graph's adjacency. Rebuild is O(n + m) with two
+/// counting passes; neighbor scans are a single contiguous run.
+class CsrView {
+public:
+    CsrView() = default;
+    explicit CsrView(const Graph& g) { rebuild(g); }
+
+    /// Refreeze from the graph's current adjacency.
+    void rebuild(const Graph& g);
+
+    [[nodiscard]] std::size_t num_vertices() const {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+    [[nodiscard]] std::size_t num_half_edges() const { return half_.size(); }
+
+    [[nodiscard]] std::span<const HalfEdge> neighbors(VertexId v) const {
+        return {half_.data() + offsets_[v], half_.data() + offsets_[v + 1]};
+    }
+
+private:
+    std::vector<std::uint32_t> offsets_;  ///< size n + 1
+    std::vector<HalfEdge> half_;          ///< size 2m, grouped by vertex
+    std::vector<std::uint32_t> cursor_;   ///< rebuild scratch
+};
+
+/// CSR snapshot plus an append-only overlay of the edges added since the
+/// snapshot: the exact adjacency of a slowly growing graph whose hot read
+/// path stays contiguous. Satisfies the same graph-view shape as `Graph`
+/// (num_vertices / neighbors yielding HalfEdge), so DijkstraWorkspace
+/// queries run on it unchanged.
+class CsrOverlayView {
+public:
+    /// Iterates the frozen CSR run of a vertex, then its overlay run.
+    class NeighborRange {
+    public:
+        class iterator {
+        public:
+            iterator(const HalfEdge* p, const HalfEdge* end_a, const HalfEdge* b)
+                : p_(p), end_a_(end_a), b_(b) {}
+            const HalfEdge& operator*() const { return *p_; }
+            iterator& operator++() {
+                ++p_;
+                if (p_ == end_a_) p_ = b_;
+                return *this;
+            }
+            friend bool operator==(const iterator& x, const iterator& y) {
+                return x.p_ == y.p_;
+            }
+            friend bool operator!=(const iterator& x, const iterator& y) {
+                return x.p_ != y.p_;
+            }
+
+        private:
+            const HalfEdge* p_;      ///< current position
+            const HalfEdge* end_a_;  ///< end of the CSR run (jump point)
+            const HalfEdge* b_;      ///< begin of the overlay run
+        };
+
+        NeighborRange(std::span<const HalfEdge> a, std::span<const HalfEdge> b)
+            : a_(a), b_(b) {}
+        [[nodiscard]] iterator begin() const {
+            const HalfEdge* b_begin = b_.data();
+            if (a_.empty()) return {b_begin, nullptr, nullptr};
+            return {a_.data(), a_.data() + a_.size(), b_begin};
+        }
+        [[nodiscard]] iterator end() const {
+            return {b_.data() + b_.size(), nullptr, nullptr};
+        }
+
+    private:
+        std::span<const HalfEdge> a_;
+        std::span<const HalfEdge> b_;
+    };
+
+    CsrOverlayView() = default;
+
+    /// Refreeze the CSR from g's current adjacency and drop the overlay.
+    void snapshot(const Graph& g);
+
+    /// Record one undirected edge added to the underlying graph after the
+    /// last snapshot (id must be the Graph edge id, so predecessor-edge
+    /// reporting stays consistent across views).
+    void add_edge(VertexId u, VertexId v, Weight w, EdgeId id);
+
+    [[nodiscard]] std::size_t num_vertices() const { return csr_.num_vertices(); }
+    [[nodiscard]] std::size_t overlay_edges() const { return overlay_edges_; }
+
+    [[nodiscard]] NeighborRange neighbors(VertexId v) const {
+        return {csr_.neighbors(v), {overlay_[v].data(), overlay_[v].size()}};
+    }
+
+private:
+    CsrView csr_;
+    std::vector<std::vector<HalfEdge>> overlay_;  ///< per-vertex post-snapshot run
+    std::vector<VertexId> touched_;               ///< vertices with overlay entries
+    std::size_t overlay_edges_ = 0;
+};
+
+}  // namespace gsp

@@ -13,44 +13,17 @@ void DijkstraWorkspace::resize(std::size_t n) {
     pred_.resize(n, kNoVertex);
     pred_edge_.resize(n, kNoEdge);
     stamp_.resize(n, 0);
+    dist_b_.resize(n, kInfiniteWeight);
+    stamp_b_.resize(n, 0);
 }
 
 void DijkstraWorkspace::begin_query() {
     ++current_;
     heap_.clear();
-}
-
-Weight DijkstraWorkspace::distance(const Graph& g, VertexId s, VertexId target,
-                                   Weight limit) {
-    resize(g.num_vertices());
-    if (s >= g.num_vertices() || target >= g.num_vertices()) {
-        throw std::out_of_range("DijkstraWorkspace::distance: vertex out of range");
-    }
-    if (s == target) return 0.0;
-    begin_query();
-
-    dist_[s] = 0.0;
-    stamp_[s] = current_;
-    heap_.push_back({0.0, s});
-
-    while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        const QueueItem top = heap_.back();
-        heap_.pop_back();
-        if (top.dist > dist_[top.vertex]) continue;  // stale entry
-        if (top.vertex == target) return top.dist;
-        for (const HalfEdge& h : g.neighbors(top.vertex)) {
-            const Weight nd = top.dist + h.weight;
-            if (nd > limit) continue;
-            if (!seen(h.to) || nd < dist_[h.to]) {
-                stamp_[h.to] = current_;
-                dist_[h.to] = nd;
-                heap_.push_back({nd, h.to});
-                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-            }
-        }
-    }
-    return kInfiniteWeight;
+    // Pre-size to the historical peak so tight query loops never pay
+    // reallocation churn mid-search (clear() keeps capacity, so this only
+    // costs anything on fresh or recently grown workspaces).
+    if (heap_.capacity() < peak_hint_) heap_.reserve(peak_hint_);
 }
 
 const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, VertexId s,
@@ -72,7 +45,7 @@ const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, Vert
 
     dist_[s] = 0.0;
     stamp_[s] = current_;
-    heap_.push_back({0.0, s});
+    push_fwd(0.0, s);
 
     while (!heap_.empty()) {
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -87,46 +60,11 @@ const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, Vert
                 dist_[h.to] = nd;
                 pred_[h.to] = top.vertex;
                 pred_edge_[h.to] = h.edge;
-                heap_.push_back({nd, h.to});
-                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+                push_fwd(nd, h.to);
             }
         }
     }
     return dist_;
-}
-
-const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const Graph& g,
-                                                                        VertexId s,
-                                                                        Weight limit) {
-    resize(g.num_vertices());
-    if (s >= g.num_vertices()) {
-        throw std::out_of_range("DijkstraWorkspace::ball: vertex out of range");
-    }
-    begin_query();
-    ball_.clear();
-
-    dist_[s] = 0.0;
-    stamp_[s] = current_;
-    heap_.push_back({0.0, s});
-
-    while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        const QueueItem top = heap_.back();
-        heap_.pop_back();
-        if (top.dist > dist_[top.vertex]) continue;  // stale
-        ball_.push_back({top.vertex, top.dist});     // settled: distance is final
-        for (const HalfEdge& h : g.neighbors(top.vertex)) {
-            const Weight nd = top.dist + h.weight;
-            if (nd > limit) continue;
-            if (!seen(h.to) || nd < dist_[h.to]) {
-                stamp_[h.to] = current_;
-                dist_[h.to] = nd;
-                heap_.push_back({nd, h.to});
-                std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-            }
-        }
-    }
-    return ball_;
 }
 
 Weight dijkstra_distance(const Graph& g, VertexId s, VertexId t, Weight limit) {

@@ -2,14 +2,24 @@
 //
 // The greedy algorithm runs one point-to-point distance query per candidate
 // edge, on a graph that only ever grows, and it never cares about distances
-// larger than t*w(e). Two things make that affordable:
+// larger than t*w(e). Three things make that affordable:
 //   1. a *distance limit*: the search never settles vertices beyond the
 //      limit, so queries on a sparse spanner touch a small ball;
 //   2. a reusable workspace with timestamped initialization, so a query
-//      costs O(touched) instead of O(n) to reset.
+//      costs O(touched) instead of O(n) to reset;
+//   3. a *bidirectional* variant that grows two frontiers meeting near
+//      limit/2 -- on bounded-growth instances the settled ball shrinks
+//      superlinearly versus the one-sided search.
+//
+// The query methods are templated over the adjacency view so the same code
+// runs on the mutable `Graph` and on the engine's frozen `CsrOverlayView`
+// snapshots. A view must provide `num_vertices()` and `neighbors(v)`
+// yielding a range of `HalfEdge`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -21,6 +31,7 @@ namespace gsp {
 /// vertex count. Not thread-safe; use one workspace per thread.
 class DijkstraWorkspace {
 public:
+    DijkstraWorkspace() = default;
     explicit DijkstraWorkspace(std::size_t n);
 
     /// Grow to accommodate n vertices (keeps amortized O(1) resets).
@@ -29,7 +40,17 @@ public:
     /// Distance from s to target in g, or +infinity if it exceeds `limit`
     /// (or target is unreachable). Settles only vertices at distance <= limit
     /// and stops as soon as `target` is settled.
-    Weight distance(const Graph& g, VertexId s, VertexId target, Weight limit);
+    template <class G>
+    Weight distance(const G& g, VertexId s, VertexId target, Weight limit);
+
+    /// As `distance`, but grows forward and backward frontiers that meet in
+    /// the middle: each side settles a ball of radius ~limit/2, which is a
+    /// superlinear shrink of the touched set on bounded-growth instances.
+    /// Caveat: the returned value sums the two half-path lengths, which may
+    /// reassociate floating-point addition relative to the one-sided sweep
+    /// (differences are confined to the last ulp).
+    template <class G>
+    Weight distance_bidirectional(const G& g, VertexId s, VertexId target, Weight limit);
 
     /// Single-source distances to every vertex within `limit`; entries beyond
     /// the limit (or unreachable) are +infinity. The result is valid until
@@ -47,12 +68,46 @@ public:
     /// Settled vertices and exact distances of the ball of radius `limit`
     /// around s. Costs O(|ball| log |ball|), *not* O(n): no dense reset.
     /// The returned reference is valid until the next call on this workspace.
-    const std::vector<std::pair<VertexId, Weight>>& ball(const Graph& g, VertexId s,
+    template <class G>
+    const std::vector<std::pair<VertexId, Weight>>& ball(const G& g, VertexId s,
                                                          Weight limit);
+
+    /// Valid immediately after ball() or all_distances(): the exact distance
+    /// to v from that query's source if v was settled, +infinity otherwise.
+    /// (A drained limited Dijkstra settles exactly the vertices within the
+    /// limit, so "seen" implies exact.) Not meaningful after the early-exit
+    /// point-to-point queries.
+    [[nodiscard]] Weight settled_distance(VertexId v) const {
+        return stamp_[v] == current_ ? dist_[v] : kInfiniteWeight;
+    }
+
+    /// Valid right after any query: an *upper bound* on the distance from
+    /// the last query's (forward) source to x -- Dijkstra labels are lengths
+    /// of realizable paths even before x settles. +infinity if untouched.
+    [[nodiscard]] Weight last_forward_bound(VertexId x) const {
+        return stamp_[x] == current_ ? dist_[x] : kInfiniteWeight;
+    }
+
+    /// Valid right after distance_bidirectional: an upper bound on the
+    /// distance from the last query's *target* to x (the backward search's
+    /// labels). +infinity if untouched.
+    [[nodiscard]] Weight last_backward_bound(VertexId x) const {
+        return stamp_b_[x] == current_ ? dist_b_[x] : kInfiniteWeight;
+    }
+
+    /// Cumulative count of improving frontier-meet events observed by
+    /// distance_bidirectional on this workspace (for GreedyStats).
+    [[nodiscard]] std::size_t meet_events() const { return meets_; }
+
+    /// Heap pushes performed by the last query -- the work proxy the greedy
+    /// engine's adaptive ball-vs-point gate consumes (pushes capture both
+    /// the labeled set and the relaxation churn of dense regions).
+    [[nodiscard]] std::size_t last_work() const { return last_work_; }
 
 private:
     void begin_query();
     [[nodiscard]] bool seen(VertexId v) const { return stamp_[v] == current_; }
+    [[nodiscard]] bool seen_b(VertexId v) const { return stamp_b_[v] == current_; }
 
     struct QueueItem {
         Weight dist;
@@ -62,14 +117,206 @@ private:
         }
     };
 
+    void push_fwd(Weight d, VertexId v) {
+        heap_.push_back({d, v});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        peak_hint_ = std::max(peak_hint_, heap_.size());
+        ++last_work_;
+    }
+    void push_bwd(Weight d, VertexId v) {
+        heap_b_.push_back({d, v});
+        std::push_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
+        peak_hint_ = std::max(peak_hint_, heap_b_.size());
+        ++last_work_;
+    }
+
+    // Forward-search state (the only set used by one-sided queries).
     std::vector<Weight> dist_;
     std::vector<VertexId> pred_;
     std::vector<EdgeId> pred_edge_;
     std::vector<std::uint64_t> stamp_;
+    // Backward-search state for distance_bidirectional.
+    std::vector<Weight> dist_b_;
+    std::vector<std::uint64_t> stamp_b_;
+
     std::uint64_t current_ = 0;
     std::vector<QueueItem> heap_;
+    std::vector<QueueItem> heap_b_;
+    std::size_t peak_hint_ = 0;  ///< max heap occupancy seen; reserve() hint
+    std::size_t meets_ = 0;
+    std::size_t last_work_ = 0;
     std::vector<std::pair<VertexId, Weight>> ball_;
 };
+
+template <class G>
+Weight DijkstraWorkspace::distance(const G& g, VertexId s, VertexId target,
+                                   Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices() || target >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::distance: vertex out of range");
+    }
+    if (s == target) return 0.0;
+    begin_query();
+    last_work_ = 0;
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    push_fwd(0.0, s);
+
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const QueueItem top = heap_.back();
+        heap_.pop_back();
+        if (top.dist > dist_[top.vertex]) continue;  // stale entry
+        if (top.vertex == target) return top.dist;
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            const bool fresh = !seen(h.to);
+            if (fresh || nd < dist_[h.to]) {
+                if (fresh) {
+                    stamp_[h.to] = current_;
+                }
+                dist_[h.to] = nd;
+                push_fwd(nd, h.to);
+            }
+        }
+    }
+    return kInfiniteWeight;
+}
+
+template <class G>
+Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexId target,
+                                                 Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices() || target >= g.num_vertices()) {
+        throw std::out_of_range(
+            "DijkstraWorkspace::distance_bidirectional: vertex out of range");
+    }
+    if (s == target) return 0.0;
+    begin_query();
+    heap_b_.clear();
+    last_work_ = 0;
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    dist_b_[target] = 0.0;
+    stamp_b_[target] = current_;
+    push_fwd(0.0, s);
+    push_bwd(0.0, target);
+
+    Weight best = kInfiniteWeight;
+    // Expand the side with the smaller tentative radius; stop once the two
+    // radii certify that no undiscovered path can beat `best` (Nicholson's
+    // criterion) or fit under `limit`.
+    while (!heap_.empty() && !heap_b_.empty()) {
+        const Weight tf = heap_.front().dist;
+        const Weight tb = heap_b_.front().dist;
+        if (tf + tb >= best || tf + tb > limit) break;
+        if (tf <= tb) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            const QueueItem top = heap_.back();
+            heap_.pop_back();
+            if (top.dist > dist_[top.vertex]) continue;  // stale
+            if (seen_b(top.vertex)) {
+                const Weight through = top.dist + dist_b_[top.vertex];
+                if (through < best) {
+                    best = through;
+                    ++meets_;
+                }
+            }
+            for (const HalfEdge& h : g.neighbors(top.vertex)) {
+                const Weight nd = top.dist + h.weight;
+                if (nd > limit) continue;
+                const bool fresh = !seen(h.to);
+                if (fresh || nd < dist_[h.to]) {
+                    if (fresh) {
+                        stamp_[h.to] = current_;
+                    }
+                    dist_[h.to] = nd;
+                    push_fwd(nd, h.to);
+                    if (seen_b(h.to)) {
+                        const Weight through = nd + dist_b_[h.to];
+                        if (through < best) {
+                            best = through;
+                            ++meets_;
+                        }
+                    }
+                }
+            }
+        } else {
+            std::pop_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
+            const QueueItem top = heap_b_.back();
+            heap_b_.pop_back();
+            if (top.dist > dist_b_[top.vertex]) continue;  // stale
+            if (seen(top.vertex)) {
+                const Weight through = top.dist + dist_[top.vertex];
+                if (through < best) {
+                    best = through;
+                    ++meets_;
+                }
+            }
+            for (const HalfEdge& h : g.neighbors(top.vertex)) {
+                const Weight nd = top.dist + h.weight;
+                if (nd > limit) continue;
+                const bool fresh = !seen_b(h.to);
+                if (fresh || nd < dist_b_[h.to]) {
+                    if (fresh) {
+                        stamp_b_[h.to] = current_;
+                    }
+                    dist_b_[h.to] = nd;
+                    push_bwd(nd, h.to);
+                    if (seen(h.to)) {
+                        const Weight through = nd + dist_[h.to];
+                        if (through < best) {
+                            best = through;
+                            ++meets_;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return best <= limit ? best : kInfiniteWeight;
+}
+
+template <class G>
+const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const G& g,
+                                                                        VertexId s,
+                                                                        Weight limit) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::ball: vertex out of range");
+    }
+    begin_query();
+    ball_.clear();
+    last_work_ = 0;
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    push_fwd(0.0, s);
+
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const QueueItem top = heap_.back();
+        heap_.pop_back();
+        if (top.dist > dist_[top.vertex]) continue;  // stale
+        ball_.push_back({top.vertex, top.dist});     // settled: distance is final
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            const bool fresh = !seen(h.to);
+            if (fresh || nd < dist_[h.to]) {
+                if (fresh) {
+                    stamp_[h.to] = current_;
+                }
+                dist_[h.to] = nd;
+                push_fwd(nd, h.to);
+            }
+        }
+    }
+    return ball_;
+}
 
 /// Convenience wrappers (allocate a fresh workspace; fine for one-off use).
 Weight dijkstra_distance(const Graph& g, VertexId s, VertexId t,

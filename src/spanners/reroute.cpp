@@ -7,7 +7,7 @@
 
 namespace gsp {
 
-Graph reroute_through(const Graph& h1, const Graph& h2) {
+Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspace& ws) {
     if (h1.num_vertices() != h2.num_vertices()) {
         throw std::invalid_argument("reroute_through: vertex count mismatch");
     }
@@ -18,7 +18,7 @@ Graph reroute_through(const Graph& h1, const Graph& h2) {
     std::vector<std::vector<VertexId>> targets(n);
     for (const Edge& e : h1.edges()) targets[e.u].push_back(e.v);
 
-    DijkstraWorkspace ws(n);
+    ws.resize(n);
     for (VertexId s = 0; s < n; ++s) {
         if (targets[s].empty()) continue;
         const auto& dist = ws.all_distances(h2, s, kInfiniteWeight);
@@ -42,6 +42,11 @@ Graph reroute_through(const Graph& h1, const Graph& h2) {
         }
     }
     return h;
+}
+
+Graph reroute_through(const Graph& h1, const Graph& h2) {
+    DijkstraWorkspace ws(h2.num_vertices());
+    return reroute_through(h1, h2, ws);
 }
 
 }  // namespace gsp

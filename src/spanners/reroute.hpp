@@ -16,13 +16,17 @@
 // bench_ablation quantify both halves of that claim.
 #pragma once
 
+#include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
 
 namespace gsp {
 
 /// Union of H2-shortest paths between the endpoints of every H1 edge.
 /// Requires matching vertex counts; throws if some H1 edge's endpoints are
-/// disconnected in H2.
+/// disconnected in H2. The workspace-taking overload reuses the caller's
+/// DijkstraWorkspace (no O(n) allocation per call -- for loops that reroute
+/// repeatedly); the plain overload allocates a local one and delegates.
+Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspace& ws);
 Graph reroute_through(const Graph& h1, const Graph& h2);
 
 }  // namespace gsp

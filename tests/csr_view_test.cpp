@@ -1,0 +1,115 @@
+// CsrView / CsrOverlayView: the frozen adjacency snapshots behind the
+// greedy engine's csr_snapshot optimisation. The contract is exactness --
+// a snapshot plus its overlay must describe the same multigraph as the
+// Graph it was taken from, and Dijkstra answers on either must agree.
+#include "graph/csr_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "gen/graphs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+/// Canonical (to, weight, edge-id) multiset of a vertex's neighbors.
+template <class View>
+std::vector<std::tuple<VertexId, Weight, EdgeId>> adjacency_of(const View& v,
+                                                               VertexId u) {
+    std::vector<std::tuple<VertexId, Weight, EdgeId>> out;
+    for (const HalfEdge& h : v.neighbors(u)) {
+        out.emplace_back(h.to, h.weight, h.edge);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(CsrViewTest, MatchesGraphAdjacency) {
+    Rng rng(5);
+    const Graph g = erdos_renyi(40, 0.2, {.lo = 0.5, .hi = 2.0}, rng);
+    const CsrView csr(g);
+    ASSERT_EQ(csr.num_vertices(), g.num_vertices());
+    EXPECT_EQ(csr.num_half_edges(), 2 * g.num_edges());
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        EXPECT_EQ(adjacency_of(csr, u), adjacency_of(g, u)) << "vertex " << u;
+    }
+}
+
+TEST(CsrViewTest, EmptyAndEdgelessGraphs) {
+    const CsrView empty(Graph(0));
+    EXPECT_EQ(empty.num_vertices(), 0u);
+    const CsrView edgeless(Graph(7));
+    EXPECT_EQ(edgeless.num_vertices(), 7u);
+    EXPECT_EQ(edgeless.num_half_edges(), 0u);
+    EXPECT_TRUE(edgeless.neighbors(3).empty());
+}
+
+TEST(CsrViewTest, ParallelEdgesAreKept) {
+    Graph g(2);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(0, 1, 2.0);
+    const CsrView csr(g);
+    EXPECT_EQ(csr.neighbors(0).size(), 2u);
+    EXPECT_EQ(csr.neighbors(1).size(), 2u);
+}
+
+TEST(CsrOverlayViewTest, OverlayChainsAfterFrozenRun) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    CsrOverlayView view;
+    view.snapshot(g);
+    // Grow the graph past the snapshot; mirror into the overlay.
+    const EdgeId e1 = g.add_edge(1, 3, 2.0);
+    view.add_edge(1, 3, 2.0, e1);
+    const EdgeId e2 = g.add_edge(0, 3, 5.0);
+    view.add_edge(0, 3, 5.0, e2);
+
+    ASSERT_EQ(view.num_vertices(), 4u);
+    EXPECT_EQ(view.overlay_edges(), 2u);
+    for (VertexId u = 0; u < 4; ++u) {
+        EXPECT_EQ(adjacency_of(view, u), adjacency_of(g, u)) << "vertex " << u;
+    }
+
+    // Re-snapshot folds the overlay into the frozen run.
+    view.snapshot(g);
+    EXPECT_EQ(view.overlay_edges(), 0u);
+    for (VertexId u = 0; u < 4; ++u) {
+        EXPECT_EQ(adjacency_of(view, u), adjacency_of(g, u)) << "vertex " << u;
+    }
+}
+
+TEST(CsrOverlayViewTest, DijkstraAgreesWithGraph) {
+    Rng rng(11);
+    Graph g = erdos_renyi(50, 0.12, {.lo = 0.5, .hi = 3.0}, rng);
+    CsrOverlayView view;
+    view.snapshot(g);
+    // Insert a batch of shortcut edges after the snapshot.
+    for (int i = 0; i < 12; ++i) {
+        const auto u = static_cast<VertexId>(rng.index(50));
+        const auto v = static_cast<VertexId>(rng.index(50));
+        if (u == v) continue;
+        const EdgeId id = g.add_edge(u, v, rng.uniform(0.1, 1.0));
+        view.add_edge(u, v, g.edge(id).weight, id);
+    }
+    DijkstraWorkspace ws_graph(50);
+    DijkstraWorkspace ws_view(50);
+    for (VertexId s = 0; s < 10; ++s) {
+        for (VertexId t = 10; t < 20; ++t) {
+            for (const Weight limit : {2.0, 5.0, kInfiniteWeight}) {
+                EXPECT_DOUBLE_EQ(ws_view.distance(view, s, t, limit),
+                                 ws_graph.distance(g, s, t, limit))
+                    << s << "->" << t << " limit " << limit;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gsp

@@ -149,6 +149,70 @@ TEST(DijkstraTest, OutOfRangeThrows) {
     EXPECT_THROW(ws.distance(g, 0, 9, kInfiniteWeight), std::out_of_range);
 }
 
+// ---------------------------------------------------------------------------
+// Bidirectional bounded search (the greedy engine's point-query kernel).
+
+TEST(BidirectionalTest, PathGraphDistancesAndLimits) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(2, 3, 1.0);
+    DijkstraWorkspace ws(4);
+    EXPECT_DOUBLE_EQ(ws.distance_bidirectional(g, 0, 3, kInfiniteWeight), 3.0);
+    EXPECT_DOUBLE_EQ(ws.distance_bidirectional(g, 1, 1, 5.0), 0.0);
+    // Inclusive limit semantics, like the one-sided search.
+    EXPECT_DOUBLE_EQ(ws.distance_bidirectional(g, 0, 3, 3.0), 3.0);
+    EXPECT_EQ(ws.distance_bidirectional(g, 0, 3, 2.999), kInfiniteWeight);
+}
+
+TEST(BidirectionalTest, UnreachableAndOutOfRange) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(2, 3, 1.0);
+    DijkstraWorkspace ws(4);
+    EXPECT_EQ(ws.distance_bidirectional(g, 0, 3, kInfiniteWeight), kInfiniteWeight);
+    EXPECT_THROW(ws.distance_bidirectional(g, 0, 9, 1.0), std::out_of_range);
+}
+
+TEST(BidirectionalTest, MeetEventsAccumulate) {
+    Graph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    DijkstraWorkspace ws(3);
+    EXPECT_EQ(ws.meet_events(), 0u);
+    EXPECT_DOUBLE_EQ(ws.distance_bidirectional(g, 0, 2, kInfiniteWeight), 2.0);
+    EXPECT_GT(ws.meet_events(), 0u);
+}
+
+class BidirectionalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, double>> {};
+
+TEST_P(BidirectionalPropertyTest, AgreesWithOneSidedSearch) {
+    const auto [seed, n, p] = GetParam();
+    Rng rng(seed ^ 0xb1d1);
+    const Graph g = random_graph(n, p, rng);
+    DijkstraWorkspace one(n);
+    DijkstraWorkspace two(n);
+    for (VertexId s = 0; s < std::min<std::size_t>(n, 6); ++s) {
+        for (VertexId t = 0; t < n; ++t) {
+            for (const Weight limit : {3.0, 8.0, kInfiniteWeight}) {
+                const Weight d1 = one.distance(g, s, t, limit);
+                const Weight d2 = two.distance_bidirectional(g, s, t, limit);
+                if (d1 == kInfiniteWeight) {
+                    EXPECT_EQ(d2, kInfiniteWeight) << s << "->" << t;
+                } else {
+                    EXPECT_NEAR(d2, d1, 1e-9) << s << "->" << t << " limit " << limit;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BidirectionalPropertyTest,
+                         ::testing::Combine(::testing::Values(2u, 9u, 31u),
+                                            ::testing::Values(20u, 45u),
+                                            ::testing::Values(0.08, 0.3)));
+
 // Property suite: Dijkstra agrees with Bellman-Ford and Floyd-Warshall on
 // random graphs of varied density.
 class DijkstraPropertyTest

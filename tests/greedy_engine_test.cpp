@@ -1,0 +1,172 @@
+// Kernel-equivalence suite for the unified GreedyEngine: every combination
+// of the three optimisations (bidirectional, ball sharing, CSR snapshots)
+// must return exactly the same edge set as the naive kernel, on every
+// instance family -- that is the engine's core contract, and what lets
+// bench_ablation attribute speed differences purely to the optimisations.
+#include "core/greedy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace gsp {
+namespace {
+
+GreedyEngineOptions config_from_mask(double t, unsigned mask) {
+    GreedyEngineOptions options;
+    options.stretch = t;
+    options.bidirectional = (mask & 1u) != 0;
+    options.ball_sharing = (mask & 2u) != 0;
+    options.csr_snapshot = (mask & 4u) != 0;
+    return options;
+}
+
+std::string mask_name(unsigned mask) {
+    std::string s;
+    if (mask & 1u) s += "+bidirectional";
+    if (mask & 2u) s += "+ball_sharing";
+    if (mask & 4u) s += "+csr_snapshot";
+    return s.empty() ? "naive" : s;
+}
+
+/// The instance families named by the issue: Erdos-Renyi, grid, Euclidean
+/// (random geometric, with Euclidean edge weights).
+std::vector<std::pair<std::string, Graph>> instance_family(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::pair<std::string, Graph>> out;
+    out.emplace_back("erdos_renyi", erdos_renyi(60, 0.15, {.lo = 0.5, .hi = 3.0}, rng));
+    out.emplace_back("grid", grid_graph(8, 9, {.lo = 1.0, .hi = 2.0}, rng));
+    out.emplace_back("euclidean", random_geometric(70, 0.25, rng));
+    return out;
+}
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(EngineEquivalenceTest, EveryConfigurationMatchesTheNaiveKernel) {
+    const auto [seed, t] = GetParam();
+    for (const auto& [name, g] : instance_family(seed)) {
+        GreedyStats naive_stats;
+        const Graph naive = greedy_spanner_with(g, config_from_mask(t, 0), &naive_stats);
+        EXPECT_EQ(naive_stats.dijkstra_runs, g.num_edges()) << name;
+        for (unsigned mask = 1; mask <= 7; ++mask) {
+            GreedyStats stats;
+            const Graph h = greedy_spanner_with(g, config_from_mask(t, mask), &stats);
+            EXPECT_TRUE(same_edge_set(h, naive))
+                << name << " diverges under " << mask_name(mask) << " at t=" << t;
+            EXPECT_EQ(stats.edges_examined, g.num_edges());
+            // No configuration may run *more* queries than the naive loop.
+            EXPECT_LE(stats.dijkstra_runs, naive_stats.dijkstra_runs)
+                << name << " " << mask_name(mask);
+            if ((mask & 4u) != 0) {
+                EXPECT_EQ(stats.csr_rebuilds, stats.buckets);
+            } else {
+                EXPECT_EQ(stats.csr_rebuilds, 0u);
+            }
+            if ((mask & 2u) == 0) EXPECT_EQ(stats.balls_computed, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EngineEquivalenceTest,
+                         ::testing::Combine(::testing::Values(3u, 17u, 101u),
+                                            ::testing::Values(1.1, 1.5, 2.0, 4.0)));
+
+TEST(GreedyEngineTest, DeterministicAcrossRuns) {
+    Rng rng(9);
+    const Graph g = erdos_renyi(80, 0.2, {.lo = 0.5, .hi = 4.0}, rng);
+    GreedyEngineOptions options;  // full engine
+    options.stretch = 2.0;
+    const Graph a = greedy_spanner_with(g, options);
+    const Graph b = greedy_spanner_with(g, options);
+    // Stronger than same_edge_set: identical insertion sequence.
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (EdgeId id = 0; id < a.num_edges(); ++id) {
+        EXPECT_EQ(a.edge(id), b.edge(id));
+    }
+}
+
+TEST(GreedyEngineTest, ReusedEngineInstanceIsStateless) {
+    // One engine, two runs over different candidate lists: the scratch
+    // (bounds, groups, epochs) must fully reset between runs.
+    Rng rng(21);
+    const Graph g1 = erdos_renyi(40, 0.3, {.lo = 1.0, .hi = 2.0}, rng);
+    const Graph g2 = grid_graph(5, 8, {.lo = 1.0, .hi = 2.0}, rng);
+    GreedyEngineOptions options;
+    options.stretch = 1.5;
+    // Same vertex count keeps one engine valid for both.
+    ASSERT_EQ(g1.num_vertices(), g2.num_vertices());
+    GreedyEngine engine(g1.num_vertices(), options);
+    const Graph a1 = engine.run(Graph(g1.num_vertices()), sorted_graph_candidates(g1));
+    const Graph a2 = engine.run(Graph(g2.num_vertices()), sorted_graph_candidates(g2));
+    EXPECT_TRUE(same_edge_set(a1, greedy_spanner(g1, 1.5)));
+    EXPECT_TRUE(same_edge_set(a2, greedy_spanner(g2, 1.5)));
+}
+
+TEST(GreedyEngineTest, RejectsUnsortedCandidates) {
+    GreedyEngine engine(3, GreedyEngineOptions{.stretch = 2.0});
+    const std::vector<GreedyCandidate> unsorted = {{0, 1, 2.0}, {1, 2, 1.0}};
+    EXPECT_THROW(engine.run(Graph(3), unsorted), std::invalid_argument);
+}
+
+TEST(GreedyEngineTest, RejectsBadOptions) {
+    EXPECT_THROW(GreedyEngine(3, GreedyEngineOptions{.stretch = 0.5}),
+                 std::invalid_argument);
+    GreedyEngineOptions bad_ratio;
+    bad_ratio.bucket_ratio = 1.0;
+    EXPECT_THROW(GreedyEngine(3, bad_ratio), std::invalid_argument);
+}
+
+TEST(GreedyEngineTest, PrefilterOnlyShortCircuitsNeverChangesOutput) {
+    // A sound reject-only prefilter (here: exact distances on the live
+    // spanner, computed independently) must not change any decision.
+    Rng rng(33);
+    const Graph g = erdos_renyi(50, 0.25, {.lo = 0.5, .hi = 3.0}, rng);
+    const double t = 1.8;
+
+    std::size_t rejects = 0;
+    const Graph* live = nullptr;
+    GreedyEngineOptions options;
+    options.stretch = t;
+    options.on_bucket = [&](const Graph& h, Weight) { live = &h; };
+    options.prefilter = [&](VertexId u, VertexId v, Weight threshold) {
+        DijkstraWorkspace ws(live->num_vertices());
+        // NOTE: `live` lags intra-bucket insertions, so distances measured
+        // on it are upper bounds on the current spanner distance - sound.
+        if (ws.distance(*live, u, v, threshold) <= threshold) {
+            ++rejects;
+            return true;
+        }
+        return false;
+    };
+    GreedyStats stats;
+    const Graph h = greedy_spanner_with(g, options, &stats);
+    EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, t)));
+    EXPECT_EQ(stats.prefilter_rejects, rejects);
+    EXPECT_GT(rejects, 0u);
+}
+
+TEST(GreedyEngineTest, SeededSpannerEdgesAreRespected) {
+    // Pre-seeded edges (the approximate-greedy E0 set) participate in
+    // distance queries from the first bucket on.
+    Graph seed(4);
+    seed.add_edge(0, 1, 1.0);
+    seed.add_edge(1, 2, 1.0);
+    GreedyEngine engine(4, GreedyEngineOptions{.stretch = 2.0});
+    // Candidate (0, 2) has witness path 0-1-2 of weight 2 <= 2 * 1.5.
+    const std::vector<GreedyCandidate> cands = {{0, 2, 1.5}, {2, 3, 2.0}};
+    const Graph h = engine.run(std::move(seed), cands);
+    EXPECT_EQ(h.num_edges(), 3u);
+    EXPECT_FALSE(h.has_edge(0, 2));
+    EXPECT_TRUE(h.has_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace gsp

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "analysis/audit.hpp"
+#include "core/greedy_engine.hpp"
 #include "graph/girth.hpp"
 #include "graph/graph.hpp"
 #include "graph/mst.hpp"
@@ -102,8 +103,31 @@ TEST(GreedyTest, StatsAreConsistent) {
     const Graph h = greedy_spanner(g, 2.0, &stats);
     EXPECT_EQ(stats.edges_examined, g.num_edges());
     EXPECT_EQ(stats.edges_added, h.num_edges());
-    EXPECT_EQ(stats.dijkstra_runs, g.num_edges());
+    // The full engine decides every candidate with at most one query, and
+    // the shared-ball cache decides some with none at all.
+    EXPECT_LE(stats.dijkstra_runs, g.num_edges());
+    EXPECT_GT(stats.dijkstra_runs, 0u);
+    EXPECT_LE(stats.cache_hits + stats.dijkstra_runs, g.num_edges());
+    EXPECT_GT(stats.buckets, 0u);
+    EXPECT_EQ(stats.csr_rebuilds, stats.buckets);  // one refreeze per bucket
     EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(GreedyTest, NaiveEngineConfigurationCountsOneQueryPerEdge) {
+    Rng rng(1);
+    const Graph g = random_connected_graph(25, 0.4, rng);
+    GreedyEngineOptions options;  // all optimisations off = the naive kernel
+    options.stretch = 2.0;
+    options.bidirectional = false;
+    options.ball_sharing = false;
+    options.csr_snapshot = false;
+    GreedyStats stats;
+    const Graph h = greedy_spanner_with(g, options, &stats);
+    EXPECT_EQ(stats.dijkstra_runs, g.num_edges());
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.csr_rebuilds, 0u);
+    EXPECT_EQ(stats.balls_computed, 0u);
+    EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 2.0)));
 }
 
 // ---------------------------------------------------------------------------
