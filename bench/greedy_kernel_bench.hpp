@@ -39,11 +39,15 @@ struct KernelConfig {
     bool bidirectional;
     bool ball_sharing;
     bool csr_snapshot;
+    std::size_t threads = 1;  ///< stage-2 workers (1 = serial pipeline)
 };
 
-/// The ablation ladder: the naive reference, each optimisation alone, and
-/// the full engine. kKernelConfigs[0] must stay the naive kernel -- the
-/// sweep verifies every other row against its edge set.
+/// The ablation ladder: the naive reference, each optimisation alone, the
+/// full serial engine, and the full engine with the parallel prefilter
+/// stage at increasing worker counts. kKernelConfigs[0] must stay the
+/// naive kernel -- the sweep verifies every other row against its edge
+/// set. "full" stays the serial pipeline so the mt rows read as speedup
+/// over the PR-1 engine.
 inline constexpr KernelConfig kKernelConfigs[] = {
     {"naive", false, false, false},
     {"bidirectional", true, false, false},
@@ -51,6 +55,8 @@ inline constexpr KernelConfig kKernelConfigs[] = {
     {"csr_snapshot", false, false, true},
     {"bidirectional+csr", true, false, true},
     {"full", true, true, true},
+    {"full+mt2", true, true, true, 2},
+    {"full+mt4", true, true, true, 4},
 };
 
 struct KernelRun {
@@ -73,6 +79,7 @@ inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
         options.bidirectional = config.bidirectional;
         options.ball_sharing = config.ball_sharing;
         options.csr_snapshot = config.csr_snapshot;
+        options.num_threads = config.threads;
         KernelRun run;
         run.config = config;
         const Graph h = greedy_spanner_with(g, options, &run.stats);
@@ -114,6 +121,7 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
             << "\"bidirectional\": " << b(r.config.bidirectional) << ", "
             << "\"ball_sharing\": " << b(r.config.ball_sharing) << ", "
             << "\"csr_snapshot\": " << b(r.config.csr_snapshot) << ", "
+            << "\"threads\": " << r.config.threads << ", "
             << "\"seconds\": " << r.seconds << ", "
             << "\"edges\": " << r.edges << ", "
             << "\"matches_naive\": " << b(r.matches_naive) << ",\n"
@@ -124,13 +132,26 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
             << "\"cache_hits\": " << r.stats.cache_hits << ", "
             << "\"csr_rebuilds\": " << r.stats.csr_rebuilds << ", "
             << "\"bidirectional_meets\": " << r.stats.bidirectional_meets << ", "
+            << "\"snapshot_accepts\": " << r.stats.snapshot_accepts << ", "
             << "\"buckets\": " << r.stats.buckets << "}}"
             << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
+    // Named lookups: the ladder may append parallel rows after "full", so
+    // ratios reference configs by name rather than position.
+    const auto seconds_of = [&runs](const std::string& name) -> double {
+        for (const KernelRun& r : runs) {
+            if (name == r.config.name) return r.seconds;
+        }
+        return 0.0;
+    };
+    const double naive_s = runs.front().seconds;
+    const double full_s = seconds_of("full");
+    const double mt_s = seconds_of("full+mt4");
     out << "  \"speedup_full_vs_naive\": "
-        << (runs.back().seconds > 0.0 ? runs.front().seconds / runs.back().seconds : 0.0)
-        << "\n";
+        << (full_s > 0.0 ? naive_s / full_s : 0.0) << ",\n";
+    out << "  \"speedup_parallel_vs_full\": "
+        << (mt_s > 0.0 && full_s > 0.0 ? full_s / mt_s : 0.0) << "\n";
     out << "}\n";
 }
 

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Validate the BENCH_greedy.json schema (gsp.bench_greedy.v1).
+"""Validate BENCH_greedy.json artifacts (schema gsp.bench_greedy.v1) and
+diff them against the tracked bench history.
 
-Usage: validate_bench_json.py [path]    (default: BENCH_greedy.json)
+Usage:
+    validate_bench_json.py [path]                  schema check only
+    validate_bench_json.py --history DIR [path]    schema check of the
+        latest entry in DIR (or of `path` if given), plus a regression diff
+        of the two newest entries in DIR: kernel configs more than 20%
+        slower than the previous entry are flagged. Flags are warnings by
+        default (bench timings on shared CI runners are noisy); --strict
+        turns them into a non-zero exit.
 
-Exits non-zero if the file is missing, malformed, or violates the schema --
+Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
 naive kernel's edge set.
 """
+import argparse
 import json
 import sys
+from pathlib import Path
 
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
@@ -17,53 +27,125 @@ REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
 REQUIRED_STATS = {"edges_examined", "dijkstra_runs", "balls_computed",
                   "cache_hits", "csr_rebuilds", "bidirectional_meets", "buckets"}
 
+REGRESSION_THRESHOLD = 1.20  # >20% slower than the previous entry
+
 
 def fail(msg: str) -> None:
     print(f"BENCH_greedy.json schema violation: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_greedy.json"
+def load(path) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except OSError as e:
         fail(f"cannot read {path}: {e}")
     except json.JSONDecodeError as e:
         fail(f"{path} is not valid JSON: {e}")
+    raise AssertionError  # unreachable: fail() exits
 
+
+def validate(doc: dict, path) -> None:
     if missing := REQUIRED_TOP - doc.keys():
-        fail(f"missing top-level keys: {sorted(missing)}")
+        fail(f"{path}: missing top-level keys: {sorted(missing)}")
     if doc["schema"] != "gsp.bench_greedy.v1":
-        fail(f"unexpected schema tag {doc['schema']!r}")
+        fail(f"{path}: unexpected schema tag {doc['schema']!r}")
     inst = doc["instance"]
     if {"kind", "n", "m"} - inst.keys():
-        fail("instance must carry kind/n/m")
+        fail(f"{path}: instance must carry kind/n/m")
 
     configs = doc["configs"]
     if not configs:
-        fail("configs is empty")
+        fail(f"{path}: configs is empty")
     if configs[0]["name"] != "naive":
-        fail("configs[0] must be the naive reference")
+        fail(f"{path}: configs[0] must be the naive reference")
     names = set()
     for c in configs:
         if missing := REQUIRED_CONFIG - c.keys():
-            fail(f"config {c.get('name', '?')} missing keys: {sorted(missing)}")
+            fail(f"{path}: config {c.get('name', '?')} missing keys: {sorted(missing)}")
         if missing := REQUIRED_STATS - c["stats"].keys():
-            fail(f"config {c['name']} stats missing: {sorted(missing)}")
+            fail(f"{path}: config {c['name']} stats missing: {sorted(missing)}")
         if c["seconds"] < 0:
-            fail(f"config {c['name']} has negative seconds")
+            fail(f"{path}: config {c['name']} has negative seconds")
         if not c["matches_naive"]:
-            fail(f"config {c['name']} did not match the naive edge set")
+            fail(f"{path}: config {c['name']} did not match the naive edge set")
+        if c.get("threads", 1) < 1:
+            fail(f"{path}: config {c['name']} has a non-positive thread count")
         if c["name"] in names:
-            fail(f"duplicate config name {c['name']}")
+            fail(f"{path}: duplicate config name {c['name']}")
         names.add(c["name"])
     if "full" not in names:
-        fail("the full-engine configuration is missing")
+        fail(f"{path}: the full-engine configuration is missing")
 
     print(f"{path}: schema OK ({len(configs)} configs, source={doc['source']}, "
           f"full-vs-naive speedup {doc['speedup_full_vs_naive']:.2f}x)")
+
+
+def diff_history(history_dir: Path, strict: bool) -> int:
+    """Compare the two newest entries; returns the number of regressions."""
+    entries = sorted(p for p in history_dir.glob("*.json"))
+    if len(entries) < 2:
+        print(f"{history_dir}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              "nothing to diff yet")
+        return 0
+    prev_path, cur_path = entries[-2], entries[-1]
+    prev = {c["name"]: c for c in load(prev_path)["configs"]}
+    cur = load(cur_path)["configs"]
+    regressions = 0
+    for c in cur:
+        old = prev.get(c["name"])
+        if old is None or old["seconds"] <= 0:
+            continue
+        ratio = c["seconds"] / old["seconds"]
+        if ratio > REGRESSION_THRESHOLD:
+            regressions += 1
+            print(f"KERNEL REGRESSION: {c['name']} is {ratio:.2f}x the previous "
+                  f"entry ({old['seconds']:.3f}s -> {c['seconds']:.3f}s; "
+                  f"{prev_path.name} -> {cur_path.name})",
+                  file=sys.stderr)
+        elif ratio < 1 / REGRESSION_THRESHOLD:
+            print(f"kernel speedup: {c['name']} improved {1 / ratio:.2f}x "
+                  f"({old['seconds']:.3f}s -> {c['seconds']:.3f}s)")
+    if regressions == 0:
+        print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "
+              f"no config slowed down more than {(REGRESSION_THRESHOLD - 1) * 100:.0f}%")
+    elif strict:
+        return regressions
+    else:
+        print(f"({regressions} regression(s) flagged; informational without --strict)",
+              file=sys.stderr)
+        regressions = 0
+    return regressions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default=None,
+                        help="artifact to schema-check (default: BENCH_greedy.json, "
+                             "or the newest history entry with --history)")
+    parser.add_argument("--history", metavar="DIR", default=None,
+                        help="tracked bench-history directory to diff")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on flagged regressions")
+    args = parser.parse_args()
+
+    if args.history is None:
+        path = args.path or "BENCH_greedy.json"
+        validate(load(path), path)
+        return
+
+    history_dir = Path(args.history)
+    if not history_dir.is_dir():
+        fail(f"history directory {history_dir} does not exist")
+    if args.path:
+        validate(load(args.path), args.path)
+    else:
+        entries = sorted(history_dir.glob("*.json"))
+        if entries:
+            validate(load(entries[-1]), entries[-1])
+    if diff_history(history_dir, args.strict) > 0:
+        sys.exit(2)
 
 
 if __name__ == "__main__":

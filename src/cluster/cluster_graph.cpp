@@ -47,11 +47,14 @@ ClusterGraph::ClusterGraph(const Graph& h, double radius, DijkstraWorkspace* sha
         coarse_adj_[key.first].push_back({key.second, w});
         coarse_adj_[key.second].push_back({key.first, w});
     }
-    dist_.assign(centers_.size(), kInfiniteWeight);
-    stamp_.assign(centers_.size(), 0);
 }
 
 Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit) const {
+    return upper_bound_distance(u, v, limit, scratch_);
+}
+
+Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit,
+                                          QueryScratch& s) const {
     const std::uint32_t cu = cluster_of_.at(u);
     const std::uint32_t cv = cluster_of_.at(v);
     const Weight endpoints = to_center_[u] + to_center_[v];
@@ -65,23 +68,23 @@ Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit) 
     const Weight budget = limit - endpoints;
     if (budget < 0) return kInfiniteWeight;
 
-    ++query_;
-    heap_.clear();
-    auto cmp = [](const QueryItem& a, const QueryItem& b) { return a.d > b.d; };
+    if (s.dist.size() < centers_.size()) {
+        s.dist.resize(centers_.size(), kInfiniteWeight);
+        s.stamp.resize(centers_.size(), 0);
+    }
+    ++s.query;
+    s.heap.clear();
     auto relax = [&](std::uint32_t c, Weight d) {
-        if (stamp_[c] != query_ || d < dist_[c]) {
-            stamp_[c] = query_;
-            dist_[c] = d;
-            heap_.push_back({d, c});
-            std::push_heap(heap_.begin(), heap_.end(), cmp);
+        if (s.stamp[c] != s.query || d < s.dist[c]) {
+            s.stamp[c] = s.query;
+            s.dist[c] = d;
+            s.heap.push({d, c});
         }
     };
     relax(cu, 0.0);
-    while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), cmp);
-        const QueryItem top = heap_.back();
-        heap_.pop_back();
-        if (top.d > dist_[top.c]) continue;
+    while (!s.heap.empty()) {
+        const QueryScratch::Item top = s.heap.pop_min();
+        if (top.d > s.dist[top.c]) continue;
         if (top.c == cv) return endpoints + top.d;
         for (const auto& [nc, w] : coarse_adj_[top.c]) {
             const Weight nd = top.d + w;

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/dary_heap.hpp"
 
 namespace gsp {
 
@@ -25,6 +27,23 @@ class DijkstraWorkspace;
 
 class ClusterGraph {
 public:
+    /// Per-caller scratch for upper_bound_distance: queries touching
+    /// distinct scratches may run concurrently on one const ClusterGraph
+    /// (the cluster structure itself is immutable after construction).
+    /// Reuse one scratch per worker across queries -- timestamped init
+    /// keeps a query at O(|explored ball|), not O(#clusters).
+    struct QueryScratch {
+        std::vector<Weight> dist;
+        std::vector<std::uint64_t> stamp;
+        std::uint64_t query = 0;
+        struct Item {
+            Weight d;
+            std::uint32_t c;
+            friend bool operator>(const Item& a, const Item& b) { return a.d > b.d; }
+        };
+        DaryHeap<Item, 4> heap;  ///< same layout the Dijkstra kernel runs
+    };
+
     /// Build ball clusters of the given radius over spanner h. Pass a
     /// workspace to reuse across rebuilds (the approximate-greedy simulation
     /// rebuilds one oracle per weight bucket; a shared workspace saves the
@@ -44,7 +63,15 @@ public:
     /// real spanner path routed through cluster centers. Returns +infinity
     /// when no such path within `limit` exists (which says nothing about
     /// the true distance -- this oracle is one-sided by design).
+    /// Single-owner convenience overload (uses the internal scratch).
     [[nodiscard]] Weight upper_bound_distance(VertexId u, VertexId v, Weight limit) const;
+
+    /// Concurrent-safe variant: as above, but all mutable query state lives
+    /// in the caller-provided scratch. Distinct scratches => safe to call
+    /// from distinct threads simultaneously (the greedy engine's parallel
+    /// prefilter stage does, one scratch per worker).
+    [[nodiscard]] Weight upper_bound_distance(VertexId u, VertexId v, Weight limit,
+                                              QueryScratch& scratch) const;
 
     /// Invariant check for tests: every vertex is assigned, center
     /// distances are within the radius, and every cluster-graph edge weight
@@ -59,17 +86,11 @@ private:
     /// Coarse adjacency: cluster index -> (neighbor cluster, weight).
     std::vector<std::vector<std::pair<std::uint32_t, Weight>>> coarse_adj_;
 
-    // Timestamped per-query scratch: a query touches O(|explored ball|), not
-    // O(#clusters). ClusterGraph is not thread-safe (single-owner use, like
-    // DijkstraWorkspace).
-    struct QueryItem {
-        Weight d;
-        std::uint32_t c;
-    };
-    mutable std::vector<Weight> dist_;
-    mutable std::vector<std::uint64_t> stamp_;
-    mutable std::uint64_t query_ = 0;
-    mutable std::vector<QueryItem> heap_;
+    // Internal scratch backing the single-owner overload. Concurrent
+    // callers must use the QueryScratch overload instead -- the structure
+    // arrays above are immutable after construction, so queries only race
+    // on scratch state.
+    mutable QueryScratch scratch_;
 };
 
 }  // namespace gsp

@@ -106,27 +106,40 @@ ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m,
     GreedyEngineOptions engine_options;
     engine_options.stretch = result.t_sim;
     engine_options.bucket_ratio = options.bucket_ratio;
+    engine_options.num_threads = options.num_threads;
     DijkstraWorkspace oracle_ws(n);
     std::unique_ptr<ClusterGraph> oracle;
+    std::vector<ClusterGraph::QueryScratch> oracle_scratch;
     if (options.use_cluster_oracle) {
         engine_options.on_bucket = [&](const Graph& spanner, Weight bucket_lo) {
-            // Entering a new bucket: rebuild the coarse oracle at this scale.
+            // Entering a new bucket: rebuild the coarse oracle at this scale
+            // (serial -- the engine fans stage 2 out only after this).
             oracle = std::make_unique<ClusterGraph>(spanner, (eps / 16.0) * bucket_lo,
                                                     &oracle_ws);
         };
+        // Sound reject-only fast path: a bound within the threshold is the
+        // length of a realizable witness path. The engine counts rejects
+        // (stats.prefilter_rejects) and gates the oracle off mid-run if its
+        // measured cost exceeds the exact work it saves.
         engine_options.prefilter = [&](VertexId u, VertexId v, Weight threshold) {
-            if (oracle->upper_bound_distance(u, v, threshold) <= threshold) {
-                ++result.oracle_rejects;  // sound: a realizable witness path exists
-                return true;
-            }
-            return false;
+            return oracle->upper_bound_distance(u, v, threshold) <= threshold;
+        };
+        // Concurrent variant for the parallel prefilter stage: one query
+        // scratch per worker, sized after the engine resolves its pool.
+        engine_options.concurrent_prefilter = [&oracle, &oracle_scratch](
+                                                  std::size_t worker, VertexId u,
+                                                  VertexId v, Weight threshold) {
+            return oracle->upper_bound_distance(u, v, threshold,
+                                                oracle_scratch[worker]) <= threshold;
         };
     }
 
     GreedyEngine engine(n, std::move(engine_options));
+    oracle_scratch.resize(engine.num_workers());
     GreedyStats sim_stats;
     result.spanner = engine.run(std::move(h), candidates, &sim_stats);
     result.buckets = sim_stats.buckets;
+    result.oracle_rejects = sim_stats.prefilter_rejects;
     // Candidates that got past the oracle were decided by the exact kernel
     // (cached exact bounds included).
     result.exact_queries = sim_stats.edges_examined - result.oracle_rejects;

@@ -44,9 +44,18 @@ struct ApproxGreedyOptions {
     /// Geometric ratio between weight buckets (mu in the paper's sketch).
     double bucket_ratio = 2.0;
 
-    /// Use the ClusterGraph reject-only fast path (off = exact greedy
-    /// simulation on G'; identical output, slower).
-    bool use_cluster_oracle = true;
+    /// Use the ClusterGraph reject-only fast path. Off by default: with the
+    /// engine's bidirectional + cached exact path, bench_ablation measures
+    /// the per-bucket oracle rebuild as a ~0.5x *slowdown* (it was a win
+    /// over the one-sided naive kernel). Opting in arms the engine's
+    /// measured-cost gate (GreedyEngineOptions::PrefilterGate::kAdaptive),
+    /// which times a calibration window and drops the oracle mid-run if it
+    /// is not paying for itself; the output is identical either way.
+    bool use_cluster_oracle = false;
+
+    /// Workers for the engine's parallel prefilter stage (1 = serial,
+    /// 0 = hardware concurrency). Identical output at every value.
+    std::size_t num_threads = 1;
 
     /// Degree cap handed to the net-spanner base (generic metrics only).
     std::size_t net_degree_cap = 64;

@@ -1,0 +1,36 @@
+#include "core/candidate_stream.hpp"
+
+namespace gsp {
+
+bool CandidateStream::next(CandidateBucket& out) {
+    if (cursor_ >= candidates_.size()) return false;
+    out.begin = cursor_;
+    out.lo = candidates_[cursor_].weight;
+    out.hi = out.lo * bucket_ratio_;
+    std::size_t end = cursor_;
+    while (end < candidates_.size() && candidates_[end].weight <= out.hi) ++end;
+    out.end = end;
+    cursor_ = end;
+    return true;
+}
+
+void SourceGroups::rebuild(std::span<const GreedyCandidate> candidates,
+                           const CandidateBucket& bucket, std::size_t num_vertices) {
+    if (groups_.size() < num_vertices) {
+        groups_.resize(num_vertices);
+        remaining_.resize(num_vertices, 0);
+    }
+    for (VertexId s : sources_) {
+        groups_[s].clear();
+        remaining_[s] = 0;
+    }
+    sources_.clear();
+    for (std::size_t i = bucket.begin; i < bucket.end; ++i) {
+        const VertexId u = candidates[i].u;
+        if (groups_[u].empty()) sources_.push_back(u);
+        groups_[u].push_back(static_cast<std::uint32_t>(i));
+        ++remaining_[u];
+    }
+}
+
+}  // namespace gsp

@@ -1,0 +1,87 @@
+// Stage 1 of the greedy pipeline: the candidate stream.
+//
+// The engine consumes candidates bucket by bucket -- geometric weight
+// classes [lo, bucket_ratio * lo], the same boundary rule the
+// approximate-greedy simulation has always used. CandidateStream walks the
+// sorted candidate span and materializes one bucket at a time;
+// SourceGroups indexes a bucket's candidates by source vertex, which is
+// both the unit of ball sharing (one ball answers a whole group) and the
+// unit of work handed to the parallel prefilter stage (groups touch
+// disjoint candidate slots, so workers never race on bounds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gsp {
+
+/// One candidate edge for the greedy loop.
+struct GreedyCandidate {
+    VertexId u = kNoVertex;
+    VertexId v = kNoVertex;
+    Weight weight = 0.0;
+};
+
+/// One weight bucket: candidate indices [begin, end) of the sorted span.
+struct CandidateBucket {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    Weight lo = 0.0;  ///< weight of the bucket's first candidate
+    Weight hi = 0.0;  ///< inclusive upper boundary (lo * bucket_ratio)
+
+    [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Walks a weight-sorted candidate span in geometric buckets.
+class CandidateStream {
+public:
+    CandidateStream(std::span<const GreedyCandidate> candidates, double bucket_ratio)
+        : candidates_(candidates), bucket_ratio_(bucket_ratio) {}
+
+    /// Materialize the next bucket into `out`; false at end of stream.
+    bool next(CandidateBucket& out);
+
+private:
+    std::span<const GreedyCandidate> candidates_;
+    double bucket_ratio_;
+    std::size_t cursor_ = 0;
+};
+
+/// A bucket's candidates grouped by source vertex, with lazy O(bucket)
+/// clearing (a bucket costs O(its candidates), never O(n)). Groups list
+/// candidate indices in ascending order, which the prefilter and insertion
+/// stages both rely on (bounds harvested by an earlier candidate's query
+/// may only be consumed by later ones).
+class SourceGroups {
+public:
+    /// Rebuild the grouping for a bucket over `candidates`.
+    void rebuild(std::span<const GreedyCandidate> candidates, const CandidateBucket& bucket,
+                 std::size_t num_vertices);
+
+    /// Sources that have at least one candidate in the current bucket, in
+    /// first-appearance order.
+    [[nodiscard]] const std::vector<VertexId>& sources() const { return sources_; }
+
+    /// Candidate indices of source s (ascending). Empty for sources outside
+    /// the current bucket.
+    [[nodiscard]] const std::vector<std::uint32_t>& of(VertexId s) const {
+        return groups_[s];
+    }
+
+    /// Undecided-candidate counter of source s; the insertion stage
+    /// decrements it as candidates are decided (feeds the ball-vs-point
+    /// gate's "remaining peers" signal).
+    [[nodiscard]] std::uint32_t remaining(VertexId s) const { return remaining_[s]; }
+    void decrement_remaining(VertexId s) { --remaining_[s]; }
+
+private:
+    std::vector<std::vector<std::uint32_t>> groups_;
+    std::vector<std::uint32_t> remaining_;
+    std::vector<VertexId> sources_;
+};
+
+}  // namespace gsp

@@ -36,6 +36,10 @@ struct GreedyStats {
     std::size_t bidirectional_meets = 0;  ///< improving frontier-meet events
     std::size_t prefilter_rejects = 0;    ///< candidates rejected by the prefilter hook
     std::size_t buckets = 0;              ///< weight buckets processed
+
+    // Pipeline counters (zero when the parallel prefilter stage is off).
+    std::size_t snapshot_accepts = 0;   ///< accepts certified by the bucket-start probe
+    std::size_t prefilter_gated_off = 0;  ///< 1 if the measured-cost gate disabled the prefilter
 };
 
 /// The greedy t-spanner of g. Requires t >= 1. Works on disconnected

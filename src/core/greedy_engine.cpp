@@ -1,6 +1,7 @@
 #include "core/greedy_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
@@ -31,6 +32,40 @@ struct CsrAdapter {
     [[nodiscard]] const CsrOverlayView& view() const { return v; }
 };
 
+/// Measured-cost gate for the prefilter hooks: a calibration window times
+/// each (serial) prefilter call and each exact decision of a candidate the
+/// prefilter let through, then keeps the prefilter only if the exact work
+/// it is expected to save per call exceeds its per-call cost.
+struct PrefilterGateState {
+    bool live = false;         ///< prefilter hooks still consulted
+    bool calibrating = false;  ///< inside the timing window
+    std::size_t calls = 0;
+    std::size_t rejects = 0;
+    std::size_t exact_decisions = 0;
+    double prefilter_seconds = 0.0;
+    double exact_seconds = 0.0;
+
+    static constexpr std::size_t kWindow = 384;       ///< prefilter-call samples
+    static constexpr std::size_t kMinExact = 16;      ///< exact-decision samples
+    static constexpr std::size_t kForceSettle = 1536; ///< settle even if starved
+
+    void maybe_settle(GreedyStats& stats) {
+        if (calls < kWindow) return;
+        if (exact_decisions < kMinExact && calls < kForceSettle) return;
+        calibrating = false;
+        if (exact_decisions == 0) return;  // everything rejected: clearly paying off
+        const double avg_prefilter = prefilter_seconds / static_cast<double>(calls);
+        const double avg_exact = exact_seconds / static_cast<double>(exact_decisions);
+        const double reject_rate =
+            static_cast<double>(rejects) / static_cast<double>(calls);
+        // Expected exact seconds saved per call vs seconds spent per call.
+        if (avg_prefilter > reject_rate * avg_exact) {
+            live = false;
+            stats.prefilter_gated_off = 1;
+        }
+    }
+};
+
 }  // namespace
 
 GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
@@ -40,6 +75,16 @@ GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
     }
     if (!(options_.bucket_ratio > 1.0)) {
         throw std::invalid_argument("GreedyEngine: bucket_ratio must be > 1");
+    }
+    if (options_.parallel_batch == 0) {
+        throw std::invalid_argument("GreedyEngine: parallel_batch must be >= 1");
+    }
+    workers_ = options_.parallel_prefilter
+                   ? ThreadPool::resolve_workers(options_.num_threads)
+                   : 1;
+    if (workers_ > 1) {
+        pool_ = std::make_unique<ThreadPool>(workers_);
+        // Worker workspaces are sized lazily by run_impl on first use.
     }
 }
 
@@ -75,25 +120,53 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     const double t = options_.stretch;
     const std::size_t m = cands.size();
     const bool sharing = options_.ball_sharing;
-    const std::size_t meets_before = ws_.meet_events();
+    const bool parallel = parallel_enabled();
+    // Bounds are the currency of both ball sharing and the parallel stage.
+    const bool track_bounds = sharing || parallel;
+    const std::size_t meets_before = ws_.meet_events() + ws_pool_.total_meet_events();
     ws_.resize(n_);
+    if (parallel) ws_pool_.configure(workers_, n_);
 
-    if (sharing) {
+    if (track_bounds) {
         cand_bound_.assign(m, kInfiniteWeight);
-        group_.resize(n_);
         ball_bucket_.assign(n_, 0);
         ball_epoch_.assign(n_, 0);
         ball_radius_.assign(n_, 0.0);
-        remaining_.assign(n_, 0);
     }
+    if (parallel) prefilter_stage_.begin_run(m, workers_);
+
+    PrefilterGateState gate;
+    const bool have_serial_pf = static_cast<bool>(options_.prefilter);
+    const bool have_concurrent_pf =
+        parallel && static_cast<bool>(options_.concurrent_prefilter);
+    gate.live = have_serial_pf || static_cast<bool>(options_.concurrent_prefilter);
+    // kAdaptive calibrates on the *serial* hook's timings, so while the
+    // window is open the insertion loop consults the serial prefilter even
+    // when a concurrent variant exists; stage 2 takes the oracle over only
+    // after it survives calibration. A concurrent-only installation has
+    // nothing to time and runs ungated.
+    gate.calibrating =
+        gate.live && have_serial_pf &&
+        options_.prefilter_gate == GreedyEngineOptions::PrefilterGate::kAdaptive;
 
     std::uint64_t insert_epoch = 1;  // bumped on every accepted edge
-    std::uint64_t bucket_id = 0;
+    // Ball-reuse scope marker. Balls may only answer candidates whose
+    // bounds the ball's harvest actually wrote, and harvests cover one
+    // *batch*-scoped group -- so reuse is keyed per batch, not per bucket
+    // (a bucket-keyed ball could accept a later batch's tie-weight
+    // candidate whose bound was never harvested: unsound). Serial runs
+    // have one batch per bucket, so this degenerates to the PR-1 rule.
+    std::uint64_t batch_seq = 0;
+    // Stage-2 accept-rate gate state: optimistic start (the first batch is
+    // prefiltered; probes on a near-empty spanner are near-free).
+    double last_accept_rate = 0.0;
 
     // Online cost model for the ball-vs-point decision: exponential moving
     // averages of heap pushes per query kind, and of how many candidates a
     // ball actually resolves (its own decision plus the cache hits its
     // harvested bounds will produce). Zero = not yet calibrated this run.
+    // Owned by the insertion loop: stage-2 ball decisions use the static
+    // group-size threshold instead, so they never depend on scheduling.
     double ball_cost = 0.0;
     double point_cost = 0.0;
     double ball_value = 0.0;
@@ -101,57 +174,135 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         ema = ema == 0.0 ? sample : 0.75 * ema + 0.25 * sample;
     };
 
-    std::size_t k = 0;
-    while (k < m) {
-        // Bucket [bucket_lo, bucket_ratio * bucket_lo] -- the same boundary
-        // rule the approximate-greedy simulation has always used.
-        const Weight bucket_lo = cands[k].weight;
-        const Weight bucket_hi = bucket_lo * options_.bucket_ratio;
-        std::size_t end = k;
-        while (end < m && cands[end].weight <= bucket_hi) ++end;
-        ++bucket_id;
+    // --- Stage 1: the candidate stream paces the bucket loop. ---
+    CandidateStream stream(cands, options_.bucket_ratio);
+    CandidateBucket bucket;
+    while (stream.next(bucket)) {
         ++stats.buckets;
 
         adapter.snapshot(h);
         if (Adapter::kCountsRebuilds) ++stats.csr_rebuilds;
-        if (options_.on_bucket) options_.on_bucket(h, bucket_lo);
+        if (options_.on_bucket) options_.on_bucket(h, bucket.lo);
+        std::uint64_t view_epoch = insert_epoch;  // spanner state of the snapshot
 
-        if (sharing) {
-            for (VertexId s : group_sources_) {
-                group_[s].clear();
-                remaining_[s] = 0;
-            }
-            group_sources_.clear();
-            for (std::size_t i = k; i < end; ++i) {
-                const VertexId u = cands[i].u;
-                if (group_[u].empty()) group_sources_.push_back(u);
-                group_[u].push_back(static_cast<std::uint32_t>(i));
-                ++remaining_[u];
-            }
+        // When stage 2 is active, a bucket is consumed in fixed-width
+        // batches with the snapshot re-frozen between them (uniform-ish
+        // weights collapse the whole input into one geometric class, and
+        // stage-2 facts probed against a bucket-start spanner that is
+        // thousands of insertions stale are worthless). Serial runs keep
+        // the PR-1 shape: one batch == the bucket.
+        std::size_t batch_begin = bucket.begin;
+        while (batch_begin < bucket.end) {
+        const std::size_t batch_end =
+            parallel ? std::min(batch_begin + options_.parallel_batch, bucket.end)
+                     : bucket.end;
+        const CandidateBucket batch{batch_begin, batch_end, bucket.lo, bucket.hi};
+        ++batch_seq;
+
+        // Stage 2 runs for this batch only when the accept rate says its
+        // certificates have a chance to survive, and never during the
+        // prefilter gate's calibration window (calibration times the
+        // *serial* economics; stage-2 probes would hollow out the exact
+        // decisions it measures and double-consult the oracle).
+        const bool run_stage2 = parallel && !gate.calibrating &&
+                                last_accept_rate <= options_.parallel_accept_gate;
+        if (run_stage2 && insert_epoch != view_epoch) {
+            // Insertions since the last freeze: re-freeze so stage 2 sees
+            // them (a still-exact snapshot is reused for free; batches
+            // whose stage 2 is skipped keep the old snapshot + overlay,
+            // exactly like the serial engine inside a bucket).
+            adapter.snapshot(h);
+            if (Adapter::kCountsRebuilds) ++stats.csr_rebuilds;
+            view_epoch = insert_epoch;
+        }
+        if (sharing) groups_.rebuild(cands, batch, n_);
+        const std::uint64_t snapshot_epoch = insert_epoch;
+        const std::size_t batch_accepts_before = stats.edges_added;
+
+        // --- Stage 2: parallel reject-only prefilter over the frozen
+        // batch-start view. Everything it records is sound regardless of
+        // what stage 3 inserts later. ---
+        if (run_stage2) {
+            PrefilterContext ctx;
+            ctx.candidates = cands;
+            ctx.bucket = batch;
+            ctx.groups = sharing ? &groups_ : nullptr;
+            ctx.stretch = t;
+            ctx.bidirectional = options_.bidirectional;
+            ctx.ball_share_min_group = options_.ball_share_min_group;
+            ctx.ball_scope = batch_seq;
+            ctx.snapshot_epoch = snapshot_epoch;
+            ctx.oracle = (have_concurrent_pf && gate.live && !gate.calibrating)
+                             ? &options_.concurrent_prefilter
+                             : nullptr;
+            prefilter_stage_.run_bucket(*pool_, ws_pool_, adapter.view(), ctx, cand_bound_,
+                                        ball_bucket_, ball_epoch_, ball_radius_, stats);
         }
 
-        for (std::size_t i = k; i < end; ++i) {
+        // --- Stage 3: the serialized insertion loop re-walks the batch in
+        // deterministic tie order and re-verifies every surviving accept. ---
+        for (std::size_t i = batch.begin; i < batch.end; ++i) {
             const GreedyCandidate& c = cands[i];
             const Weight threshold = t * c.weight;
             ++stats.edges_examined;
             // This candidate is decided this iteration, whichever path runs.
-            if (sharing) --remaining_[c.u];
-            if (options_.prefilter && options_.prefilter(c.u, c.v, threshold)) {
+            if (sharing) groups_.decrement_remaining(c.u);
+
+            if (parallel &&
+                prefilter_stage_.verdict(i) == PrefilterVerdict::kOracleReject) {
                 ++stats.prefilter_rejects;
                 continue;
             }
-
-            bool accept;
-            if (sharing) {
-                const std::uint32_t peers = remaining_[c.u];
-                if (cand_bound_[i] <= threshold) {
-                    // A realizable witness path no heavier than the
-                    // threshold is already known; the spanner only grows,
-                    // so the bound can only have improved since.
-                    ++stats.cache_hits;
+            if (have_serial_pf && gate.live &&
+                (!have_concurrent_pf || gate.calibrating)) {
+                bool rejected;
+                if (gate.calibrating) {
+                    const Timer call_timer;
+                    rejected = options_.prefilter(c.u, c.v, threshold);
+                    gate.prefilter_seconds += call_timer.seconds();
+                    ++gate.calls;
+                    if (rejected) ++gate.rejects;
+                    gate.maybe_settle(stats);
+                } else {
+                    rejected = options_.prefilter(c.u, c.v, threshold);
+                }
+                if (rejected) {
+                    ++stats.prefilter_rejects;
                     continue;
                 }
-                const auto& grp = group_[c.u];
+            }
+            // Calibration samples for the measured-cost gate: the cost of
+            // deciding a candidate the prefilter let through (cache hits
+            // included -- an oracle reject only saves whatever the decision
+            // would actually have cost).
+            std::optional<Timer> decide_timer;
+            if (gate.calibrating) decide_timer.emplace();
+            const auto record_exact = [&] {
+                if (decide_timer) {
+                    gate.exact_seconds += decide_timer->seconds();
+                    ++gate.exact_decisions;
+                }
+            };
+
+            bool accept;
+            if (track_bounds && cand_bound_[i] <= threshold) {
+                // A realizable witness path no heavier than the threshold
+                // is already known (harvested serially or by stage 2); the
+                // spanner only grows, so the bound can only have improved.
+                ++stats.cache_hits;
+                record_exact();
+                continue;
+            }
+            if (parallel &&
+                prefilter_stage_.verdict(i) == PrefilterVerdict::kFarAtSnapshot &&
+                insert_epoch == snapshot_epoch) {
+                // The stage-2 probe was exact on the bucket-start view and
+                // nothing has been inserted since: the certificate stands.
+                ++stats.snapshot_accepts;
+                accept = true;
+            } else if (sharing) {
+                const std::uint32_t peers = groups_.remaining(c.u);
+                const auto& grp = groups_.of(c.u);
                 // Ball-vs-point gate: a ball pays off iff its measured work
                 // amortizes below the point-query work of the candidates it
                 // realistically resolves (accept-heavy phases make balls
@@ -166,12 +317,13 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         want_ball = 2.0 * ball_cost <= std::max(ball_value, 1.0) * point_cost;
                     }
                 }
-                if (ball_bucket_[c.u] == bucket_id && ball_epoch_[c.u] == insert_epoch &&
+                if (ball_bucket_[c.u] == batch_seq && ball_epoch_[c.u] == insert_epoch &&
                     ball_radius_[c.u] >= threshold) {
                     // Lazy revalidation pay-off: the last ball from this
-                    // source is still exact (no insertion anywhere since)
-                    // and covered this radius, so bound > threshold means
-                    // the true distance exceeds the threshold.
+                    // source (grown serially or by stage 2) is still exact
+                    // -- no insertion anywhere since -- and covered this
+                    // radius, so bound > threshold means the true distance
+                    // exceeds the threshold.
                     ++stats.cache_hits;
                     accept = true;
                 } else if (want_ball) {
@@ -192,7 +344,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         }
                     }
                     update_ema(ball_value, static_cast<double>(resolved));
-                    ball_bucket_[c.u] = bucket_id;
+                    ball_bucket_[c.u] = batch_seq;
                     ball_epoch_[c.u] = insert_epoch;
                     ball_radius_[c.u] = radius;
                     accept = cand_bound_[i] > threshold;
@@ -212,7 +364,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                             const Weight b = ws_.last_forward_bound(cands[idx].v);
                             if (b < cand_bound_[idx]) cand_bound_[idx] = b;
                         }
-                        for (std::uint32_t idx : group_[c.v]) {
+                        for (std::uint32_t idx : groups_.of(c.v)) {
                             if (idx <= i) continue;
                             const Weight b = ws_.last_backward_bound(cands[idx].v);
                             if (b < cand_bound_[idx]) cand_bound_[idx] = b;
@@ -236,6 +388,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         : ws_.distance(adapter.view(), c.u, c.v, threshold);
                 accept = d > threshold;
             }
+            record_exact();
             if (!accept) continue;
 
             const EdgeId id = h.add_edge(c.u, c.v, c.weight);
@@ -245,21 +398,28 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             if (sharing) {
                 // Parallel candidates of the same pair now have a one-edge
                 // witness; lower their bounds so they hit the cache.
-                for (std::uint32_t idx : group_[c.u]) {
+                for (std::uint32_t idx : groups_.of(c.u)) {
                     if (idx > i && cands[idx].v == c.v && c.weight < cand_bound_[idx]) {
                         cand_bound_[idx] = c.weight;
                     }
                 }
-                for (std::uint32_t idx : group_[c.v]) {
+                for (std::uint32_t idx : groups_.of(c.v)) {
                     if (idx > i && cands[idx].v == c.u && c.weight < cand_bound_[idx]) {
                         cand_bound_[idx] = c.weight;
                     }
                 }
             }
         }
-        k = end;
+        if (parallel && batch.size() > 0) {
+            last_accept_rate =
+                static_cast<double>(stats.edges_added - batch_accepts_before) /
+                static_cast<double>(batch.size());
+        }
+        batch_begin = batch_end;
+        }  // batch loop
     }
-    stats.bidirectional_meets = ws_.meet_events() - meets_before;
+    stats.bidirectional_meets =
+        ws_.meet_events() + ws_pool_.total_meet_events() - meets_before;
     return h;
 }
 

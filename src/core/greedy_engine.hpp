@@ -5,19 +5,35 @@
 // Theorem-6 simulation over a base spanner) -- is the same loop: examine
 // candidate edges in non-decreasing weight order and keep an edge iff the
 // growing spanner's distance between its endpoints exceeds t * w(e).
-// GreedyEngine runs that loop once, with three stacked optimisations that
-// are individually toggleable (for the ablation benches) and *decision
-// preserving*: every configuration returns the same edge set as the naive
-// kernel (one one-sided distance-limited Dijkstra per candidate).
+// GreedyEngine runs that loop once, as an explicit three-stage pipeline per
+// weight bucket:
+//
+//   [1] candidate stream   (core/candidate_stream) -- materialize the
+//       bucket [w, bucket_ratio * w) and group its candidates by source;
+//   [2] parallel prefilter (core/prefilter_stage)  -- fan the groups out to
+//       a shared worker pool; each worker owns a DijkstraWorkspace and runs
+//       the *reject-only* passes (concurrent cluster-oracle lookups,
+//       bounded bidirectional probes) against the frozen bucket-start CSR
+//       snapshot, recording sound per-candidate facts;
+//   [3] serialized insertion loop -- re-walk the bucket in deterministic
+//       tie order, consume the recorded facts (permanent rejects, "far at
+//       snapshot" certificates valid until the first insertion), and run
+//       the exact machinery for whatever remains.
+//
+// Because stage-2 facts are sound upper bounds / exact snapshot distances
+// and stage 3 re-verifies every surviving accept, the edge set is
+// bit-identical to the naive kernel at every thread count.
+//
+// The stacked optimisations of the serial kernel are individually
+// toggleable (for the ablation benches) and *decision preserving*:
 //
 //  1. `bidirectional` -- point-to-point queries use two frontiers meeting
 //     near limit/2 (DijkstraWorkspace::distance_bidirectional); on
 //     bounded-growth instances the settled ball shrinks superlinearly.
-//  2. `ball_sharing` -- candidates are processed in weight buckets
-//     [w, bucket_ratio * w) and grouped by source vertex; one ball() query
-//     from the source answers every candidate of that source, its exact
-//     distances are cached as upper bounds (the spanner only grows, so
-//     bounds only become stale in the *safe* direction and may reject
+//  2. `ball_sharing` -- candidates are grouped by source vertex; one ball()
+//     query from the source answers every candidate of that source, its
+//     exact distances are cached as upper bounds (the spanner only grows,
+//     so bounds only become stale in the *safe* direction and may reject
 //     forever), and a candidate is re-verified only when its cached bound
 //     exceeds t * w(e) *and* an insertion occurred since the ball was
 //     grown (lazy revalidation). This generalises the Farshi-Gudmundsson
@@ -30,27 +46,25 @@
 //
 // Callers with scale-dependent side structures (the approximate-greedy
 // cluster oracle) hook the bucket boundary via `on_bucket` and may install
-// a reject-only `prefilter` consulted before any exact machinery.
+// a reject-only `prefilter` (serial) and/or `concurrent_prefilter`
+// (consulted from stage-2 workers) before any exact machinery.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/candidate_stream.hpp"
 #include "core/greedy.hpp"
+#include "core/prefilter_stage.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gsp {
-
-/// One candidate edge for the greedy loop.
-struct GreedyCandidate {
-    VertexId u = kNoVertex;
-    VertexId v = kNoVertex;
-    Weight weight = 0.0;
-};
 
 struct GreedyEngineOptions {
     double stretch = 2.0;  ///< t >= 1
@@ -58,6 +72,37 @@ struct GreedyEngineOptions {
     bool bidirectional = true;  ///< meet-in-the-middle point queries
     bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
     bool csr_snapshot = true;   ///< frozen CSR adjacency per bucket
+
+    /// Worker count for the parallel prefilter stage: 1 = fully serial
+    /// (the PR-1 kernel, and the default -- parallelism is opt-in so the
+    /// serial entry points keep schedule-free stats), 0 = hardware
+    /// concurrency, k = exactly k workers. The edge set is identical at
+    /// every value.
+    std::size_t num_threads = 1;
+
+    /// Master switch for stage 2. With it off (or num_threads resolving to
+    /// 1) buckets flow straight from the candidate stream into the
+    /// serialized insertion loop.
+    bool parallel_prefilter = true;
+
+    /// Stage-2 batch width: when the parallel stage is active, buckets are
+    /// processed in sub-batches of this many candidates, re-freezing the
+    /// snapshot between batches (only when an insertion happened). A weight
+    /// bucket can span the whole input -- uniform-ish weights collapse into
+    /// one geometric class -- and without batching every stage-2 fact after
+    /// the bucket's first insertion would be computed against a hopelessly
+    /// stale spanner. Constant across thread counts, so stage-2 decisions
+    /// (and stats) depend only on the input. Ignored when serial.
+    std::size_t parallel_batch = 2048;
+
+    /// Accept-rate gate for stage 2: a batch is prefiltered only when the
+    /// previous batch's accept rate was <= this value. Accept-heavy phases
+    /// (the MST regime of light buckets, expanders at small t) serialize
+    /// by nature -- nearly every stage-2 certificate dies on the next
+    /// insertion -- so probing them in parallel is mostly wasted work. The
+    /// rate is a pure function of the greedy decisions, hence identical at
+    /// every thread count. 1.0 = prefilter every batch.
+    double parallel_accept_gate = 0.25;
 
     /// Geometric ratio of the weight buckets that pace ball sharing, CSR
     /// rebuilds, and `on_bucket` callbacks. Must be > 1.
@@ -70,7 +115,8 @@ struct GreedyEngineOptions {
     /// graphs a full ball costs far more than a meet-in-the-middle query).
     /// Until the first ball of a run calibrates the cost model, a ball is
     /// attempted only for groups with at least this many undecided
-    /// candidates.
+    /// candidates. The parallel prefilter stage uses the same threshold
+    /// (statically -- its decisions must not depend on scheduling).
     std::size_t ball_share_min_group = 16;
 
     /// Optional sound reject-only fast path, consulted first for every
@@ -79,14 +125,34 @@ struct GreedyEngineOptions {
     /// reject a candidate the exact test would keep.
     std::function<bool(VertexId u, VertexId v, Weight threshold)> prefilter;
 
+    /// Concurrent variant of `prefilter` for the parallel stage, invoked as
+    /// (worker, u, v, threshold) with worker < num_workers(). Must be safe
+    /// to call from distinct workers simultaneously (give each worker its
+    /// own scratch, e.g. ClusterGraph::QueryScratch). When unset, the
+    /// serial `prefilter` still runs in the insertion loop.
+    std::function<bool(std::size_t worker, VertexId u, VertexId v, Weight threshold)>
+        concurrent_prefilter;
+
+    /// Economics of the prefilter hooks. ROADMAP measured the cluster
+    /// oracle as a ~0.5x *slowdown* under the bidirectional engine, so
+    /// installing a prefilter no longer implies trusting it: kAdaptive
+    /// times a calibration window (serial path) and gates the prefilter
+    /// off for the rest of the run if its per-call cost exceeds the exact
+    /// work it saves; kAlways is the explicit opt-in that trusts the hook
+    /// unconditionally.
+    enum class PrefilterGate { kAdaptive, kAlways };
+    PrefilterGate prefilter_gate = PrefilterGate::kAdaptive;
+
     /// Called on entering each weight bucket, after the spanner reflects
     /// every decision of earlier buckets: rebuild scale-dependent helpers
     /// here. `bucket_lo` is the weight of the bucket's first candidate.
+    /// Always invoked from the serial thread, before stage 2 fans out.
     std::function<void(const Graph& h, Weight bucket_lo)> on_bucket;
 };
 
 /// The shared greedy kernel. One engine instance holds the reusable query
-/// workspace and cache scratch; `run` may be called repeatedly.
+/// workspaces, the worker pool, and cache scratch; `run` may be called
+/// repeatedly.
 class GreedyEngine {
 public:
     GreedyEngine(std::size_t n, GreedyEngineOptions options);
@@ -100,26 +166,33 @@ public:
 
     [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
 
+    /// Resolved worker count (>= 1): what `concurrent_prefilter` will be
+    /// called with, and how many scratches a concurrent hook needs.
+    [[nodiscard]] std::size_t num_workers() const { return workers_; }
+
 private:
     template <class Adapter>
     Graph run_impl(Adapter& adapter, Graph h, std::span<const GreedyCandidate> candidates,
                    GreedyStats& stats);
 
+    [[nodiscard]] bool parallel_enabled() const { return pool_ != nullptr; }
+
     GreedyEngineOptions options_;
     std::size_t n_;
+    std::size_t workers_ = 1;
 
-    DijkstraWorkspace ws_;
+    DijkstraWorkspace ws_;                ///< the insertion loop's workspace
+    std::unique_ptr<ThreadPool> pool_;    ///< stage-2 executor (workers_ > 1)
+    DijkstraWorkspacePool ws_pool_;       ///< one workspace per stage-2 worker
+    PrefilterStage prefilter_stage_;      ///< stage-2 verdicts + counters
+    SourceGroups groups_;                 ///< stage-1 per-bucket grouping
 
-    // Ball-sharing scratch, reused across runs. `group_` entries are cleared
-    // lazily through `group_sources_` so a bucket costs O(its candidates),
-    // not O(n).
-    std::vector<Weight> cand_bound_;                ///< per-candidate upper bound
-    std::vector<std::vector<std::uint32_t>> group_; ///< source -> candidate idxs
-    std::vector<VertexId> group_sources_;           ///< sources of current bucket
-    std::vector<std::uint64_t> ball_bucket_;        ///< bucket of last ball per source
-    std::vector<std::uint64_t> ball_epoch_;         ///< insert epoch of last ball
-    std::vector<Weight> ball_radius_;               ///< radius of last ball
-    std::vector<std::uint32_t> remaining_;          ///< undecided candidates per source
+    // Ball-sharing / prefilter scratch, reused across runs. Groups are
+    // cleared lazily so a bucket costs O(its candidates), not O(n).
+    std::vector<Weight> cand_bound_;         ///< per-candidate upper bound
+    std::vector<std::uint64_t> ball_bucket_; ///< ball-reuse scope (batch seq) per source
+    std::vector<std::uint64_t> ball_epoch_;  ///< insert epoch of last ball
+    std::vector<Weight> ball_radius_;        ///< radius of last ball
 };
 
 /// The candidate list of a graph input: all edges of g sorted by

@@ -1,0 +1,254 @@
+// Stage 2 of the greedy pipeline: the parallel reject-only prefilter.
+//
+// Within one weight bucket every expensive pass of the engine -- the
+// optional cluster-oracle lookup and the bounded (bi)directional distance
+// probe -- is *read-only* over the bucket-start spanner: the serialized
+// insertion loop has not run yet, so the snapshot view is immutable for the
+// whole stage. That is the structure (after Alewijnse et al.'s bucketed
+// greedy designs) that makes candidate prefiltering embarrassingly
+// parallel: workers fan out over source groups (or fixed blocks when ball
+// sharing is off), each with its own DijkstraWorkspace, and record
+// per-candidate facts that are sound *forever*:
+//
+//  * a bound <= threshold is the length of a realizable path in a subgraph
+//    of every future spanner -- the candidate is rejected, permanently;
+//  * a probe that exceeds the threshold certifies "far at bucket start"
+//    (kFarAtSnapshot): the insertion loop may accept on that certificate
+//    alone while no edge has been inserted since the snapshot, and must
+//    re-verify otherwise.
+//
+// Determinism: tasks are claimed dynamically for load balance, but every
+// write lands in a task-owned slot -- groups own disjoint candidate index
+// sets (bounds, verdicts) and disjoint source slots (ball reuse state) --
+// so the recorded facts, and therefore the final edge set, are independent
+// of scheduling and thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/candidate_stream.hpp"
+#include "core/greedy.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gsp {
+
+/// What the prefilter stage learned about one candidate.
+enum class PrefilterVerdict : std::uint8_t {
+    kUndecided = 0,    ///< no certificate; the insertion loop decides
+    kOracleReject,     ///< concurrent prefilter certified a witness path
+    kFarAtSnapshot,    ///< probe exceeded threshold on the bucket-start view
+};
+
+/// Inputs of one bucket's prefilter pass that are independent of the
+/// adjacency view type.
+struct PrefilterContext {
+    std::span<const GreedyCandidate> candidates;
+    CandidateBucket bucket;
+    /// Grouping by source; null => ball sharing is off, partition the
+    /// bucket into fixed blocks and probe each candidate independently.
+    const SourceGroups* groups = nullptr;
+    double stretch = 1.0;
+    bool bidirectional = true;
+    std::size_t ball_share_min_group = 16;
+    /// Ball-reuse scope (the engine's batch sequence number): a published
+    /// ball may only be revalidated by candidates of the same batch, whose
+    /// bounds its harvest wrote.
+    std::uint64_t ball_scope = 0;
+    std::uint64_t snapshot_epoch = 0;
+    /// Optional concurrent reject-only oracle (worker, u, v, threshold);
+    /// null when unset or gated off.
+    const std::function<bool(std::size_t, VertexId, VertexId, Weight)>* oracle = nullptr;
+};
+
+/// Owns the per-candidate verdict array and per-worker counters for one
+/// engine run. One instance per GreedyEngine, reused across runs.
+class PrefilterStage {
+public:
+    /// Reset for a run over `num_candidates` candidates with `workers`
+    /// workers. Verdicts are reset lazily per bucket by run_bucket (each
+    /// candidate belongs to exactly one bucket), so this is O(m) once.
+    void begin_run(std::size_t num_candidates, std::size_t workers) {
+        verdict_.assign(num_candidates, PrefilterVerdict::kUndecided);
+        counters_.assign(workers, WorkerCounters{});
+    }
+
+    [[nodiscard]] PrefilterVerdict verdict(std::size_t candidate) const {
+        return verdict_[candidate];
+    }
+
+    /// Fan one bucket out over the pool. `bounds` collects realizable-path
+    /// upper bounds (candidate-indexed); the ball_* arrays (source-indexed)
+    /// record grown balls so the insertion loop's lazy-revalidation path
+    /// can reuse them. Worker counters are merged into `stats` (sums, so
+    /// the totals are schedule-independent).
+    template <class View>
+    void run_bucket(ThreadPool& pool, DijkstraWorkspacePool& ws_pool, const View& view,
+                    const PrefilterContext& ctx, std::vector<Weight>& bounds,
+                    std::vector<std::uint64_t>& ball_bucket,
+                    std::vector<std::uint64_t>& ball_epoch,
+                    std::vector<Weight>& ball_radius, GreedyStats& stats);
+
+private:
+    /// Block width of the no-grouping partition: small enough to balance,
+    /// big enough that the atomic task cursor is off the hot path.
+    static constexpr std::size_t kBlock = 64;
+
+    // One cache line per worker: the counters are written in the innermost
+    // probe loop and must not false-share.
+    struct alignas(64) WorkerCounters {
+        std::size_t dijkstra_runs = 0;
+        std::size_t balls_computed = 0;
+    };
+
+    template <class View>
+    void process_group(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+                       const PrefilterContext& ctx, std::size_t worker, VertexId source,
+                       std::vector<Weight>& bounds,
+                       std::vector<std::uint64_t>& ball_bucket,
+                       std::vector<std::uint64_t>& ball_epoch,
+                       std::vector<Weight>& ball_radius);
+
+    template <class View>
+    void probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+                   const PrefilterContext& ctx, std::size_t worker, std::uint32_t idx,
+                   std::vector<Weight>& bounds);
+
+    std::vector<PrefilterVerdict> verdict_;
+    std::vector<WorkerCounters> counters_;
+};
+
+template <class View>
+void PrefilterStage::run_bucket(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
+                                const View& view, const PrefilterContext& ctx,
+                                std::vector<Weight>& bounds,
+                                std::vector<std::uint64_t>& ball_bucket,
+                                std::vector<std::uint64_t>& ball_epoch,
+                                std::vector<Weight>& ball_radius, GreedyStats& stats) {
+    const std::size_t tasks =
+        ctx.groups != nullptr
+            ? ctx.groups->sources().size()
+            : (ctx.bucket.size() + kBlock - 1) / kBlock;
+    pool.run(tasks, [&](std::size_t worker, std::size_t task) {
+        DijkstraWorkspace& ws = ws_pool.at(worker);
+        WorkerCounters& wc = counters_[worker];
+        if (ctx.groups != nullptr) {
+            process_group(ws, wc, view, ctx, worker, ctx.groups->sources()[task], bounds,
+                          ball_bucket, ball_epoch, ball_radius);
+        } else {
+            const std::size_t first = ctx.bucket.begin + task * kBlock;
+            const std::size_t last = std::min(first + kBlock, ctx.bucket.end);
+            for (std::size_t i = first; i < last; ++i) {
+                probe_one(ws, wc, view, ctx, worker, static_cast<std::uint32_t>(i), bounds);
+            }
+        }
+    });
+    for (WorkerCounters& wc : counters_) {
+        stats.dijkstra_runs += wc.dijkstra_runs;
+        stats.balls_computed += wc.balls_computed;
+        wc = WorkerCounters{};
+    }
+}
+
+template <class View>
+void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
+                                   const View& view, const PrefilterContext& ctx,
+                                   std::size_t worker, VertexId source,
+                                   std::vector<Weight>& bounds,
+                                   std::vector<std::uint64_t>& ball_bucket,
+                                   std::vector<std::uint64_t>& ball_epoch,
+                                   std::vector<Weight>& ball_radius) {
+    const auto& grp = ctx.groups->of(source);
+    const std::span<const GreedyCandidate> cands = ctx.candidates;
+
+    // Oracle pass first (mirrors the serial loop's consult-before-exact
+    // order); rejected candidates need no probe at all.
+    std::size_t undecided = grp.size();
+    if (ctx.oracle != nullptr) {
+        for (std::uint32_t idx : grp) {
+            const GreedyCandidate& c = cands[idx];
+            if ((*ctx.oracle)(worker, c.u, c.v, ctx.stretch * c.weight)) {
+                verdict_[idx] = PrefilterVerdict::kOracleReject;
+                --undecided;
+            }
+        }
+    }
+    if (undecided == 0) return;
+
+    if (undecided >= ctx.ball_share_min_group) {
+        // One shared ball answers the whole group *exactly* at the
+        // snapshot: settled => exact distance; unsettled => distance
+        // exceeds the radius, which covers the group's largest threshold.
+        const Weight radius = ctx.stretch * cands[grp.back()].weight;
+        (void)ws.ball(view, source, radius);
+        ++wc.dijkstra_runs;
+        ++wc.balls_computed;
+        for (std::uint32_t idx : grp) {
+            if (verdict_[idx] == PrefilterVerdict::kOracleReject) continue;
+            const GreedyCandidate& c = cands[idx];
+            const Weight d = ws.settled_distance(c.v);
+            if (d < bounds[idx]) bounds[idx] = d;
+            if (d > ctx.stretch * c.weight) verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+        }
+        // Publish the ball for the insertion loop's lazy revalidation: it
+        // stays exact until the first post-snapshot insertion.
+        ball_bucket[source] = ctx.ball_scope;
+        ball_epoch[source] = ctx.snapshot_epoch;
+        ball_radius[source] = radius;
+        return;
+    }
+
+    for (std::size_t g = 0; g < grp.size(); ++g) {
+        const std::uint32_t idx = grp[g];
+        if (verdict_[idx] == PrefilterVerdict::kOracleReject) continue;
+        const GreedyCandidate& c = cands[idx];
+        const Weight threshold = ctx.stretch * c.weight;
+        if (bounds[idx] <= threshold) continue;  // harvested by an earlier probe
+        ++wc.dijkstra_runs;
+        const Weight d = ctx.bidirectional
+                             ? ws.distance_bidirectional(view, c.u, c.v, threshold)
+                             : ws.distance(view, c.u, c.v, threshold);
+        if (d <= threshold) {
+            if (d < bounds[idx]) bounds[idx] = d;
+        } else {
+            verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+        }
+        // Forward labels are realizable path lengths from the shared
+        // source; harvest them as bounds for the group's later candidates
+        // (all writes stay inside this group's candidate slots).
+        for (std::size_t g2 = g + 1; g2 < grp.size(); ++g2) {
+            const std::uint32_t idx2 = grp[g2];
+            const Weight b = ws.last_forward_bound(cands[idx2].v);
+            if (b < bounds[idx2]) bounds[idx2] = b;
+        }
+    }
+}
+
+template <class View>
+void PrefilterStage::probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+                               const PrefilterContext& ctx, std::size_t worker,
+                               std::uint32_t idx, std::vector<Weight>& bounds) {
+    const GreedyCandidate& c = ctx.candidates[idx];
+    const Weight threshold = ctx.stretch * c.weight;
+    if (ctx.oracle != nullptr && (*ctx.oracle)(worker, c.u, c.v, threshold)) {
+        verdict_[idx] = PrefilterVerdict::kOracleReject;
+        return;
+    }
+    ++wc.dijkstra_runs;
+    const Weight d = ctx.bidirectional
+                         ? ws.distance_bidirectional(view, c.u, c.v, threshold)
+                         : ws.distance(view, c.u, c.v, threshold);
+    if (d <= threshold) {
+        if (d < bounds[idx]) bounds[idx] = d;
+    } else {
+        verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+    }
+}
+
+}  // namespace gsp

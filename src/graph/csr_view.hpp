@@ -50,6 +50,14 @@ private:
 /// path stays contiguous. Satisfies the same graph-view shape as `Graph`
 /// (num_vertices / neighbors yielding HalfEdge), so DijkstraWorkspace
 /// queries run on it unchanged.
+///
+/// Thread-safety: all const members (`neighbors`, `num_vertices`,
+/// `overlay_edges`) read only immutable-between-mutations state, so any
+/// number of threads may query a view concurrently as long as no thread is
+/// inside `snapshot`/`add_edge`. The greedy engine's parallel prefilter
+/// stage relies on exactly this: stage 2 fans read-only Dijkstra probes
+/// over the bucket-start view, and the serialized insertion loop (the only
+/// writer) runs strictly after the fan-out joins.
 class CsrOverlayView {
 public:
     /// Iterates the frozen CSR run of a vertex, then its overlay run.

@@ -19,7 +19,15 @@ void DijkstraWorkspace::resize(std::size_t n) {
 
 void DijkstraWorkspace::begin_query() {
     ++current_;
+    // Reset *all* per-query scratch here, not just what the next query kind
+    // reads: ball() used to leave heap_b_ untouched and the bidirectional
+    // query left ball_ populated, so interleaving query kinds on one
+    // workspace (the normal life of a pooled per-thread workspace) could
+    // observe a previous query's state.
     heap_.clear();
+    heap_b_.clear();
+    ball_.clear();
+    last_work_ = 0;
     // Pre-size to the historical peak so tight query loops never pay
     // reallocation churn mid-search (clear() keeps capacity, so this only
     // costs anything on fresh or recently grown workspaces).
@@ -48,9 +56,7 @@ const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, Vert
     push_fwd(0.0, s);
 
     while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        const QueueItem top = heap_.back();
-        heap_.pop_back();
+        const QueueItem top = heap_.pop_min();
         if (top.dist > dist_[top.vertex]) continue;
         for (const HalfEdge& h : g.neighbors(top.vertex)) {
             const Weight nd = top.dist + h.weight;
@@ -65,6 +71,19 @@ const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, Vert
         }
     }
     return dist_;
+}
+
+void DijkstraWorkspacePool::configure(std::size_t workers, std::size_t n) {
+    while (pool_.size() < workers) {
+        pool_.push_back(std::make_unique<DijkstraWorkspace>());
+    }
+    for (auto& ws : pool_) ws->resize(n);
+}
+
+std::size_t DijkstraWorkspacePool::total_meet_events() const {
+    std::size_t total = 0;
+    for (const auto& ws : pool_) total += ws->meet_events();
+    return total;
 }
 
 Weight dijkstra_distance(const Graph& g, VertexId s, VertexId t, Weight limit) {

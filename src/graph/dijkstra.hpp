@@ -19,16 +19,20 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/dary_heap.hpp"
 
 namespace gsp {
 
 /// Reusable state for repeated Dijkstra runs over graphs with the same
-/// vertex count. Not thread-safe; use one workspace per thread.
+/// vertex count. Not thread-safe; use one workspace per thread (the
+/// `DijkstraWorkspacePool` below hands the greedy engine's worker pool one
+/// workspace each).
 class DijkstraWorkspace {
 public:
     DijkstraWorkspace() = default;
@@ -105,6 +109,11 @@ public:
     [[nodiscard]] std::size_t last_work() const { return last_work_; }
 
 private:
+    // The single reset path of every query entry point. Each query kind
+    // used to clear its own subset of the scratch (ball_ here, heap_b_
+    // there), which left a workspace reused across *different* query kinds
+    // with stale state -- exactly the hazard a per-thread workspace pool
+    // cannot tolerate. begin_query resets everything a query may read.
     void begin_query();
     [[nodiscard]] bool seen(VertexId v) const { return stamp_[v] == current_; }
     [[nodiscard]] bool seen_b(VertexId v) const { return stamp_b_[v] == current_; }
@@ -118,14 +127,12 @@ private:
     };
 
     void push_fwd(Weight d, VertexId v) {
-        heap_.push_back({d, v});
-        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        heap_.push({d, v});
         peak_hint_ = std::max(peak_hint_, heap_.size());
         ++last_work_;
     }
     void push_bwd(Weight d, VertexId v) {
-        heap_b_.push_back({d, v});
-        std::push_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
+        heap_b_.push({d, v});
         peak_hint_ = std::max(peak_hint_, heap_b_.size());
         ++last_work_;
     }
@@ -140,12 +147,33 @@ private:
     std::vector<std::uint64_t> stamp_b_;
 
     std::uint64_t current_ = 0;
-    std::vector<QueueItem> heap_;
-    std::vector<QueueItem> heap_b_;
+    DaryHeap<QueueItem, 4> heap_;
+    DaryHeap<QueueItem, 4> heap_b_;
     std::size_t peak_hint_ = 0;  ///< max heap occupancy seen; reserve() hint
     std::size_t meets_ = 0;
     std::size_t last_work_ = 0;
     std::vector<std::pair<VertexId, Weight>> ball_;
+};
+
+/// A fixed set of workspaces, one per worker of a thread pool. Workspaces
+/// are heap-allocated so references stay stable across configure() calls,
+/// and each worker touches only its own entry (no sharing, no locks).
+class DijkstraWorkspacePool {
+public:
+    /// Ensure the pool holds at least `workers` workspaces, each sized for
+    /// n vertices. Existing workspaces are grown in place, keeping their
+    /// amortized-reset state warm across buckets and runs.
+    void configure(std::size_t workers, std::size_t n);
+
+    [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+    [[nodiscard]] DijkstraWorkspace& at(std::size_t worker) { return *pool_.at(worker); }
+
+    /// Sum of meet_events() over all workspaces (stats aggregation).
+    [[nodiscard]] std::size_t total_meet_events() const;
+
+private:
+    std::vector<std::unique_ptr<DijkstraWorkspace>> pool_;
 };
 
 template <class G>
@@ -157,16 +185,13 @@ Weight DijkstraWorkspace::distance(const G& g, VertexId s, VertexId target,
     }
     if (s == target) return 0.0;
     begin_query();
-    last_work_ = 0;
 
     dist_[s] = 0.0;
     stamp_[s] = current_;
     push_fwd(0.0, s);
 
     while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        const QueueItem top = heap_.back();
-        heap_.pop_back();
+        const QueueItem top = heap_.pop_min();
         if (top.dist > dist_[top.vertex]) continue;  // stale entry
         if (top.vertex == target) return top.dist;
         for (const HalfEdge& h : g.neighbors(top.vertex)) {
@@ -195,8 +220,6 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
     }
     if (s == target) return 0.0;
     begin_query();
-    heap_b_.clear();
-    last_work_ = 0;
 
     dist_[s] = 0.0;
     stamp_[s] = current_;
@@ -210,13 +233,11 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
     // radii certify that no undiscovered path can beat `best` (Nicholson's
     // criterion) or fit under `limit`.
     while (!heap_.empty() && !heap_b_.empty()) {
-        const Weight tf = heap_.front().dist;
-        const Weight tb = heap_b_.front().dist;
+        const Weight tf = heap_.min().dist;
+        const Weight tb = heap_b_.min().dist;
         if (tf + tb >= best || tf + tb > limit) break;
         if (tf <= tb) {
-            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-            const QueueItem top = heap_.back();
-            heap_.pop_back();
+            const QueueItem top = heap_.pop_min();
             if (top.dist > dist_[top.vertex]) continue;  // stale
             if (seen_b(top.vertex)) {
                 const Weight through = top.dist + dist_b_[top.vertex];
@@ -245,9 +266,7 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
                 }
             }
         } else {
-            std::pop_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
-            const QueueItem top = heap_b_.back();
-            heap_b_.pop_back();
+            const QueueItem top = heap_b_.pop_min();
             if (top.dist > dist_b_[top.vertex]) continue;  // stale
             if (seen(top.vertex)) {
                 const Weight through = top.dist + dist_[top.vertex];
@@ -289,17 +308,13 @@ const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const G&
         throw std::out_of_range("DijkstraWorkspace::ball: vertex out of range");
     }
     begin_query();
-    ball_.clear();
-    last_work_ = 0;
 
     dist_[s] = 0.0;
     stamp_[s] = current_;
     push_fwd(0.0, s);
 
     while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        const QueueItem top = heap_.back();
-        heap_.pop_back();
+        const QueueItem top = heap_.pop_min();
         if (top.dist > dist_[top.vertex]) continue;  // stale
         ball_.push_back({top.vertex, top.dist});     // settled: distance is final
         for (const HalfEdge& h : g.neighbors(top.vertex)) {

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace gsp {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers == 0) {
+        throw std::invalid_argument("ThreadPool: workers must be >= 1");
+    }
+    threads_.reserve(workers - 1);
+    for (std::size_t i = 1; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::resolve_workers(std::size_t requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::run(std::size_t num_tasks, const TaskFn& fn) {
+    if (num_tasks == 0) return;
+    if (threads_.empty()) {
+        // Single-worker pool: no synchronization, just the loop.
+        for (std::size_t task = 0; task < num_tasks; ++task) fn(0, task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        num_tasks_ = num_tasks;
+        next_task_.store(0, std::memory_order_relaxed);
+        first_error_ = nullptr;
+        busy_ = threads_.size();
+        ++generation_;
+    }
+    cv_start_.notify_all();
+
+    drain(0);  // the caller is worker 0
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return busy_ == 0; });
+    fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+    // Pool thread i is worker i + 1 (worker 0 is the caller).
+    std::size_t my_generation = 0;
+    std::size_t worker = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Assign stable worker ids by spawn order: the id is this thread's
+        // index in threads_, which is still being filled; derive it from a
+        // running counter instead.
+        worker = ++assigned_workers_;
+    }
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_start_.wait(lock, [&] { return stop_ || generation_ != my_generation; });
+            if (stop_) return;
+            my_generation = generation_;
+        }
+        drain(worker);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--busy_ == 0) cv_done_.notify_one();
+        }
+    }
+}
+
+void ThreadPool::drain(std::size_t worker) {
+    const TaskFn& fn = *fn_;
+    const std::size_t total = num_tasks_;
+    for (;;) {
+        const std::size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+        if (task >= total) return;
+        try {
+            fn(worker, task);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!first_error_) first_error_ = std::current_exception();
+            // Abandon the remaining tasks: park the cursor at the end.
+            next_task_.store(total, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+}  // namespace gsp

@@ -1,0 +1,70 @@
+// A small persistent fork-join executor for the greedy engine's parallel
+// prefilter stage.
+//
+// Design constraints, in order:
+//  * the caller participates: worker 0 is the calling thread, so a pool of
+//    size 1 degenerates to an inline loop with zero synchronization;
+//  * tasks are claimed from a shared atomic cursor (dynamic load balance --
+//    source groups vary wildly in cost), while every *result* is written to
+//    task-indexed slots, so the outcome is independent of scheduling;
+//  * the pool is reused across buckets and runs: workers park on a
+//    condition variable between jobs instead of being respawned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsp {
+
+class ThreadPool {
+public:
+    /// A job body: invoked once per task index in [0, num_tasks), with the
+    /// claiming worker's id in [0, num_workers()). Distinct workers run
+    /// concurrently; one worker's calls are sequential.
+    using TaskFn = std::function<void(std::size_t worker, std::size_t task)>;
+
+    /// Create a pool with `workers` total workers (>= 1). Spawns
+    /// `workers - 1` threads; worker 0 is whichever thread calls run().
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t num_workers() const { return threads_.size() + 1; }
+
+    /// Run fn over all task indices and block until every task finished.
+    /// The first exception thrown by any task is rethrown here (remaining
+    /// tasks are abandoned; the pool stays usable).
+    void run(std::size_t num_tasks, const TaskFn& fn);
+
+    /// Pick a worker count: explicit request, or hardware concurrency for 0.
+    [[nodiscard]] static std::size_t resolve_workers(std::size_t requested);
+
+private:
+    void worker_loop();
+    void drain(std::size_t worker);
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    const TaskFn* fn_ = nullptr;
+    std::size_t num_tasks_ = 0;
+    std::atomic<std::size_t> next_task_{0};
+    std::size_t busy_ = 0;        ///< pool threads still draining the current job
+    std::size_t assigned_workers_ = 0;  ///< worker-id dispenser for pool threads
+    std::uint64_t generation_ = 0;
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+};
+
+}  // namespace gsp

@@ -51,6 +51,26 @@ TEST(ApproxGreedyTest, OracleOnAndOffProduceIdenticalSpanners) {
     EXPECT_LT(a.exact_queries, b.exact_queries);
 }
 
+TEST(ApproxGreedyTest, ParallelPipelineMatchesSerialWithAndWithoutOracle) {
+    // The engine's parallel prefilter stage (with the concurrent cluster
+    // oracle, one QueryScratch per worker) must leave the simulation
+    // bit-identical to the serial run.
+    Rng rng(23);
+    const EuclideanMetric pts = uniform_points(250, 2, 100.0, rng);
+    const ApproxGreedyResult serial =
+        approx_greedy_spanner(pts, ApproxGreedyOptions{.epsilon = 0.5});
+    for (const bool oracle : {false, true}) {
+        for (const std::size_t threads : {2u, 4u}) {
+            const ApproxGreedyResult par = approx_greedy_spanner(
+                pts, ApproxGreedyOptions{.epsilon = 0.5,
+                                         .use_cluster_oracle = oracle,
+                                         .num_threads = threads});
+            EXPECT_TRUE(same_edge_set(par.spanner, serial.spanner))
+                << "threads=" << threads << " oracle=" << oracle;
+        }
+    }
+}
+
 TEST(ApproxGreedyTest, Lemma11GapHoldsForNonLightEdges) {
     // Every kept edge outside E0 must have its second-shortest path heavier
     // than t_sim * w(e) -- the exact invariant Lemma 13's lightness proof

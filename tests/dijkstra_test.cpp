@@ -243,5 +243,68 @@ INSTANTIATE_TEST_SUITE_P(RandomGraphs, DijkstraPropertyTest,
                                             ::testing::Values(12u, 25u, 40u),
                                             ::testing::Values(0.08, 0.25, 0.6)));
 
+/// EXPECT_NEAR chokes on inf - inf; unreachable-vs-unreachable is a match.
+void expect_same_weight(Weight got, Weight want, int round) {
+    if (want == kInfiniteWeight || got == kInfiniteWeight) {
+        EXPECT_EQ(got, want) << "round " << round;
+    } else {
+        EXPECT_NEAR(got, want, 1e-9) << "round " << round;
+    }
+}
+
+TEST(DijkstraWorkspaceTest, InterleavedQueryKindsNeverSeeStaleState) {
+    // Regression guard for the consolidated begin_query reset: a pooled
+    // per-thread workspace alternates freely between ball(), one-sided and
+    // bidirectional point queries; each query kind used to clear only its
+    // own subset of the scratch. Every interleaved result must match a
+    // fresh single-purpose workspace.
+    Rng rng(77);
+    const Graph g = random_graph(40, 0.2, rng);
+    DijkstraWorkspace shared(g.num_vertices());
+    for (int round = 0; round < 25; ++round) {
+        const auto s = static_cast<VertexId>(rng.index(g.num_vertices()));
+        const auto t = static_cast<VertexId>(rng.index(g.num_vertices()));
+        const Weight limit = rng.uniform(0.5, 25.0);
+        const int kind = round % 3;
+        if (kind == 0) {
+            const Weight got = shared.distance_bidirectional(g, s, t, limit);
+            DijkstraWorkspace fresh(g.num_vertices());
+            expect_same_weight(got, fresh.distance_bidirectional(g, s, t, limit), round);
+        } else if (kind == 1) {
+            const auto& ball = shared.ball(g, s, limit);
+            DijkstraWorkspace fresh(g.num_vertices());
+            const auto fresh_ball = fresh.ball(g, s, limit);
+            ASSERT_EQ(ball.size(), fresh_ball.size()) << "round " << round;
+            for (std::size_t i = 0; i < ball.size(); ++i) {
+                EXPECT_EQ(ball[i].first, fresh_ball[i].first);
+                EXPECT_NEAR(ball[i].second, fresh_ball[i].second, 1e-12);
+            }
+        } else {
+            const Weight got = shared.distance(g, s, t, limit);
+            DijkstraWorkspace fresh(g.num_vertices());
+            expect_same_weight(got, fresh.distance(g, s, t, limit), round);
+        }
+    }
+}
+
+TEST(DijkstraWorkspacePoolTest, WorkspacesAreStableAndIndependent) {
+    Rng rng(13);
+    const Graph g = random_graph(30, 0.25, rng);
+    DijkstraWorkspacePool pool;
+    pool.configure(3, g.num_vertices());
+    ASSERT_EQ(pool.size(), 3u);
+    DijkstraWorkspace* first = &pool.at(0);
+    // Growing the pool must not invalidate existing workspaces.
+    pool.configure(5, g.num_vertices());
+    ASSERT_EQ(pool.size(), 5u);
+    EXPECT_EQ(&pool.at(0), first);
+    // Each workspace answers independently.
+    const Weight a = pool.at(1).distance(g, 0, 5, kInfiniteWeight);
+    const Weight b = pool.at(4).distance(g, 0, 5, kInfiniteWeight);
+    DijkstraWorkspace fresh(g.num_vertices());
+    EXPECT_NEAR(a, fresh.distance(g, 0, 5, kInfiniteWeight), 1e-12);
+    EXPECT_NEAR(b, a, 1e-12);
+}
+
 }  // namespace
 }  // namespace gsp

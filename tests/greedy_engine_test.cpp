@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -151,6 +153,206 @@ TEST(GreedyEngineTest, PrefilterOnlyShortCircuitsNeverChangesOutput) {
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, t)));
     EXPECT_EQ(stats.prefilter_rejects, rejects);
     EXPECT_GT(rejects, 0u);
+}
+
+/// Thread counts the issue names: serial, small, oversubscribed, hardware
+/// (0 resolves to std::thread::hardware_concurrency).
+const std::size_t kThreadCounts[] = {1, 2, 4, 0};
+
+TEST(ParallelEngineTest, EdgeSetMatchesNaiveAtEveryThreadCount) {
+    // The core contract of the three-stage pipeline: stage-2 facts are
+    // sound and stage 3 re-verifies every surviving accept in tie order,
+    // so the edge set is identical to the naive kernel no matter how many
+    // workers prefilter the buckets.
+    for (const std::uint64_t seed : {3u, 101u}) {
+        for (const auto& [name, g] : instance_family(seed)) {
+            const Graph naive = greedy_spanner_with(g, config_from_mask(2.0, 0));
+            for (const std::size_t threads : kThreadCounts) {
+                for (const bool sharing : {true, false}) {
+                    for (const double accept_gate : {0.25, 1.0}) {
+                        GreedyEngineOptions options;
+                        options.stretch = 2.0;
+                        options.ball_sharing = sharing;
+                        options.num_threads = threads;
+                        options.parallel_accept_gate = accept_gate;
+                        GreedyStats stats;
+                        const Graph h = greedy_spanner_with(g, options, &stats);
+                        EXPECT_TRUE(same_edge_set(h, naive))
+                            << name << " diverges at num_threads=" << threads
+                            << " sharing=" << sharing << " gate=" << accept_gate;
+                        EXPECT_EQ(stats.edges_examined, g.num_edges());
+                        if (!sharing) EXPECT_EQ(stats.balls_computed, 0u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelEngineTest, StatsAreScheduleIndependent) {
+    // Stage-2 decisions (which probes run, what they record) are pure
+    // functions of the bucket-start snapshot, so even the *counters* must
+    // be reproducible run to run at any fixed thread count.
+    Rng rng(55);
+    const Graph g = erdos_renyi(90, 0.15, {.lo = 0.5, .hi = 4.0}, rng);
+    GreedyEngineOptions options;
+    options.stretch = 1.8;
+    options.num_threads = 4;
+    GreedyStats a;
+    GreedyStats b;
+    const Graph ha = greedy_spanner_with(g, options, &a);
+    const Graph hb = greedy_spanner_with(g, options, &b);
+    EXPECT_TRUE(same_edge_set(ha, hb));
+    EXPECT_EQ(a.dijkstra_runs, b.dijkstra_runs);
+    EXPECT_EQ(a.balls_computed, b.balls_computed);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.snapshot_accepts, b.snapshot_accepts);
+    EXPECT_EQ(a.edges_added, b.edges_added);
+}
+
+TEST(ParallelEngineTest, SnapshotCertificatesAreConsumed) {
+    // On a reject-heavy instance most accepts happen with no insertion
+    // since the bucket snapshot, so the insertion loop should be consuming
+    // stage-2 "far at snapshot" certificates instead of re-querying.
+    Rng rng(8);
+    const Graph g = erdos_renyi(120, 0.2, {.lo = 1.0, .hi = 8.0}, rng);
+    GreedyEngineOptions options;
+    options.stretch = 3.0;  // deep rejection regime
+    options.num_threads = 2;
+    options.ball_sharing = false;      // route everything through point probes
+    options.parallel_accept_gate = 1.0;  // prefilter every batch
+    GreedyStats stats;
+    const Graph h = greedy_spanner_with(g, options, &stats);
+    EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 3.0)));
+    EXPECT_GT(stats.snapshot_accepts, 0u);
+}
+
+TEST(ParallelEngineTest, BallsNeverLeakAcrossBatchBoundaries) {
+    // Regression guard: a ball's harvest only writes bounds for its own
+    // batch-scoped group, so ball reuse must be keyed to the *batch*
+    // sequence, not the bucket -- a bucket-keyed ball can be revalidated
+    // by a tie-weight same-source candidate of the next batch whose bound
+    // was never harvested, and accept an edge the naive kernel rejects.
+    //
+    // Deterministic trigger (unit weights, one bucket, parallel_batch = 4,
+    // t = 2.5, seed edge 3-0): batch 1 accepts 0-1 and 1-2, then source
+    // 3's group {(3,1), (3,0)} grows a serial ball (radius 2.5, epoch
+    // unchanged afterwards -- both candidates reject), and its 50% accept
+    // rate makes stage 2 skip batch 2. Batch 2 holds a duplicate (3,1):
+    // its bound was never harvested (different batch group), no insertion
+    // happened since the ball, and the radius covers the tie threshold --
+    // the buggy bucket-keyed guard accepts it even though the spanner
+    // distance is 2 <= 2.5.
+    const std::vector<GreedyCandidate> cands = {
+        {0, 1, 1.0}, {1, 2, 1.0}, {3, 1, 1.0}, {3, 0, 1.0},  // batch 1
+        {3, 1, 1.0},                                         // batch 2
+    };
+    const auto seeded = [] {
+        Graph h(4);
+        h.add_edge(3, 0, 1.0);
+        return h;
+    };
+    GreedyEngineOptions naive_options;
+    naive_options.stretch = 2.5;
+    naive_options.bidirectional = false;
+    naive_options.ball_sharing = false;
+    naive_options.csr_snapshot = false;
+    GreedyEngine naive(4, naive_options);
+    const Graph want = naive.run(seeded(), cands);
+    ASSERT_EQ(want.num_edges(), 3u);  // seed + 0-1 + 1-2; both (3,1) and (3,0) reject
+
+    GreedyEngineOptions options;
+    options.stretch = 2.5;
+    options.num_threads = 2;
+    options.parallel_batch = 4;
+    options.parallel_accept_gate = 0.25;
+    options.ball_share_min_group = 2;
+    GreedyEngine parallel(4, options);
+    const Graph got = parallel.run(seeded(), cands);
+    EXPECT_TRUE(same_edge_set(got, want));
+
+    // Broader randomized sweep over the same hazard: unit weights (one
+    // bucket, constant tie thresholds) with tiny batches and mixed
+    // accept/reject phases at t = 2.5.
+    for (const std::uint64_t seed : {4u, 42u, 99u, 7u}) {
+        Rng rng(seed);
+        const Graph g = erdos_renyi(80, 0.3, {.lo = 1.0, .hi = 1.0}, rng);
+        const Graph naive_h = greedy_spanner_with(g, config_from_mask(2.5, 0));
+        for (const std::size_t batch : {4u, 8u, 32u}) {
+            GreedyEngineOptions sweep;
+            sweep.stretch = 2.5;
+            sweep.num_threads = 2;
+            sweep.parallel_batch = batch;
+            sweep.parallel_accept_gate = 0.25;
+            sweep.ball_share_min_group = 2;
+            const Graph h = greedy_spanner_with(g, sweep);
+            EXPECT_TRUE(same_edge_set(h, naive_h))
+                << "seed " << seed << " batch " << batch;
+        }
+    }
+}
+
+TEST(ParallelEngineTest, ConcurrentPrefilterRejectsSoundly) {
+    // A sound concurrent oracle (exact distances on a copy of the
+    // bucket-start spanner, one workspace per worker) must not change any
+    // decision, and its rejects must be counted deterministically.
+    Rng rng(33);
+    const Graph g = erdos_renyi(60, 0.25, {.lo = 0.5, .hi = 3.0}, rng);
+    const double t = 1.8;
+
+    GreedyEngineOptions options;
+    options.stretch = t;
+    options.num_threads = 3;
+    options.parallel_accept_gate = 1.0;  // stage 2 (and its oracle) every batch
+    options.prefilter_gate = GreedyEngineOptions::PrefilterGate::kAlways;
+    auto frozen = std::make_shared<Graph>(0);
+    options.on_bucket = [frozen](const Graph& h, Weight) { *frozen = h; };
+    auto oracle_ws = std::make_shared<std::vector<DijkstraWorkspace>>(3);
+    options.concurrent_prefilter = [frozen, oracle_ws](std::size_t worker, VertexId u,
+                                                       VertexId v, Weight threshold) {
+        // `frozen` lags intra-bucket insertions, so its distances are upper
+        // bounds on the current spanner distance -- sound reject evidence.
+        return (*oracle_ws)[worker].distance(*frozen, u, v, threshold) <= threshold;
+    };
+    GreedyStats stats;
+    const Graph h = greedy_spanner_with(g, options, &stats);
+    EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, t)));
+    EXPECT_GT(stats.prefilter_rejects, 0u);
+
+    GreedyStats again;
+    (void)greedy_spanner_with(g, options, &again);
+    EXPECT_EQ(stats.prefilter_rejects, again.prefilter_rejects);
+}
+
+TEST(ParallelEngineTest, AdaptiveGateDisablesAWastefulPrefilter) {
+    // A prefilter that never rejects anything is pure overhead; the
+    // measured-cost gate must switch it off mid-run (and must not change
+    // the output, since a never-rejecting filter decides nothing).
+    Rng rng(19);
+    const Graph g = random_graph_nm(400, 4000, {.lo = 1.0, .hi = 2.0}, rng);
+    std::size_t calls = 0;
+    GreedyEngineOptions options;
+    options.stretch = 2.0;
+    options.prefilter = [&calls](VertexId, VertexId, Weight) {
+        ++calls;
+        // Burn enough work that the gate's timing window sees a real cost.
+        volatile double sink = 0.0;
+        for (int i = 0; i < 2000; ++i) sink = sink + static_cast<double>(i);
+        return false;
+    };
+    GreedyStats stats;
+    const Graph h = greedy_spanner_with(g, options, &stats);
+    EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 2.0)));
+    EXPECT_EQ(stats.prefilter_gated_off, 1u);
+    EXPECT_LT(calls, g.num_edges());  // stopped consulting it mid-run
+
+    // kAlways is the explicit opt-in that bypasses the gate.
+    calls = 0;
+    options.prefilter_gate = GreedyEngineOptions::PrefilterGate::kAlways;
+    GreedyStats always_stats;
+    (void)greedy_spanner_with(g, options, &always_stats);
+    EXPECT_EQ(always_stats.prefilter_gated_off, 0u);
+    EXPECT_EQ(calls, g.num_edges());
 }
 
 TEST(GreedyEngineTest, SeededSpannerEdgesAreRespected) {

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
+#include "util/dary_heap.hpp"
 #include "util/fit.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gsp {
 namespace {
@@ -124,6 +130,101 @@ TEST(FitTest, SlopeOfLine) {
     const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
     const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
     EXPECT_NEAR(fit_slope(xs, ys), 2.0, 1e-12);
+}
+
+struct HeapItem {
+    double key;
+    int payload;
+    friend bool operator>(const HeapItem& a, const HeapItem& b) { return a.key > b.key; }
+};
+
+template <std::size_t Arity>
+void heap_sorts_random_input() {
+    Rng rng(11);
+    DaryHeap<HeapItem, Arity> heap;
+    std::vector<double> keys;
+    for (int round = 0; round < 3; ++round) {
+        // Mixed pushes and pops, like a Dijkstra frontier.
+        for (int i = 0; i < 500; ++i) {
+            const double k = rng.uniform(0.0, 100.0);
+            keys.push_back(k);
+            heap.push({k, i});
+            if (i % 3 == 0 && !heap.empty()) {
+                const HeapItem out = heap.pop_min();
+                const auto it = std::min_element(keys.begin(), keys.end());
+                EXPECT_EQ(out.key, *it);
+                keys.erase(it);
+            }
+        }
+        double prev = -1.0;
+        while (!heap.empty()) {
+            const HeapItem out = heap.pop_min();
+            EXPECT_GE(out.key, prev);
+            prev = out.key;
+        }
+        keys.clear();
+        EXPECT_TRUE(heap.empty());
+    }
+}
+
+TEST(DaryHeapTest, QuaternarySortsRandomInput) { heap_sorts_random_input<4>(); }
+TEST(DaryHeapTest, BinarySortsRandomInput) { heap_sorts_random_input<2>(); }
+
+TEST(DaryHeapTest, ClearKeepsCapacity) {
+    DaryHeap<HeapItem, 4> heap;
+    heap.reserve(64);
+    for (int i = 0; i < 50; ++i) heap.push({static_cast<double>(i), i});
+    const std::size_t cap = heap.capacity();
+    heap.clear();
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(heap.capacity(), cap);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(pool.num_workers(), workers);
+        constexpr std::size_t kTasks = 257;
+        std::vector<std::atomic<int>> hits(kTasks);
+        pool.run(kTasks, [&](std::size_t worker, std::size_t task) {
+            EXPECT_LT(worker, workers);
+            hits[task].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 20; ++round) {
+        pool.run(64, [&](std::size_t, std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(total.load(), 20u * 64u);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptions) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.run(32,
+                          [&](std::size_t, std::size_t task) {
+                              if (task == 7) throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<std::size_t> total{0};
+    pool.run(8, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) {
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ResolveWorkersHonorsExplicitRequest) {
+    EXPECT_EQ(ThreadPool::resolve_workers(3), 3u);
+    EXPECT_GE(ThreadPool::resolve_workers(0), 1u);  // hardware concurrency
 }
 
 }  // namespace
