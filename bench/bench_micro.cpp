@@ -18,6 +18,7 @@
 #include "gen/graphs.hpp"
 #include "gen/points.hpp"
 #include "graph/csr_view.hpp"
+#include "graph/incremental_csr.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/mst.hpp"
 #include "nets/net_hierarchy.hpp"
@@ -89,14 +90,39 @@ void BM_DijkstraLimitedCsr(benchmark::State& state) {
 BENCHMARK(BM_DijkstraLimitedCsr)->Arg(1024)->Arg(4096);
 
 void BM_CsrSnapshotRebuild(benchmark::State& state) {
-    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    // Mirror one insertion between snapshots: the no-insertion fast path
+    // would otherwise turn every iteration after the first into an O(1)
+    // no-op and the benchmark would stop measuring the rebuild.
+    Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
     CsrOverlayView view;
+    view.snapshot(g);  // size the overlay before mirroring insertions
+    VertexId u = 0;
     for (auto _ : state) {
+        const EdgeId id = g.add_edge(u, u + 1, 1.0);
+        view.add_edge(u, u + 1, 1.0, id);
+        u = (u + 2) % static_cast<VertexId>(g.num_vertices() - 1);
         view.snapshot(g);
         benchmark::DoNotOptimize(view.num_vertices());
     }
 }
 BENCHMARK(BM_CsrSnapshotRebuild)->Arg(1024)->Arg(4096);
+
+void BM_IncrementalCsrMirrorInsert(benchmark::State& state) {
+    // The replacement cost model: mirroring one accepted edge into the
+    // gap-buffered incremental view (amortized O(1)) vs the full rebuild
+    // above.
+    Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    IncrementalCsrView view;
+    view.refresh(g);
+    VertexId u = 0;
+    for (auto _ : state) {
+        const EdgeId id = g.add_edge(u, u + 1, 1.0);
+        view.add_edge(u, u + 1, 1.0, id);
+        u = (u + 2) % static_cast<VertexId>(g.num_vertices() - 1);
+        benchmark::DoNotOptimize(view.num_half_edges());
+    }
+}
+BENCHMARK(BM_IncrementalCsrMirrorInsert)->Arg(1024)->Arg(4096);
 
 void BM_KruskalMst(benchmark::State& state) {
     const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));

@@ -119,7 +119,7 @@ void graph_kernel_section() {
 
     const auto runs = benchutil::run_kernel_sweep(g, t);
     Table table({"config", "threads", "seconds", "speedup", "|H|", "queries", "balls",
-                 "cache hits", "snap accepts", "same edges"});
+                 "cache hits", "sketch hits", "snap accepts", "same edges"});
     const double naive_s = runs.front().seconds;
     double full_s = 0.0;
     double mt4_s = 0.0;
@@ -131,6 +131,7 @@ void graph_kernel_section() {
                        std::to_string(r.stats.dijkstra_runs),
                        std::to_string(r.stats.balls_computed),
                        std::to_string(r.stats.cache_hits),
+                       std::to_string(r.stats.sketch_hits),
                        std::to_string(r.stats.snapshot_accepts),
                        r.matches_naive ? "yes" : "NO"});
     }
@@ -146,9 +147,27 @@ void graph_kernel_section() {
                             : " (EDGE SET MISMATCH -- engine bug!)")
               << "\n";
 
+    // Metric-workload probe (n = 2^10, m = n^2/2 candidates): the regime
+    // where the stage-2/stage-3 handoff dominates memory traffic. Tracked
+    // in the artifact so bench/history/ shows the bytes-per-candidate
+    // trajectory next to the kernel-time trajectory.
+    const auto probe = benchutil::run_metric_probe(1u << 10, 1.5);
+    std::cout << "\n== Metric-workload probe (handoff memory) ==\n";
+    Table mtable({"metric", "value"});
+    mtable.add_row({"points n", std::to_string(probe.n)});
+    mtable.add_row({"candidates m", std::to_string(probe.candidates)});
+    mtable.add_row({"cached engine (s, serial)", fmt(probe.serial_seconds, 3)});
+    mtable.add_row({"cached engine (s, mt2)", fmt(probe.mt2_seconds, 3)});
+    mtable.add_row({"handoff peak bytes", std::to_string(probe.handoff_bytes)});
+    mtable.add_row({"bytes per candidate", fmt(probe.bytes_per_candidate, 4)});
+    mtable.add_row({"PR-2 handoff (bytes/cand)", fmt(probe.pr2_bytes_per_candidate, 1)});
+    mtable.add_row({"sketch cross-bucket hits", std::to_string(probe.stats.sketch_hits)});
+    mtable.add_row({"mt2 edge set == serial", probe.matches_serial ? "yes" : "NO"});
+    mtable.print(std::cout);
+
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_runtime", "random_nm", n,
-                                       g.num_edges(), t, runs);
+                                       g.num_edges(), t, runs, &probe);
     std::cout << "wrote " << path << "\n\n";
 
     // Parallel-stage scaling probe at t = 3: the reject-heavy regime

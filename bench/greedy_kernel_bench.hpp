@@ -3,34 +3,53 @@
 //
 // Both bench_runtime (full-size sweep, the perf-trajectory source of truth)
 // and bench_micro (CI smoke that validates the schema) emit the same JSON
-// shape, version-tagged "gsp.bench_greedy.v1":
+// shape, version-tagged "gsp.bench_greedy.v2":
 //
 //   {
-//     "schema": "gsp.bench_greedy.v1",
+//     "schema": "gsp.bench_greedy.v2",
 //     "source": "<bench binary>",
 //     "stretch": <t>,
 //     "instance": {"kind": ..., "n": ..., "m": ...},
 //     "configs": [
 //       {"name": ..., "bidirectional": ..., "ball_sharing": ...,
-//        "csr_snapshot": ..., "seconds": ..., "edges": ...,
-//        "matches_naive": ..., "stats": {...}}, ...],
+//        "csr_snapshot": ..., "bound_sketch": ..., "seconds": ...,
+//        "edges": ..., "matches_naive": ..., "handoff_bytes": ...,
+//        "bytes_per_candidate": ..., "stats": {...}}, ...],
+//     "metric_probe": {...},        // bench_runtime only (optional)
+//     "peak_rss_kb": <ru_maxrss>,
 //     "speedup_full_vs_naive": <naive seconds / full seconds>
 //   }
+//
+// v2 adds the memory trajectory next to the kernel-time trajectory: the
+// per-config stage-2 -> stage-3 handoff footprint (bytes_per_candidate),
+// the process peak RSS, and the metric-workload probe (n = 2^10,
+// m = n(n-1)/2 candidates) where the handoff size is the dominant memory
+// term.
 //
 // The output path defaults to BENCH_greedy.json in the working directory;
 // override with the GSP_BENCH_JSON environment variable.
 // scripts/validate_bench_json.py checks the schema in CI.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/greedy.hpp"
 #include "core/greedy_engine.hpp"
+#include "core/greedy_metric.hpp"
+#include "gen/points.hpp"
 #include "graph/graph.hpp"
+#include "metric/euclidean.hpp"
+#include "util/random.hpp"
 
 namespace gsp::benchutil {
 
@@ -39,6 +58,7 @@ struct KernelConfig {
     bool bidirectional;
     bool ball_sharing;
     bool csr_snapshot;
+    bool bound_sketch = false;
     std::size_t threads = 1;  ///< stage-2 workers (1 = serial pipeline)
 };
 
@@ -47,16 +67,18 @@ struct KernelConfig {
 /// stage at increasing worker counts. kKernelConfigs[0] must stay the
 /// naive kernel -- the sweep verifies every other row against its edge
 /// set. "full" stays the serial pipeline so the mt rows read as speedup
-/// over the PR-1 engine.
+/// over the serial engine; from PR 3 on, "full" includes the cross-bucket
+/// bound sketch.
 inline constexpr KernelConfig kKernelConfigs[] = {
     {"naive", false, false, false},
     {"bidirectional", true, false, false},
     {"ball_sharing", false, true, false},
     {"csr_snapshot", false, false, true},
+    {"bound_sketch", false, false, false, true},
     {"bidirectional+csr", true, false, true},
-    {"full", true, true, true},
-    {"full+mt2", true, true, true, 2},
-    {"full+mt4", true, true, true, 4},
+    {"full", true, true, true, true},
+    {"full+mt2", true, true, true, true, 2},
+    {"full+mt4", true, true, true, true, 4},
 };
 
 struct KernelRun {
@@ -67,6 +89,17 @@ struct KernelRun {
     GreedyStats stats;
 };
 
+inline GreedyEngineOptions options_for(const KernelConfig& config, double t) {
+    GreedyEngineOptions options;
+    options.stretch = t;
+    options.bidirectional = config.bidirectional;
+    options.ball_sharing = config.ball_sharing;
+    options.csr_snapshot = config.csr_snapshot;
+    options.bound_sketch = config.bound_sketch;
+    options.num_threads = config.threads;
+    return options;
+}
+
 /// Run every kernel configuration on (g, t) and verify each edge set
 /// against the naive kernel's -- the in-benchmark equivalence check the
 /// acceptance criteria require.
@@ -74,15 +107,9 @@ inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
     std::vector<KernelRun> runs;
     Graph naive_spanner(0);
     for (const KernelConfig& config : kKernelConfigs) {
-        GreedyEngineOptions options;
-        options.stretch = t;
-        options.bidirectional = config.bidirectional;
-        options.ball_sharing = config.ball_sharing;
-        options.csr_snapshot = config.csr_snapshot;
-        options.num_threads = config.threads;
         KernelRun run;
         run.config = config;
-        const Graph h = greedy_spanner_with(g, options, &run.stats);
+        const Graph h = greedy_spanner_with(g, options_for(config, t), &run.stats);
         run.seconds = run.stats.seconds;
         run.edges = h.num_edges();
         if (runs.empty()) {
@@ -96,6 +123,73 @@ inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
     return runs;
 }
 
+/// The metric-workload probe: n points, m = n(n-1)/2 candidates -- the
+/// regime where the stage-2/stage-3 handoff dominates memory traffic and
+/// the PR-2 verdict/bound arrays cost a flat 9 bytes per candidate
+/// (1-byte verdict + 8-byte bound, both sized to the whole run). The v2
+/// artifact tracks the measured bytes-per-candidate of the bucket-local
+/// handoff against that baseline.
+struct MetricProbeResult {
+    std::size_t n = 0;
+    std::size_t candidates = 0;
+    double stretch = 0.0;
+    double serial_seconds = 0.0;
+    double mt2_seconds = 0.0;
+    std::size_t edges = 0;
+    bool matches_serial = false;  ///< mt2 edge set == serial edge set
+    std::size_t handoff_bytes = 0;
+    double bytes_per_candidate = 0.0;
+    /// The PR-2 handoff layout's flat cost on the same run.
+    double pr2_bytes_per_candidate = 9.0;
+    GreedyStats stats;  ///< serial cached-engine run
+};
+
+inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
+    Rng rng(1234);
+    const EuclideanMetric pts =
+        uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
+    MetricProbeResult probe;
+    probe.n = n;
+    probe.candidates = n * (n - 1) / 2;
+    probe.stretch = t;
+
+    MetricGreedyOptions serial_options{.stretch = t, .use_distance_cache = true,
+                                       .num_threads = 1};
+    const Graph serial = greedy_spanner_metric(pts, serial_options, &probe.stats);
+    probe.serial_seconds = probe.stats.seconds;
+    probe.edges = serial.num_edges();
+
+    MetricGreedyOptions mt_options{.stretch = t, .use_distance_cache = true,
+                                   .num_threads = 2};
+    GreedyStats mt_stats;
+    const Graph mt = greedy_spanner_metric(pts, mt_options, &mt_stats);
+    probe.mt2_seconds = mt_stats.seconds;
+    probe.matches_serial = same_edge_set(mt, serial);
+    // The parallel handoff adds the verdict bitsets; report the larger of
+    // the two runs so the column upper-bounds both paths.
+    probe.handoff_bytes =
+        std::max(probe.stats.handoff_peak_bytes, mt_stats.handoff_peak_bytes);
+    probe.bytes_per_candidate =
+        static_cast<double>(probe.handoff_bytes) /
+        static_cast<double>(probe.candidates == 0 ? 1 : probe.candidates);
+    return probe;
+}
+
+/// Process peak RSS in KiB (0 where unsupported).
+inline std::size_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<std::size_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+        return static_cast<std::size_t>(ru.ru_maxrss);  // KiB on Linux
+#endif
+    }
+#endif
+    return 0;
+}
+
 inline std::string bench_json_path() {
     const char* env = std::getenv("GSP_BENCH_JSON");
     return env != nullptr ? std::string(env) : std::string("BENCH_greedy.json");
@@ -104,12 +198,13 @@ inline std::string bench_json_path() {
 inline void write_bench_greedy_json(const std::string& path, const std::string& source,
                                     const std::string& instance_kind, std::size_t n,
                                     std::size_t m, double t,
-                                    const std::vector<KernelRun>& runs) {
+                                    const std::vector<KernelRun>& runs,
+                                    const MetricProbeResult* metric_probe = nullptr) {
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot write " + path);
     const auto b = [](bool v) { return v ? "true" : "false"; };
     out << "{\n";
-    out << "  \"schema\": \"gsp.bench_greedy.v1\",\n";
+    out << "  \"schema\": \"gsp.bench_greedy.v2\",\n";
     out << "  \"source\": \"" << source << "\",\n";
     out << "  \"stretch\": " << t << ",\n";
     out << "  \"instance\": {\"kind\": \"" << instance_kind << "\", \"n\": " << n
@@ -117,26 +212,51 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
     out << "  \"configs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const KernelRun& r = runs[i];
+        const double bpc = static_cast<double>(r.stats.handoff_peak_bytes) /
+                           static_cast<double>(m == 0 ? 1 : m);
         out << "    {\"name\": \"" << r.config.name << "\", "
             << "\"bidirectional\": " << b(r.config.bidirectional) << ", "
             << "\"ball_sharing\": " << b(r.config.ball_sharing) << ", "
             << "\"csr_snapshot\": " << b(r.config.csr_snapshot) << ", "
+            << "\"bound_sketch\": " << b(r.config.bound_sketch) << ", "
             << "\"threads\": " << r.config.threads << ", "
             << "\"seconds\": " << r.seconds << ", "
             << "\"edges\": " << r.edges << ", "
             << "\"matches_naive\": " << b(r.matches_naive) << ",\n"
+            << "     \"handoff_bytes\": " << r.stats.handoff_peak_bytes << ", "
+            << "\"bytes_per_candidate\": " << bpc << ",\n"
             << "     \"stats\": {"
             << "\"edges_examined\": " << r.stats.edges_examined << ", "
             << "\"dijkstra_runs\": " << r.stats.dijkstra_runs << ", "
             << "\"balls_computed\": " << r.stats.balls_computed << ", "
             << "\"cache_hits\": " << r.stats.cache_hits << ", "
             << "\"csr_rebuilds\": " << r.stats.csr_rebuilds << ", "
+            << "\"csr_compactions\": " << r.stats.csr_compactions << ", "
+            << "\"sketch_hits\": " << r.stats.sketch_hits << ", "
+            << "\"sketch_accepts\": " << r.stats.sketch_accepts << ", "
             << "\"bidirectional_meets\": " << r.stats.bidirectional_meets << ", "
             << "\"snapshot_accepts\": " << r.stats.snapshot_accepts << ", "
             << "\"buckets\": " << r.stats.buckets << "}}"
             << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
+    if (metric_probe != nullptr) {
+        const MetricProbeResult& p = *metric_probe;
+        out << "  \"metric_probe\": {\"kind\": \"euclidean_uniform\", "
+            << "\"n\": " << p.n << ", "
+            << "\"candidates\": " << p.candidates << ", "
+            << "\"stretch\": " << p.stretch << ", "
+            << "\"serial_seconds\": " << p.serial_seconds << ", "
+            << "\"mt2_seconds\": " << p.mt2_seconds << ", "
+            << "\"edges\": " << p.edges << ", "
+            << "\"matches_serial\": " << b(p.matches_serial) << ", "
+            << "\"handoff_bytes\": " << p.handoff_bytes << ", "
+            << "\"bytes_per_candidate\": " << p.bytes_per_candidate << ", "
+            << "\"pr2_bytes_per_candidate\": " << p.pr2_bytes_per_candidate << ", "
+            << "\"sketch_hits\": " << p.stats.sketch_hits << ", "
+            << "\"dijkstra_runs\": " << p.stats.dijkstra_runs << "},\n";
+    }
+    out << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
     // Named lookups: the ladder may append parallel rows after "full", so
     // ratios reference configs by name rather than position.
     const auto seconds_of = [&runs](const std::string& name) -> double {

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schema gsp.bench_greedy.v1) and
-diff them against the tracked bench history.
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1/v2)
+and diff them against the tracked bench history.
 
 Usage:
     validate_bench_json.py [path]                  schema check only
     validate_bench_json.py --history DIR [path]    schema check of the
         latest entry in DIR (or of `path` if given), plus a regression diff
         of the two newest entries in DIR: kernel configs more than 20%
-        slower than the previous entry are flagged. Flags are warnings by
+        slower than the previous entry are flagged, and (v2) configs whose
+        stage-2/stage-3 handoff grew more than 20% in bytes-per-candidate
+        are flagged alongside. The metric-workload probe's time and
+        bytes-per-candidate are diffed the same way. Flags are warnings by
         default (bench timings on shared CI runners are noisy); --strict
         turns them into a non-zero exit.
+
+Schema v2 (PR 3) adds the memory trajectory: per-config "bound_sketch",
+"handoff_bytes" and "bytes_per_candidate", the optional "metric_probe"
+object (n = 2^10, m = n^2/2 candidates), and top-level "peak_rss_kb".
+v1 entries (the pre-PR3 history) are still accepted and diffed on the
+fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -20,14 +29,25 @@ import json
 import sys
 from pathlib import Path
 
+SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2"}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
                    "seconds", "edges", "matches_naive", "stats"}
 REQUIRED_STATS = {"edges_examined", "dijkstra_runs", "balls_computed",
                   "cache_hits", "csr_rebuilds", "bidirectional_meets", "buckets"}
+# v2 additions: the handoff-memory columns and the sketch/compaction stats.
+REQUIRED_CONFIG_V2 = REQUIRED_CONFIG | {"bound_sketch", "handoff_bytes",
+                                        "bytes_per_candidate"}
+REQUIRED_STATS_V2 = REQUIRED_STATS | {"csr_compactions", "sketch_hits",
+                                      "sketch_accepts", "snapshot_accepts"}
+REQUIRED_TOP_V2 = REQUIRED_TOP | {"peak_rss_kb"}
+REQUIRED_METRIC_PROBE = {"kind", "n", "candidates", "stretch", "serial_seconds",
+                         "mt2_seconds", "edges", "matches_serial",
+                         "handoff_bytes", "bytes_per_candidate",
+                         "pr2_bytes_per_candidate"}
 
-REGRESSION_THRESHOLD = 1.20  # >20% slower than the previous entry
+REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
 
 def fail(msg: str) -> None:
@@ -47,10 +67,15 @@ def load(path) -> dict:
 
 
 def validate(doc: dict, path) -> None:
-    if missing := REQUIRED_TOP - doc.keys():
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        fail(f"{path}: unexpected schema tag {schema!r}")
+    v2 = schema == "gsp.bench_greedy.v2"
+    required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
+    required_config = REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG
+    required_stats = REQUIRED_STATS_V2 if v2 else REQUIRED_STATS
+    if missing := required_top - doc.keys():
         fail(f"{path}: missing top-level keys: {sorted(missing)}")
-    if doc["schema"] != "gsp.bench_greedy.v1":
-        fail(f"{path}: unexpected schema tag {doc['schema']!r}")
     inst = doc["instance"]
     if {"kind", "n", "m"} - inst.keys():
         fail(f"{path}: instance must carry kind/n/m")
@@ -62,9 +87,9 @@ def validate(doc: dict, path) -> None:
         fail(f"{path}: configs[0] must be the naive reference")
     names = set()
     for c in configs:
-        if missing := REQUIRED_CONFIG - c.keys():
+        if missing := required_config - c.keys():
             fail(f"{path}: config {c.get('name', '?')} missing keys: {sorted(missing)}")
-        if missing := REQUIRED_STATS - c["stats"].keys():
+        if missing := required_stats - c["stats"].keys():
             fail(f"{path}: config {c['name']} stats missing: {sorted(missing)}")
         if c["seconds"] < 0:
             fail(f"{path}: config {c['name']} has negative seconds")
@@ -72,14 +97,49 @@ def validate(doc: dict, path) -> None:
             fail(f"{path}: config {c['name']} did not match the naive edge set")
         if c.get("threads", 1) < 1:
             fail(f"{path}: config {c['name']} has a non-positive thread count")
+        if v2 and c["bytes_per_candidate"] < 0:
+            fail(f"{path}: config {c['name']} has negative bytes_per_candidate")
         if c["name"] in names:
             fail(f"{path}: duplicate config name {c['name']}")
         names.add(c["name"])
     if "full" not in names:
         fail(f"{path}: the full-engine configuration is missing")
 
-    print(f"{path}: schema OK ({len(configs)} configs, source={doc['source']}, "
-          f"full-vs-naive speedup {doc['speedup_full_vs_naive']:.2f}x)")
+    probe = doc.get("metric_probe")
+    if probe is not None:
+        if missing := REQUIRED_METRIC_PROBE - probe.keys():
+            fail(f"{path}: metric_probe missing keys: {sorted(missing)}")
+        if not probe["matches_serial"]:
+            fail(f"{path}: metric_probe parallel edge set diverged from serial")
+        if probe["candidates"] <= 0 or probe["bytes_per_candidate"] < 0:
+            fail(f"{path}: metric_probe has nonsensical candidate accounting")
+
+    extras = []
+    if probe is not None:
+        extras.append(f"metric probe {probe['bytes_per_candidate']:.2f} B/cand "
+                      f"(PR2 baseline {probe['pr2_bytes_per_candidate']:.1f})")
+    if v2:
+        extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
+    suffix = f"; {', '.join(extras)}" if extras else ""
+    print(f"{path}: schema OK ({schema}, {len(configs)} configs, "
+          f"source={doc['source']}, "
+          f"full-vs-naive speedup {doc['speedup_full_vs_naive']:.2f}x{suffix})")
+
+
+def diff_metric(name: str, old, new, unit: str):
+    """Returns (is_regression, message) or None when not comparable.
+    All tracked metrics (seconds, bytes-per-candidate) are
+    smaller-is-better."""
+    if old is None or new is None or old <= 0:
+        return None
+    ratio = new / old
+    if ratio > REGRESSION_THRESHOLD:
+        return True, (f"REGRESSION: {name} is {ratio:.2f}x the previous entry "
+                      f"({old:.3f}{unit} -> {new:.3f}{unit})")
+    if ratio < 1 / REGRESSION_THRESHOLD:
+        return False, (f"improvement: {name} {1 / ratio:.2f}x better "
+                       f"({old:.3f}{unit} -> {new:.3f}{unit})")
+    return None
 
 
 def diff_history(history_dir: Path, strict: bool) -> int:
@@ -90,26 +150,44 @@ def diff_history(history_dir: Path, strict: bool) -> int:
               "nothing to diff yet")
         return 0
     prev_path, cur_path = entries[-2], entries[-1]
-    prev = {c["name"]: c for c in load(prev_path)["configs"]}
-    cur = load(cur_path)["configs"]
+    prev_doc = load(prev_path)
+    cur_doc = load(cur_path)
+    prev = {c["name"]: c for c in prev_doc["configs"]}
     regressions = 0
-    for c in cur:
-        old = prev.get(c["name"])
-        if old is None or old["seconds"] <= 0:
-            continue
-        ratio = c["seconds"] / old["seconds"]
-        if ratio > REGRESSION_THRESHOLD:
+
+    def report(result):
+        nonlocal regressions
+        if result is None:
+            return
+        is_regression, msg = result
+        if is_regression:
             regressions += 1
-            print(f"KERNEL REGRESSION: {c['name']} is {ratio:.2f}x the previous "
-                  f"entry ({old['seconds']:.3f}s -> {c['seconds']:.3f}s; "
-                  f"{prev_path.name} -> {cur_path.name})",
+            print(f"KERNEL {msg} ({prev_path.name} -> {cur_path.name})",
                   file=sys.stderr)
-        elif ratio < 1 / REGRESSION_THRESHOLD:
-            print(f"kernel speedup: {c['name']} improved {1 / ratio:.2f}x "
-                  f"({old['seconds']:.3f}s -> {c['seconds']:.3f}s)")
+        else:
+            print(f"kernel {msg}")
+
+    for c in cur_doc["configs"]:
+        old = prev.get(c["name"])
+        if old is None:
+            continue
+        report(diff_metric(f"{c['name']} time", old["seconds"], c["seconds"], "s"))
+        # v2 vs v2 entries also track the handoff-memory trajectory.
+        report(diff_metric(f"{c['name']} handoff", old.get("bytes_per_candidate"),
+                           c.get("bytes_per_candidate"), " B/cand"))
+    old_probe = prev_doc.get("metric_probe") or {}
+    cur_probe = cur_doc.get("metric_probe")
+    if cur_probe is not None:
+        report(diff_metric("metric_probe time", old_probe.get("serial_seconds"),
+                           cur_probe["serial_seconds"], "s"))
+        report(diff_metric("metric_probe handoff",
+                           old_probe.get("bytes_per_candidate"),
+                           cur_probe["bytes_per_candidate"], " B/cand"))
+
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "
-              f"no config slowed down more than {(REGRESSION_THRESHOLD - 1) * 100:.0f}%")
+              f"no config regressed more than {(REGRESSION_THRESHOLD - 1) * 100:.0f}% "
+              "(time or bytes-per-candidate)")
     elif strict:
         return regressions
     else:

@@ -55,11 +55,13 @@ Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit) 
 
 Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit,
                                           QueryScratch& s) const {
+    ++s.queries;
     const std::uint32_t cu = cluster_of_.at(u);
     const std::uint32_t cv = cluster_of_.at(v);
     const Weight endpoints = to_center_[u] + to_center_[v];
     if (cu == cv) {
         // Same ball: route through the shared center.
+        ++s.direct_hits;
         return endpoints;
     }
     // Dijkstra over the coarse adjacency, capped so we never explore past
@@ -67,6 +69,27 @@ Weight ClusterGraph::upper_bound_distance(VertexId u, VertexId v, Weight limit,
     // O(|explored ball| log), independent of the cluster count.
     const Weight budget = limit - endpoints;
     if (budget < 0) return kInfiniteWeight;
+
+    // Direct-edge fast path: the caller only compares the result against
+    // `limit`, so *any* realizable bound within the budget is as decisive
+    // as the best one. Adjacent clusters dominate the reject-heavy regime
+    // (a candidate's endpoints sit within a few radii of each other), and
+    // a short contiguous scan of the smaller adjacency list skips the
+    // whole heap setup. Capped so pathological hub clusters fall through
+    // to the Dijkstra instead of scanning long lists.
+    static constexpr std::size_t kDirectScanCap = 64;
+    const auto& adj_u = coarse_adj_[cu];
+    const auto& adj_v = coarse_adj_[cv];
+    const auto& scan = adj_u.size() <= adj_v.size() ? adj_u : adj_v;
+    const std::uint32_t want = adj_u.size() <= adj_v.size() ? cv : cu;
+    if (scan.size() <= kDirectScanCap) {
+        for (const auto& [nc, w] : scan) {
+            if (nc == want && w <= budget) {
+                ++s.direct_hits;
+                return endpoints + w;
+            }
+        }
+    }
 
     if (s.dist.size() < centers_.size()) {
         s.dist.resize(centers_.size(), kInfiniteWeight);

@@ -42,6 +42,11 @@ public:
             friend bool operator>(const Item& a, const Item& b) { return a.d > b.d; }
         };
         DaryHeap<Item, 4> heap;  ///< same layout the Dijkstra kernel runs
+
+        // Query-path telemetry (per scratch, so per worker: deterministic
+        // sums regardless of scheduling).
+        std::size_t queries = 0;      ///< upper_bound_distance calls
+        std::size_t direct_hits = 0;  ///< answered by the direct-edge scan
     };
 
     /// Build ball clusters of the given radius over spanner h. Pass a

@@ -1,0 +1,67 @@
+#include "core/bound_sketch.hpp"
+
+#include <algorithm>
+
+namespace gsp {
+
+void BoundSketch::reset(std::size_t n) {
+    slots_.assign(n * kWays, Entry{});
+}
+
+BoundSketch::Entry& BoundSketch::entry_for_write(VertexId src, VertexId x) {
+    Entry& e = slots_[slot(x, src)];
+    if (e.src != src) {
+        // Deterministic eviction: the newest source owning this way wins.
+        e = Entry{src, kInfiniteWeight, 0.0, 0};
+    }
+    return e;
+}
+
+void BoundSketch::record_exact(VertexId src, VertexId x, Weight d,
+                               std::uint64_t epoch) {
+    Entry& e = entry_for_write(src, x);
+    e.ub = std::min(e.ub, d);
+    if (epoch > e.lo_epoch) {
+        e.lo_epoch = epoch;
+        e.lo = d;
+    } else if (epoch == e.lo_epoch) {
+        e.lo = std::max(e.lo, d);
+    }
+}
+
+void BoundSketch::record_far(VertexId src, VertexId x, Weight lo,
+                             std::uint64_t epoch) {
+    Entry& e = entry_for_write(src, x);
+    if (epoch > e.lo_epoch) {
+        e.lo_epoch = epoch;
+        e.lo = lo;
+    } else if (epoch == e.lo_epoch) {
+        e.lo = std::max(e.lo, lo);
+    }
+}
+
+void BoundSketch::record_upper(VertexId src, VertexId x, Weight ub) {
+    Entry& e = entry_for_write(src, x);
+    e.ub = std::min(e.ub, ub);
+}
+
+Weight BoundSketch::upper_bound(VertexId u, VertexId v) const {
+    Weight best = kInfiniteWeight;
+    const Entry& a = slots_[slot(v, u)];
+    if (a.src == u) best = a.ub;
+    const Entry& b = slots_[slot(u, v)];
+    if (b.src == v) best = std::min(best, b.ub);
+    return best;
+}
+
+Weight BoundSketch::lower_bound_at(VertexId u, VertexId v,
+                                   std::uint64_t epoch) const {
+    Weight best = 0.0;
+    const Entry& a = slots_[slot(v, u)];
+    if (a.src == u && a.lo_epoch == epoch) best = a.lo;
+    const Entry& b = slots_[slot(u, v)];
+    if (b.src == v && b.lo_epoch == epoch) best = std::max(best, b.lo);
+    return best;
+}
+
+}  // namespace gsp

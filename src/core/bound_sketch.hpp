@@ -1,0 +1,89 @@
+// Cross-bucket bound persistence: a compact per-vertex distance sketch.
+//
+// The engine's per-candidate bounds are bucket-local (they live in the
+// stage-2/stage-3 handoff and die with their bucket), while the classic
+// Farshi-Gudmundsson DistanceCache of the metric kernel keeps one upper
+// bound per *pair* -- n^2 memory -- and owes most of its speed to hits that
+// span weight buckets. BoundSketch recovers those cross-bucket hits in
+// O(n) memory: a small set-associative table with kWays slots per vertex,
+// each slot remembering what some earlier exact query learned about the
+// distance from one source to this vertex:
+//
+//  * an upper bound `ub` -- the length of a realizable witness path. The
+//    spanner only grows and distances only shrink, so `ub` is sound
+//    *forever* and may reject a candidate in any later bucket;
+//  * a lower bound `lo` tagged with the insertion epoch it was measured
+//    at: "d(src, v) >= lo at epoch `lo_epoch`". Distances can only shrink
+//    when an edge is inserted, so the tag is the certificate's lifetime --
+//    a consult at the same epoch may accept without any Dijkstra probe
+//    (the same rule stage-2 "far at snapshot" certificates follow).
+//
+// Records are monotone-tightening: a repeated (vertex, source) record only
+// lowers `ub`, and only raises `lo` within an epoch (a newer epoch replaces
+// the tag). Slot placement is deterministic (source-indexed way), so runs
+// are reproducible and stats are schedule-independent.
+//
+// Concurrency contract: the sketch is written only by the engine's serial
+// insertion loop; stage-2 workers consult it read-only while no writer
+// runs (the fan-out/join of each batch brackets every write), exactly the
+// discipline of the frozen adjacency views.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gsp {
+
+class BoundSketch {
+public:
+    /// Slots per vertex. Sources map to ways by their low bits, so up to
+    /// kWays distinct sources can coexist per vertex before evictions.
+    static constexpr std::size_t kWays = 4;
+
+    /// Clear and size for n vertices (O(n); once per engine run).
+    void reset(std::size_t n);
+
+    [[nodiscard]] bool empty() const { return slots_.empty(); }
+    [[nodiscard]] std::size_t bytes() const { return slots_.capacity() * sizeof(Entry); }
+
+    /// Record an exact distance d(src, x) = d measured at `epoch`: upper
+    /// bound forever, lower bound while the epoch holds.
+    void record_exact(VertexId src, VertexId x, Weight d, std::uint64_t epoch);
+
+    /// Record d(src, x) >= lo, measured at `epoch` (a probe that exceeded
+    /// its limit, or an unsettled vertex outside a ball's radius).
+    void record_far(VertexId src, VertexId x, Weight lo, std::uint64_t epoch);
+
+    /// Record a witness-path upper bound d(src, x) <= ub (sound forever).
+    void record_upper(VertexId src, VertexId x, Weight ub);
+
+    /// Smallest recorded upper bound on d(u, v), over both directions;
+    /// +infinity when neither vertex remembers the other.
+    [[nodiscard]] Weight upper_bound(VertexId u, VertexId v) const;
+
+    /// Largest lower bound on d(u, v) still valid at `epoch` (0 when no
+    /// tagged entry matches). d(u, v) > threshold is certified iff the
+    /// returned value exceeds threshold.
+    [[nodiscard]] Weight lower_bound_at(VertexId u, VertexId v,
+                                        std::uint64_t epoch) const;
+
+private:
+    struct Entry {
+        VertexId src = kNoVertex;
+        Weight ub = kInfiniteWeight;
+        Weight lo = 0.0;
+        std::uint64_t lo_epoch = 0;
+    };
+
+    [[nodiscard]] std::size_t slot(VertexId x, VertexId src) const {
+        return static_cast<std::size_t>(x) * kWays + (src & (kWays - 1));
+    }
+    Entry& entry_for_write(VertexId src, VertexId x);
+
+    std::vector<Entry> slots_;  ///< n * kWays, way-indexed by source
+};
+
+}  // namespace gsp

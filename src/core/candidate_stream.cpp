@@ -15,7 +15,8 @@ bool CandidateStream::next(CandidateBucket& out) {
 }
 
 void SourceGroups::rebuild(std::span<const GreedyCandidate> candidates,
-                           const CandidateBucket& bucket, std::size_t num_vertices) {
+                           const CandidateBucket& range, std::size_t base,
+                           std::size_t num_vertices) {
     if (groups_.size() < num_vertices) {
         groups_.resize(num_vertices);
         remaining_.resize(num_vertices, 0);
@@ -25,10 +26,10 @@ void SourceGroups::rebuild(std::span<const GreedyCandidate> candidates,
         remaining_[s] = 0;
     }
     sources_.clear();
-    for (std::size_t i = bucket.begin; i < bucket.end; ++i) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
         const VertexId u = candidates[i].u;
         if (groups_[u].empty()) sources_.push_back(u);
-        groups_[u].push_back(static_cast<std::uint32_t>(i));
+        groups_[u].push_back(static_cast<std::uint32_t>(i - base));
         ++remaining_[u];
     }
 }

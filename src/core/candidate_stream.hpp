@@ -53,21 +53,27 @@ private:
 
 /// A bucket's candidates grouped by source vertex, with lazy O(bucket)
 /// clearing (a bucket costs O(its candidates), never O(n)). Groups list
-/// candidate indices in ascending order, which the prefilter and insertion
-/// stages both rely on (bounds harvested by an earlier candidate's query
-/// may only be consumed by later ones).
+/// *bucket-local* candidate indices (global index minus the bucket's
+/// `begin` -- the same u32 currency the stage-2/stage-3 handoff uses for
+/// its bound array and verdict bitsets; a run's candidate span may exceed
+/// 2^32 as long as each individual bucket stays below it, which the
+/// engine enforces) in ascending order, which the prefilter and
+/// insertion stages both rely on (bounds harvested by an earlier
+/// candidate's query may only be consumed by later ones).
 class SourceGroups {
 public:
-    /// Rebuild the grouping for a bucket over `candidates`.
-    void rebuild(std::span<const GreedyCandidate> candidates, const CandidateBucket& bucket,
-                 std::size_t num_vertices);
+    /// Rebuild the grouping for the candidate range `range` (a stage-2
+    /// batch, or the whole bucket when serial); indices are recorded
+    /// relative to `base` (the owning bucket's begin).
+    void rebuild(std::span<const GreedyCandidate> candidates, const CandidateBucket& range,
+                 std::size_t base, std::size_t num_vertices);
 
-    /// Sources that have at least one candidate in the current bucket, in
+    /// Sources that have at least one candidate in the current range, in
     /// first-appearance order.
     [[nodiscard]] const std::vector<VertexId>& sources() const { return sources_; }
 
-    /// Candidate indices of source s (ascending). Empty for sources outside
-    /// the current bucket.
+    /// Bucket-local candidate indices of source s (ascending). Empty for
+    /// sources outside the current range.
     [[nodiscard]] const std::vector<std::uint32_t>& of(VertexId s) const {
         return groups_[s];
     }

@@ -32,7 +32,9 @@ struct GreedyStats {
     // GreedyEngine counters (zero when the matching optimisation is off).
     std::size_t balls_computed = 0;       ///< shared ball() queries grown
     std::size_t cache_hits = 0;           ///< candidates decided from cached bounds
-    std::size_t csr_rebuilds = 0;         ///< CSR snapshot refreezes (one per bucket)
+    std::size_t csr_rebuilds = 0;         ///< full O(n+m) adjacency rebuilds (with the
+                                          ///< incremental store: one per run, not per bucket)
+    std::size_t csr_compactions = 0;      ///< incremental-CSR arena compactions
     std::size_t bidirectional_meets = 0;  ///< improving frontier-meet events
     std::size_t prefilter_rejects = 0;    ///< candidates rejected by the prefilter hook
     std::size_t buckets = 0;              ///< weight buckets processed
@@ -40,6 +42,20 @@ struct GreedyStats {
     // Pipeline counters (zero when the parallel prefilter stage is off).
     std::size_t snapshot_accepts = 0;   ///< accepts certified by the bucket-start probe
     std::size_t prefilter_gated_off = 0;  ///< 1 if the measured-cost gate disabled the prefilter
+
+    // Bound-sketch counters (zero when bound_sketch is off). Not a
+    // partition of edges_examined: a stage-2 sketch far certificate counts
+    // here *and* as a snapshot_accept when stage 3 consumes its bit.
+    std::size_t sketch_hits = 0;     ///< candidates the sketch decided in either
+                                     ///< stage (upper-bound rejects, and stage-2
+                                     ///< epoch-valid far certificates)
+    std::size_t sketch_accepts = 0;  ///< stage-3 accepts from epoch-valid sketch
+                                     ///< lower bounds
+
+    /// Peak resident bytes of the stage-2 -> stage-3 handoff (bucket-local
+    /// bound array + packed verdict bitsets); the bytes-per-candidate
+    /// numerator tracked in BENCH_greedy.json.
+    std::size_t handoff_peak_bytes = 0;
 };
 
 /// The greedy t-spanner of g. Requires t >= 1. Works on disconnected

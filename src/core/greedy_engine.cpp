@@ -1,12 +1,13 @@
 #include "core/greedy_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
-#include "graph/csr_view.hpp"
+#include "graph/incremental_csr.hpp"
 #include "util/timer.hpp"
 
 namespace gsp {
@@ -15,21 +16,26 @@ namespace {
 
 /// Queries run directly on the growing Graph (csr_snapshot off).
 struct LiveAdapter {
-    static constexpr bool kCountsRebuilds = false;
     const Graph* h = nullptr;
     void snapshot(const Graph& g) { h = &g; }
     void add_edge(VertexId, VertexId, Weight, EdgeId) {}
     [[nodiscard]] const Graph& view() const { return *h; }
+    [[nodiscard]] static std::size_t rebuilds() { return 0; }
+    [[nodiscard]] static std::size_t compactions() { return 0; }
 };
 
-/// Queries run on a per-bucket frozen CSR chained with the intra-bucket
-/// insertion overlay (csr_snapshot on) -- exact, but contiguous scans.
-struct CsrAdapter {
-    static constexpr bool kCountsRebuilds = true;
-    CsrOverlayView v;
-    void snapshot(const Graph& g) { v.snapshot(g); }
+/// Queries run on the gap-buffered incremental CSR mirror (csr_snapshot
+/// on): contiguous per-vertex scans, kept exact at O(degree) per insertion
+/// -- "snapshots" after the first build are free no-ops, so stage-2
+/// certificates never pay a refreeze and accept-heavy batches cost no
+/// O(n + m) rebuilds.
+struct IncrementalAdapter {
+    IncrementalCsrView v;
+    void snapshot(const Graph& g) { v.refresh(g); }
     void add_edge(VertexId a, VertexId b, Weight w, EdgeId id) { v.add_edge(a, b, w, id); }
-    [[nodiscard]] const CsrOverlayView& view() const { return v; }
+    [[nodiscard]] const IncrementalCsrView& view() const { return v; }
+    [[nodiscard]] std::size_t rebuilds() const { return v.rebuilds(); }
+    [[nodiscard]] std::size_t compactions() const { return v.compactions(); }
 };
 
 /// Measured-cost gate for the prefilter hooks: a calibration window times
@@ -103,7 +109,7 @@ Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
     GreedyStats local;
     Graph out(0);
     if (options_.csr_snapshot) {
-        CsrAdapter adapter;
+        IncrementalAdapter adapter;
         out = run_impl(adapter, std::move(h), candidates, local);
     } else {
         LiveAdapter adapter;
@@ -118,9 +124,9 @@ template <class Adapter>
 Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                              std::span<const GreedyCandidate> cands, GreedyStats& stats) {
     const double t = options_.stretch;
-    const std::size_t m = cands.size();
     const bool sharing = options_.ball_sharing;
     const bool parallel = parallel_enabled();
+    const bool use_sketch = options_.bound_sketch;
     // Bounds are the currency of both ball sharing and the parallel stage.
     const bool track_bounds = sharing || parallel;
     const std::size_t meets_before = ws_.meet_events() + ws_pool_.total_meet_events();
@@ -128,12 +134,12 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     if (parallel) ws_pool_.configure(workers_, n_);
 
     if (track_bounds) {
-        cand_bound_.assign(m, kInfiniteWeight);
         ball_bucket_.assign(n_, 0);
         ball_epoch_.assign(n_, 0);
         ball_radius_.assign(n_, 0.0);
     }
-    if (parallel) prefilter_stage_.begin_run(m, workers_);
+    if (parallel) prefilter_stage_.begin_run(workers_);
+    if (use_sketch) sketch_.reset(n_);
 
     PrefilterGateState gate;
     const bool have_serial_pf = static_cast<bool>(options_.prefilter);
@@ -161,6 +167,18 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     // prefiltered; probes on a near-empty spanner are near-free).
     double last_accept_rate = 0.0;
 
+    // Cross-bucket sketch recorder (serial-only writer; stage 2 reads
+    // the sketch strictly between batches' fan-outs). Accept paths record
+    // nothing here: the insertion that follows bumps the epoch and writes
+    // the now-exact pair distance, which would overwrite any far record
+    // one statement later. (record_far stays in the sketch API for the
+    // ROADMAP's incremental certificate repair, where far facts survive.)
+    const auto sk_pair_exact = [&](VertexId a, VertexId b, Weight d) {
+        if (!use_sketch) return;
+        sketch_.record_exact(a, b, d, insert_epoch);
+        sketch_.record_exact(b, a, d, insert_epoch);
+    };
+
     // Online cost model for the ball-vs-point decision: exponential moving
     // averages of heap pushes per query kind, and of how many candidates a
     // ball actually resolves (its own decision plus the cache hits its
@@ -179,18 +197,39 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     CandidateBucket bucket;
     while (stream.next(bucket)) {
         ++stats.buckets;
+        if (bucket.size() > std::numeric_limits<std::uint32_t>::max()) {
+            // Bucket-local indices (bounds, verdict bits, groups) are u32.
+            throw std::length_error(
+                "GreedyEngine: a single weight bucket exceeds 2^32 candidates; "
+                "lower bucket_ratio to split it");
+        }
 
+        // Synchronize the adjacency view. With the incremental store this
+        // is a full build exactly once per run (then a free no-op: the
+        // view mirrors every insertion at O(degree) as it happens).
         adapter.snapshot(h);
-        if (Adapter::kCountsRebuilds) ++stats.csr_rebuilds;
         if (options_.on_bucket) options_.on_bucket(h, bucket.lo);
-        std::uint64_t view_epoch = insert_epoch;  // spanner state of the snapshot
+
+        // The thin stage-2 -> stage-3 handoff: one Weight slot and two
+        // verdict bits per candidate, all bucket-local. Bounds die with
+        // the bucket by design -- cross-bucket persistence is the
+        // sketch's job, in O(n) instead of O(m).
+        if (track_bounds) bound_.assign(bucket.size(), kInfiniteWeight);
+        if (parallel) prefilter_stage_.begin_bucket(bucket);
+        const std::size_t handoff_bytes =
+            (track_bounds ? bound_.capacity() * sizeof(Weight) : 0) +
+            (parallel ? prefilter_stage_.verdict_bytes() : 0);
+        stats.handoff_peak_bytes = std::max(stats.handoff_peak_bytes, handoff_bytes);
+
+        const auto cand_at = [&](std::uint32_t local) -> const GreedyCandidate& {
+            return cands[bucket.begin + local];
+        };
 
         // When stage 2 is active, a bucket is consumed in fixed-width
-        // batches with the snapshot re-frozen between them (uniform-ish
-        // weights collapse the whole input into one geometric class, and
-        // stage-2 facts probed against a bucket-start spanner that is
-        // thousands of insertions stale are worthless). Serial runs keep
-        // the PR-1 shape: one batch == the bucket.
+        // batches (uniform-ish weights collapse the whole input into one
+        // geometric class, and stage-2 facts probed against a spanner that
+        // is thousands of insertions stale are worthless). Serial runs
+        // keep the PR-1 shape: one batch == the bucket.
         std::size_t batch_begin = bucket.begin;
         while (batch_begin < bucket.end) {
         const std::size_t batch_end =
@@ -203,53 +242,48 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // certificates have a chance to survive, and never during the
         // prefilter gate's calibration window (calibration times the
         // *serial* economics; stage-2 probes would hollow out the exact
-        // decisions it measures and double-consult the oracle).
+        // decisions it measures and double-consult the oracle). The
+        // incremental view is exact right now either way -- there is no
+        // refreeze to pay, only the probe work itself to gate.
         const bool run_stage2 = parallel && !gate.calibrating &&
                                 last_accept_rate <= options_.parallel_accept_gate;
-        if (run_stage2 && insert_epoch != view_epoch) {
-            // Insertions since the last freeze: re-freeze so stage 2 sees
-            // them (a still-exact snapshot is reused for free; batches
-            // whose stage 2 is skipped keep the old snapshot + overlay,
-            // exactly like the serial engine inside a bucket).
-            adapter.snapshot(h);
-            if (Adapter::kCountsRebuilds) ++stats.csr_rebuilds;
-            view_epoch = insert_epoch;
-        }
-        if (sharing) groups_.rebuild(cands, batch, n_);
+        if (sharing) groups_.rebuild(cands, batch, bucket.begin, n_);
         const std::uint64_t snapshot_epoch = insert_epoch;
         const std::size_t batch_accepts_before = stats.edges_added;
 
-        // --- Stage 2: parallel reject-only prefilter over the frozen
-        // batch-start view. Everything it records is sound regardless of
-        // what stage 3 inserts later. ---
+        // --- Stage 2: parallel reject-only prefilter over the batch-start
+        // view. Everything it records is sound regardless of what stage 3
+        // inserts later. ---
         if (run_stage2) {
             PrefilterContext ctx;
             ctx.candidates = cands;
-            ctx.bucket = batch;
+            ctx.batch = batch;
+            ctx.base = bucket.begin;
             ctx.groups = sharing ? &groups_ : nullptr;
             ctx.stretch = t;
             ctx.bidirectional = options_.bidirectional;
             ctx.ball_share_min_group = options_.ball_share_min_group;
             ctx.ball_scope = batch_seq;
             ctx.snapshot_epoch = snapshot_epoch;
+            ctx.sketch = use_sketch ? &sketch_ : nullptr;
             ctx.oracle = (have_concurrent_pf && gate.live && !gate.calibrating)
                              ? &options_.concurrent_prefilter
                              : nullptr;
-            prefilter_stage_.run_bucket(*pool_, ws_pool_, adapter.view(), ctx, cand_bound_,
-                                        ball_bucket_, ball_epoch_, ball_radius_, stats);
+            prefilter_stage_.run_batch(*pool_, ws_pool_, adapter.view(), ctx, bound_,
+                                       ball_bucket_, ball_epoch_, ball_radius_, stats);
         }
 
         // --- Stage 3: the serialized insertion loop re-walks the batch in
         // deterministic tie order and re-verifies every surviving accept. ---
         for (std::size_t i = batch.begin; i < batch.end; ++i) {
             const GreedyCandidate& c = cands[i];
+            const auto li = static_cast<std::uint32_t>(i - bucket.begin);
             const Weight threshold = t * c.weight;
             ++stats.edges_examined;
             // This candidate is decided this iteration, whichever path runs.
             if (sharing) groups_.decrement_remaining(c.u);
 
-            if (parallel &&
-                prefilter_stage_.verdict(i) == PrefilterVerdict::kOracleReject) {
+            if (parallel && prefilter_stage_.oracle_reject(i)) {
                 ++stats.prefilter_rejects;
                 continue;
             }
@@ -285,20 +319,39 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             };
 
             bool accept;
-            if (track_bounds && cand_bound_[i] <= threshold) {
+            if (track_bounds && bound_[li] <= threshold) {
                 // A realizable witness path no heavier than the threshold
                 // is already known (harvested serially or by stage 2); the
                 // spanner only grows, so the bound can only have improved.
                 ++stats.cache_hits;
+                if (use_sketch) {
+                    // Persist the witness across buckets (upper bounds are
+                    // sound forever).
+                    sketch_.record_upper(c.u, c.v, bound_[li]);
+                    sketch_.record_upper(c.v, c.u, bound_[li]);
+                }
                 record_exact();
                 continue;
             }
-            if (parallel &&
-                prefilter_stage_.verdict(i) == PrefilterVerdict::kFarAtSnapshot &&
+            if (use_sketch && sketch_.upper_bound(c.u, c.v) <= threshold) {
+                // Cross-bucket cache hit: an earlier bucket's exact query
+                // already certified a witness path for this pair.
+                ++stats.sketch_hits;
+                record_exact();
+                continue;
+            }
+            if (parallel && prefilter_stage_.far_at_snapshot(i) &&
                 insert_epoch == snapshot_epoch) {
-                // The stage-2 probe was exact on the bucket-start view and
+                // The stage-2 probe was exact on the batch-start view and
                 // nothing has been inserted since: the certificate stands.
                 ++stats.snapshot_accepts;
+                accept = true;
+            } else if (use_sketch &&
+                       sketch_.lower_bound_at(c.u, c.v, insert_epoch) > threshold) {
+                // Epoch-valid sketch lower bound: the pair was measured
+                // farther than the threshold and nothing was inserted
+                // since -- accept without any probe.
+                ++stats.sketch_accepts;
                 accept = true;
             } else if (sharing) {
                 const std::uint32_t peers = groups_.remaining(c.u);
@@ -328,26 +381,34 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                     accept = true;
                 } else if (want_ball) {
                     // Shared ball: one query answers every candidate of
-                    // this source in the bucket (radius covers the
+                    // this source in the batch (radius covers the
                     // heaviest of them).
-                    const Weight radius = t * cands[grp.back()].weight;
+                    const Weight radius = t * cand_at(grp.back()).weight;
                     ++stats.dijkstra_runs;
                     ++stats.balls_computed;
-                    (void)ws_.ball(adapter.view(), c.u, radius);
+                    const auto& settled = ws_.ball(adapter.view(), c.u, radius);
                     update_ema(ball_cost, static_cast<double>(ws_.last_work()));
+                    if (use_sketch) {
+                        // The whole settled set is exact at this epoch:
+                        // the cross-bucket harvest that recovers the n^2
+                        // DistanceCache's hit rate in O(n) memory.
+                        for (const auto& [x, d] : settled) {
+                            if (x != c.u) sketch_.record_exact(c.u, x, d, insert_epoch);
+                        }
+                    }
                     std::size_t resolved = 1;  // this candidate
                     for (std::uint32_t idx : grp) {
-                        const Weight d = ws_.settled_distance(cands[idx].v);
-                        if (d < cand_bound_[idx]) {
-                            cand_bound_[idx] = d;
-                            if (idx > i && d <= t * cands[idx].weight) ++resolved;
+                        const Weight d = ws_.settled_distance(cand_at(idx).v);
+                        if (d < bound_[idx]) {
+                            bound_[idx] = d;
+                            if (idx > li && d <= t * cand_at(idx).weight) ++resolved;
                         }
                     }
                     update_ema(ball_value, static_cast<double>(resolved));
                     ball_bucket_[c.u] = batch_seq;
                     ball_epoch_[c.u] = insert_epoch;
                     ball_radius_[c.u] = radius;
-                    accept = cand_bound_[i] > threshold;
+                    accept = bound_[li] > threshold;
                 } else {
                     // Small group: an early-exit point query decides this
                     // candidate, and every label it touched is a realizable
@@ -360,25 +421,26 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         d = ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
                         update_ema(point_cost, static_cast<double>(ws_.last_work()));
                         for (std::uint32_t idx : grp) {
-                            if (idx <= i) continue;
-                            const Weight b = ws_.last_forward_bound(cands[idx].v);
-                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                            if (idx <= li) continue;
+                            const Weight b = ws_.last_forward_bound(cand_at(idx).v);
+                            if (b < bound_[idx]) bound_[idx] = b;
                         }
                         for (std::uint32_t idx : groups_.of(c.v)) {
-                            if (idx <= i) continue;
-                            const Weight b = ws_.last_backward_bound(cands[idx].v);
-                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                            if (idx <= li) continue;
+                            const Weight b = ws_.last_backward_bound(cand_at(idx).v);
+                            if (b < bound_[idx]) bound_[idx] = b;
                         }
                     } else {
                         d = ws_.distance(adapter.view(), c.u, c.v, threshold);
                         update_ema(point_cost, static_cast<double>(ws_.last_work()));
                         for (std::uint32_t idx : grp) {
-                            if (idx <= i) continue;
-                            const Weight b = ws_.last_forward_bound(cands[idx].v);
-                            if (b < cand_bound_[idx]) cand_bound_[idx] = b;
+                            if (idx <= li) continue;
+                            const Weight b = ws_.last_forward_bound(cand_at(idx).v);
+                            if (b < bound_[idx]) bound_[idx] = b;
                         }
                     }
                     accept = d > threshold;
+                    if (!accept) sk_pair_exact(c.u, c.v, d);
                 }
             } else {
                 ++stats.dijkstra_runs;
@@ -387,6 +449,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         ? ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold)
                         : ws_.distance(adapter.view(), c.u, c.v, threshold);
                 accept = d > threshold;
+                if (!accept) sk_pair_exact(c.u, c.v, d);
             }
             record_exact();
             if (!accept) continue;
@@ -395,17 +458,20 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             adapter.add_edge(c.u, c.v, c.weight, id);
             ++stats.edges_added;
             ++insert_epoch;
+            // The accepted edge is now the shortest u-v path (any older
+            // path exceeded t * w >= w), exact at the new epoch.
+            sk_pair_exact(c.u, c.v, c.weight);
             if (sharing) {
                 // Parallel candidates of the same pair now have a one-edge
                 // witness; lower their bounds so they hit the cache.
                 for (std::uint32_t idx : groups_.of(c.u)) {
-                    if (idx > i && cands[idx].v == c.v && c.weight < cand_bound_[idx]) {
-                        cand_bound_[idx] = c.weight;
+                    if (idx > li && cand_at(idx).v == c.v && c.weight < bound_[idx]) {
+                        bound_[idx] = c.weight;
                     }
                 }
                 for (std::uint32_t idx : groups_.of(c.v)) {
-                    if (idx > i && cands[idx].v == c.u && c.weight < cand_bound_[idx]) {
-                        cand_bound_[idx] = c.weight;
+                    if (idx > li && cand_at(idx).v == c.u && c.weight < bound_[idx]) {
+                        bound_[idx] = c.weight;
                     }
                 }
             }
@@ -420,6 +486,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     }
     stats.bidirectional_meets =
         ws_.meet_events() + ws_pool_.total_meet_events() - meets_before;
+    stats.csr_rebuilds = adapter.rebuilds();
+    stats.csr_compactions = adapter.compactions();
     return h;
 }
 

@@ -9,12 +9,15 @@
 // weight bucket:
 //
 //   [1] candidate stream   (core/candidate_stream) -- materialize the
-//       bucket [w, bucket_ratio * w) and group its candidates by source;
+//       bucket [w, bucket_ratio * w) and group its candidates by source
+//       (bucket-local indices);
 //   [2] parallel prefilter (core/prefilter_stage)  -- fan the groups out to
 //       a shared worker pool; each worker owns a DijkstraWorkspace and runs
-//       the *reject-only* passes (concurrent cluster-oracle lookups,
-//       bounded bidirectional probes) against the frozen bucket-start CSR
-//       snapshot, recording sound per-candidate facts;
+//       the *reject-only* passes (bound-sketch consults, concurrent
+//       cluster-oracle lookups, bounded bidirectional probes) against the
+//       batch-start incremental CSR view, recording sound per-candidate
+//       facts in a thin handoff (packed verdict bitsets + a bucket-local
+//       bound slot per candidate);
 //   [3] serialized insertion loop -- re-walk the bucket in deterministic
 //       tie order, consume the recorded facts (permanent rejects, "far at
 //       snapshot" certificates valid until the first insertion), and run
@@ -39,10 +42,17 @@
 //     grown (lazy revalidation). This generalises the Farshi-Gudmundsson
 //     n^2 DistanceCache of the metric kernel to sparse candidate sets
 //     without the n^2 memory.
-//  3. `csr_snapshot` -- shortest-path queries scan a frozen CSR copy of
-//     the spanner (rebuilt once per bucket, the spanner grows slowly)
-//     chained with a small overlay of intra-bucket insertions, instead of
-//     chasing the vector-of-vectors adjacency.
+//  3. `csr_snapshot` -- shortest-path queries scan the gap-buffered
+//     incremental CSR mirror of the spanner (graph/incremental_csr):
+//     contiguous per-vertex runs kept exact at O(degree) per insertion,
+//     so "re-freezing" between batches is free and only amortized arena
+//     compactions ever pay the full O(n + m) rebuild.
+//  4. `bound_sketch` -- a compact per-vertex cross-bucket distance sketch
+//     (core/bound_sketch) consulted before any Dijkstra probe: persisted
+//     witness upper bounds reject forever, epoch-tagged lower bounds
+//     accept while no insertion intervened. Recovers the n^2
+//     DistanceCache's cross-bucket hit rate on metric inputs in O(n)
+//     memory.
 //
 // Callers with scale-dependent side structures (the approximate-greedy
 // cluster oracle) hook the bucket boundary via `on_bucket` and may install
@@ -56,6 +66,7 @@
 #include <span>
 #include <vector>
 
+#include "core/bound_sketch.hpp"
 #include "core/candidate_stream.hpp"
 #include "core/greedy.hpp"
 #include "core/prefilter_stage.hpp"
@@ -71,7 +82,8 @@ struct GreedyEngineOptions {
 
     bool bidirectional = true;  ///< meet-in-the-middle point queries
     bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
-    bool csr_snapshot = true;   ///< frozen CSR adjacency per bucket
+    bool csr_snapshot = true;   ///< incremental gap-buffered CSR adjacency
+    bool bound_sketch = true;   ///< cross-bucket per-vertex bound sketch
 
     /// Worker count for the parallel prefilter stage: 1 = fully serial
     /// (the PR-1 kernel, and the default -- parallelism is opt-in so the
@@ -86,13 +98,15 @@ struct GreedyEngineOptions {
     bool parallel_prefilter = true;
 
     /// Stage-2 batch width: when the parallel stage is active, buckets are
-    /// processed in sub-batches of this many candidates, re-freezing the
-    /// snapshot between batches (only when an insertion happened). A weight
-    /// bucket can span the whole input -- uniform-ish weights collapse into
-    /// one geometric class -- and without batching every stage-2 fact after
-    /// the bucket's first insertion would be computed against a hopelessly
-    /// stale spanner. Constant across thread counts, so stage-2 decisions
-    /// (and stats) depend only on the input. Ignored when serial.
+    /// processed in sub-batches of this many candidates; the incremental
+    /// view is exact at every batch boundary for free (per-insertion
+    /// refresh), so each batch's stage-2 facts are probed against the
+    /// freshest possible spanner. A weight bucket can span the whole input
+    /// -- uniform-ish weights collapse into one geometric class -- and
+    /// without batching every stage-2 fact after the bucket's first
+    /// insertion would be computed against a hopelessly stale spanner.
+    /// Constant across thread counts, so stage-2 decisions (and stats)
+    /// depend only on the input. Ignored when serial.
     std::size_t parallel_batch = 2048;
 
     /// Accept-rate gate for stage 2: a batch is prefiltered only when the
@@ -184,12 +198,13 @@ private:
     DijkstraWorkspace ws_;                ///< the insertion loop's workspace
     std::unique_ptr<ThreadPool> pool_;    ///< stage-2 executor (workers_ > 1)
     DijkstraWorkspacePool ws_pool_;       ///< one workspace per stage-2 worker
-    PrefilterStage prefilter_stage_;      ///< stage-2 verdicts + counters
+    PrefilterStage prefilter_stage_;      ///< stage-2 verdict bitsets + counters
     SourceGroups groups_;                 ///< stage-1 per-bucket grouping
+    BoundSketch sketch_;                  ///< cross-bucket bound persistence
 
     // Ball-sharing / prefilter scratch, reused across runs. Groups are
     // cleared lazily so a bucket costs O(its candidates), not O(n).
-    std::vector<Weight> cand_bound_;         ///< per-candidate upper bound
+    std::vector<Weight> bound_;              ///< bucket-local candidate upper bounds
     std::vector<std::uint64_t> ball_bucket_; ///< ball-reuse scope (batch seq) per source
     std::vector<std::uint64_t> ball_epoch_;  ///< insert epoch of last ball
     std::vector<Weight> ball_radius_;        ///< radius of last ball

@@ -48,6 +48,8 @@ Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& opt
     engine_options.bidirectional = options.use_distance_cache;
     engine_options.ball_sharing = options.use_distance_cache;
     engine_options.csr_snapshot = options.use_distance_cache;
+    engine_options.bound_sketch = options.use_distance_cache;
+    engine_options.num_threads = options.use_distance_cache ? options.num_threads : 1;
 
     const Timer timer;  // include pair enumeration + sort, as before
     const auto pairs = sorted_pairs(m);

@@ -26,9 +26,12 @@ namespace gsp {
 struct MetricGreedyOptions {
     double stretch = 2.0;
     /// Run the full GreedyEngine (FG-style shared-ball cache, bidirectional
-    /// queries, CSR snapshots). Identical output, faster. Off = the naive
-    /// reference kernel.
+    /// queries, incremental CSR, cross-bucket bound sketch). Identical
+    /// output, faster. Off = the naive reference kernel.
     bool use_distance_cache = true;
+    /// Stage-2 workers for the cached engine (1 = serial, 0 = hardware
+    /// concurrency). The edge set is identical at every value.
+    std::size_t num_threads = 1;
 };
 
 /// The greedy t-spanner of the metric m, as a graph over m's points whose

@@ -1,36 +1,49 @@
 // Stage 2 of the greedy pipeline: the parallel reject-only prefilter.
 //
-// Within one weight bucket every expensive pass of the engine -- the
-// optional cluster-oracle lookup and the bounded (bi)directional distance
-// probe -- is *read-only* over the bucket-start spanner: the serialized
-// insertion loop has not run yet, so the snapshot view is immutable for the
-// whole stage. That is the structure (after Alewijnse et al.'s bucketed
-// greedy designs) that makes candidate prefiltering embarrassingly
-// parallel: workers fan out over source groups (or fixed blocks when ball
-// sharing is off), each with its own DijkstraWorkspace, and record
-// per-candidate facts that are sound *forever*:
+// Within one batch every expensive pass of the engine -- the optional
+// cluster-oracle lookup, the bound-sketch consult, and the bounded
+// (bi)directional distance probe -- is *read-only* over the batch-start
+// spanner: the serialized insertion loop has not run yet, so the
+// incremental view is immutable for the whole stage. That is the structure
+// (after Alewijnse et al.'s bucketed greedy designs) that makes candidate
+// prefiltering embarrassingly parallel: workers fan out over source groups
+// (or fixed blocks when ball sharing is off), each with its own
+// DijkstraWorkspace, and record per-candidate facts that are sound
+// *forever*:
 //
 //  * a bound <= threshold is the length of a realizable path in a subgraph
 //    of every future spanner -- the candidate is rejected, permanently;
-//  * a probe that exceeds the threshold certifies "far at bucket start"
-//    (kFarAtSnapshot): the insertion loop may accept on that certificate
+//  * a probe that exceeds the threshold certifies "far at batch start"
+//    (the far bit): the insertion loop may accept on that certificate
 //    alone while no edge has been inserted since the snapshot, and must
 //    re-verify otherwise.
 //
+// The stage-2 -> stage-3 handoff is deliberately *thin* (the memory-wall
+// fix for metric workloads, where m = n^2 candidates): verdicts travel as
+// two packed bitsets (one oracle-reject bit, one far-at-snapshot bit per
+// candidate) and bounds as one bucket-local Weight slot addressed by the
+// same bucket-local u32 indices SourceGroups hands out -- one bit + one
+// u32 of addressing per candidate instead of per-candidate verdict/bound
+// structs sized to the whole run. Bitset words are shared between tasks,
+// so verdict writes are relaxed atomic fetch_or; the final word value is
+// an OR of task-owned bits and therefore schedule-independent.
+//
 // Determinism: tasks are claimed dynamically for load balance, but every
-// write lands in a task-owned slot -- groups own disjoint candidate index
-// sets (bounds, verdicts) and disjoint source slots (ball reuse state) --
-// so the recorded facts, and therefore the final edge set, are independent
-// of scheduling and thread count.
+// recorded fact lands in a task-owned slot (groups own disjoint candidate
+// index sets and disjoint source slots for ball reuse), and bit ORs
+// commute -- so the recorded facts, and therefore the final edge set, are
+// independent of scheduling and thread count.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "core/bound_sketch.hpp"
 #include "core/candidate_stream.hpp"
 #include "core/greedy.hpp"
 #include "graph/dijkstra.hpp"
@@ -39,20 +52,17 @@
 
 namespace gsp {
 
-/// What the prefilter stage learned about one candidate.
-enum class PrefilterVerdict : std::uint8_t {
-    kUndecided = 0,    ///< no certificate; the insertion loop decides
-    kOracleReject,     ///< concurrent prefilter certified a witness path
-    kFarAtSnapshot,    ///< probe exceeded threshold on the bucket-start view
-};
-
-/// Inputs of one bucket's prefilter pass that are independent of the
+/// Inputs of one batch's prefilter pass that are independent of the
 /// adjacency view type.
 struct PrefilterContext {
     std::span<const GreedyCandidate> candidates;
-    CandidateBucket bucket;
+    /// The batch to prefilter (global candidate indices).
+    CandidateBucket batch;
+    /// Owning bucket's begin: the base every bucket-local index is
+    /// relative to (bounds, groups, verdict bits).
+    std::size_t base = 0;
     /// Grouping by source; null => ball sharing is off, partition the
-    /// bucket into fixed blocks and probe each candidate independently.
+    /// batch into fixed blocks and probe each candidate independently.
     const SourceGroups* groups = nullptr;
     double stretch = 1.0;
     bool bidirectional = true;
@@ -62,42 +72,62 @@ struct PrefilterContext {
     /// bounds its harvest wrote.
     std::uint64_t ball_scope = 0;
     std::uint64_t snapshot_epoch = 0;
+    /// Cross-bucket bound sketch, consulted before any probe (read-only
+    /// during the fan-out; written only by the serial loop). Null when the
+    /// sketch is disabled.
+    const BoundSketch* sketch = nullptr;
     /// Optional concurrent reject-only oracle (worker, u, v, threshold);
     /// null when unset or gated off.
     const std::function<bool(std::size_t, VertexId, VertexId, Weight)>* oracle = nullptr;
 };
 
-/// Owns the per-candidate verdict array and per-worker counters for one
-/// engine run. One instance per GreedyEngine, reused across runs.
+/// Owns the packed verdict bitsets and per-worker counters. One instance
+/// per GreedyEngine, reused across runs.
 class PrefilterStage {
 public:
-    /// Reset for a run over `num_candidates` candidates with `workers`
-    /// workers. Verdicts are reset lazily per bucket by run_bucket (each
-    /// candidate belongs to exactly one bucket), so this is O(m) once.
-    void begin_run(std::size_t num_candidates, std::size_t workers) {
-        verdict_.assign(num_candidates, PrefilterVerdict::kUndecided);
-        counters_.assign(workers, WorkerCounters{});
+    /// Reset the per-worker counters for a run.
+    void begin_run(std::size_t workers) { counters_.assign(workers, WorkerCounters{}); }
+
+    /// Size and zero the verdict bitsets for one bucket (bucket-local bit
+    /// per candidate; batches of the bucket write disjoint bit ranges).
+    void begin_bucket(const CandidateBucket& bucket) {
+        base_ = bucket.begin;
+        const std::size_t words = (bucket.size() + 63) / 64;
+        oracle_bits_.assign(words, 0);
+        far_bits_.assign(words, 0);
     }
 
-    [[nodiscard]] PrefilterVerdict verdict(std::size_t candidate) const {
-        return verdict_[candidate];
+    /// Verdict reads for the serialized insertion loop (global candidate
+    /// index; called strictly after the batch's fan-out joined).
+    [[nodiscard]] bool oracle_reject(std::size_t i) const {
+        return test(oracle_bits_, i - base_);
+    }
+    [[nodiscard]] bool far_at_snapshot(std::size_t i) const {
+        return test(far_bits_, i - base_);
     }
 
-    /// Fan one bucket out over the pool. `bounds` collects realizable-path
-    /// upper bounds (candidate-indexed); the ball_* arrays (source-indexed)
-    /// record grown balls so the insertion loop's lazy-revalidation path
-    /// can reuse them. Worker counters are merged into `stats` (sums, so
-    /// the totals are schedule-independent).
+    /// Current verdict-bitset footprint (for the handoff byte accounting).
+    [[nodiscard]] std::size_t verdict_bytes() const {
+        return (oracle_bits_.capacity() + far_bits_.capacity()) * sizeof(std::uint64_t);
+    }
+
+    /// Fan one batch out over the pool. `bounds` collects realizable-path
+    /// upper bounds (bucket-local slots); the ball_* arrays
+    /// (source-indexed) record grown balls so the insertion loop's
+    /// lazy-revalidation path can reuse them. Worker counters are merged
+    /// into `stats` (sums, so the totals are schedule-independent).
     template <class View>
-    void run_bucket(ThreadPool& pool, DijkstraWorkspacePool& ws_pool, const View& view,
-                    const PrefilterContext& ctx, std::vector<Weight>& bounds,
-                    std::vector<std::uint64_t>& ball_bucket,
-                    std::vector<std::uint64_t>& ball_epoch,
-                    std::vector<Weight>& ball_radius, GreedyStats& stats);
+    void run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool, const View& view,
+                   const PrefilterContext& ctx, std::vector<Weight>& bounds,
+                   std::vector<std::uint64_t>& ball_bucket,
+                   std::vector<std::uint64_t>& ball_epoch,
+                   std::vector<Weight>& ball_radius, GreedyStats& stats);
 
 private:
     /// Block width of the no-grouping partition: small enough to balance,
-    /// big enough that the atomic task cursor is off the hot path.
+    /// big enough that the atomic task cursor is off the hot path. One
+    /// 64-bit verdict word per block, so block tasks tend to own whole
+    /// words.
     static constexpr std::size_t kBlock = 64;
 
     // One cache line per worker: the counters are written in the innermost
@@ -105,7 +135,26 @@ private:
     struct alignas(64) WorkerCounters {
         std::size_t dijkstra_runs = 0;
         std::size_t balls_computed = 0;
+        std::size_t sketch_hits = 0;
     };
+
+    /// Set a bucket-local verdict bit. Words are shared across tasks, so
+    /// the write is a relaxed atomic OR (commutative => deterministic;
+    /// the batch join publishes the result to stage 3).
+    static void set_bit(std::vector<std::uint64_t>& bits, std::size_t local) {
+        std::atomic_ref<std::uint64_t> word(bits[local >> 6]);
+        word.fetch_or(std::uint64_t{1} << (local & 63), std::memory_order_relaxed);
+    }
+    /// Read a bucket-local verdict bit; atomic so stage-2 tasks may read
+    /// their own bits while other tasks write neighbors in the same word.
+    /// (atomic_ref over const is C++26; the underlying word is a non-const
+    /// member, so the cast is well-defined.)
+    [[nodiscard]] static bool test(const std::vector<std::uint64_t>& bits,
+                                   std::size_t local) {
+        std::atomic_ref<std::uint64_t> word(
+            const_cast<std::uint64_t&>(bits[local >> 6]));
+        return (word.load(std::memory_order_relaxed) >> (local & 63)) & 1u;
+    }
 
     template <class View>
     void process_group(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
@@ -117,24 +166,48 @@ private:
 
     template <class View>
     void probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
-                   const PrefilterContext& ctx, std::size_t worker, std::uint32_t idx,
+                   const PrefilterContext& ctx, std::size_t worker, std::uint32_t local,
                    std::vector<Weight>& bounds);
 
-    std::vector<PrefilterVerdict> verdict_;
+    /// Consult the cross-bucket sketch for one candidate: a persisted
+    /// witness upper bound publishes a permanent reject through the bound
+    /// slot, an epoch-valid lower bound publishes a far-at-snapshot bit.
+    /// Returns true when the candidate is decided (no probe needed).
+    bool sketch_decides(const PrefilterContext& ctx, std::uint32_t local,
+                        const GreedyCandidate& c, Weight threshold,
+                        std::vector<Weight>& bounds, WorkerCounters& wc) {
+        if (ctx.sketch == nullptr) return false;
+        const Weight ub = ctx.sketch->upper_bound(c.u, c.v);
+        if (ub <= threshold) {
+            if (ub < bounds[local]) bounds[local] = ub;
+            ++wc.sketch_hits;
+            return true;
+        }
+        if (ctx.sketch->lower_bound_at(c.u, c.v, ctx.snapshot_epoch) > threshold) {
+            set_bit(far_bits_, local);
+            ++wc.sketch_hits;
+            return true;
+        }
+        return false;
+    }
+
+    std::size_t base_ = 0;                   ///< bucket begin of the bitsets
+    std::vector<std::uint64_t> oracle_bits_; ///< oracle certified a witness path
+    std::vector<std::uint64_t> far_bits_;    ///< probe exceeded threshold at snapshot
     std::vector<WorkerCounters> counters_;
 };
 
 template <class View>
-void PrefilterStage::run_bucket(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
-                                const View& view, const PrefilterContext& ctx,
-                                std::vector<Weight>& bounds,
-                                std::vector<std::uint64_t>& ball_bucket,
-                                std::vector<std::uint64_t>& ball_epoch,
-                                std::vector<Weight>& ball_radius, GreedyStats& stats) {
+void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
+                               const View& view, const PrefilterContext& ctx,
+                               std::vector<Weight>& bounds,
+                               std::vector<std::uint64_t>& ball_bucket,
+                               std::vector<std::uint64_t>& ball_epoch,
+                               std::vector<Weight>& ball_radius, GreedyStats& stats) {
     const std::size_t tasks =
         ctx.groups != nullptr
             ? ctx.groups->sources().size()
-            : (ctx.bucket.size() + kBlock - 1) / kBlock;
+            : (ctx.batch.size() + kBlock - 1) / kBlock;
     pool.run(tasks, [&](std::size_t worker, std::size_t task) {
         DijkstraWorkspace& ws = ws_pool.at(worker);
         WorkerCounters& wc = counters_[worker];
@@ -142,16 +215,18 @@ void PrefilterStage::run_bucket(ThreadPool& pool, DijkstraWorkspacePool& ws_pool
             process_group(ws, wc, view, ctx, worker, ctx.groups->sources()[task], bounds,
                           ball_bucket, ball_epoch, ball_radius);
         } else {
-            const std::size_t first = ctx.bucket.begin + task * kBlock;
-            const std::size_t last = std::min(first + kBlock, ctx.bucket.end);
+            const std::size_t first = ctx.batch.begin + task * kBlock;
+            const std::size_t last = std::min(first + kBlock, ctx.batch.end);
             for (std::size_t i = first; i < last; ++i) {
-                probe_one(ws, wc, view, ctx, worker, static_cast<std::uint32_t>(i), bounds);
+                probe_one(ws, wc, view, ctx, worker,
+                          static_cast<std::uint32_t>(i - ctx.base), bounds);
             }
         }
     });
     for (WorkerCounters& wc : counters_) {
         stats.dijkstra_runs += wc.dijkstra_runs;
         stats.balls_computed += wc.balls_computed;
+        stats.sketch_hits += wc.sketch_hits;
         wc = WorkerCounters{};
     }
 }
@@ -166,17 +241,25 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
                                    std::vector<Weight>& ball_radius) {
     const auto& grp = ctx.groups->of(source);
     const std::span<const GreedyCandidate> cands = ctx.candidates;
+    const auto cand_at = [&](std::uint32_t local) -> const GreedyCandidate& {
+        return cands[ctx.base + local];
+    };
 
-    // Oracle pass first (mirrors the serial loop's consult-before-exact
-    // order); rejected candidates need no probe at all.
+    // Cheap certificate passes first (mirror the serial loop's
+    // consult-before-exact order): the cross-bucket sketch, then the
+    // oracle; candidates they decide need no probe at all.
     std::size_t undecided = grp.size();
-    if (ctx.oracle != nullptr) {
-        for (std::uint32_t idx : grp) {
-            const GreedyCandidate& c = cands[idx];
-            if ((*ctx.oracle)(worker, c.u, c.v, ctx.stretch * c.weight)) {
-                verdict_[idx] = PrefilterVerdict::kOracleReject;
-                --undecided;
-            }
+    for (std::uint32_t local : grp) {
+        const GreedyCandidate& c = cand_at(local);
+        const Weight threshold = ctx.stretch * c.weight;
+        if (sketch_decides(ctx, local, c, threshold, bounds, wc)) {
+            --undecided;
+            continue;
+        }
+        if (ctx.oracle != nullptr &&
+            (*ctx.oracle)(worker, c.u, c.v, threshold)) {
+            set_bit(oracle_bits_, local);
+            --undecided;
         }
     }
     if (undecided == 0) return;
@@ -185,16 +268,16 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
         // One shared ball answers the whole group *exactly* at the
         // snapshot: settled => exact distance; unsettled => distance
         // exceeds the radius, which covers the group's largest threshold.
-        const Weight radius = ctx.stretch * cands[grp.back()].weight;
+        const Weight radius = ctx.stretch * cand_at(grp.back()).weight;
         (void)ws.ball(view, source, radius);
         ++wc.dijkstra_runs;
         ++wc.balls_computed;
-        for (std::uint32_t idx : grp) {
-            if (verdict_[idx] == PrefilterVerdict::kOracleReject) continue;
-            const GreedyCandidate& c = cands[idx];
+        for (std::uint32_t local : grp) {
+            if (oracle_reject(ctx.base + local)) continue;
+            const GreedyCandidate& c = cand_at(local);
             const Weight d = ws.settled_distance(c.v);
-            if (d < bounds[idx]) bounds[idx] = d;
-            if (d > ctx.stretch * c.weight) verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+            if (d < bounds[local]) bounds[local] = d;
+            if (d > ctx.stretch * c.weight) set_bit(far_bits_, local);
         }
         // Publish the ball for the insertion loop's lazy revalidation: it
         // stays exact until the first post-snapshot insertion.
@@ -205,27 +288,27 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
     }
 
     for (std::size_t g = 0; g < grp.size(); ++g) {
-        const std::uint32_t idx = grp[g];
-        if (verdict_[idx] == PrefilterVerdict::kOracleReject) continue;
-        const GreedyCandidate& c = cands[idx];
+        const std::uint32_t local = grp[g];
+        if (oracle_reject(ctx.base + local) || far_at_snapshot(ctx.base + local)) continue;
+        const GreedyCandidate& c = cand_at(local);
         const Weight threshold = ctx.stretch * c.weight;
-        if (bounds[idx] <= threshold) continue;  // harvested by an earlier probe
+        if (bounds[local] <= threshold) continue;  // harvested by an earlier probe
         ++wc.dijkstra_runs;
         const Weight d = ctx.bidirectional
                              ? ws.distance_bidirectional(view, c.u, c.v, threshold)
                              : ws.distance(view, c.u, c.v, threshold);
         if (d <= threshold) {
-            if (d < bounds[idx]) bounds[idx] = d;
+            if (d < bounds[local]) bounds[local] = d;
         } else {
-            verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+            set_bit(far_bits_, local);
         }
         // Forward labels are realizable path lengths from the shared
         // source; harvest them as bounds for the group's later candidates
         // (all writes stay inside this group's candidate slots).
         for (std::size_t g2 = g + 1; g2 < grp.size(); ++g2) {
-            const std::uint32_t idx2 = grp[g2];
-            const Weight b = ws.last_forward_bound(cands[idx2].v);
-            if (b < bounds[idx2]) bounds[idx2] = b;
+            const std::uint32_t local2 = grp[g2];
+            const Weight b = ws.last_forward_bound(cand_at(local2).v);
+            if (b < bounds[local2]) bounds[local2] = b;
         }
     }
 }
@@ -233,11 +316,12 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
 template <class View>
 void PrefilterStage::probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
                                const PrefilterContext& ctx, std::size_t worker,
-                               std::uint32_t idx, std::vector<Weight>& bounds) {
-    const GreedyCandidate& c = ctx.candidates[idx];
+                               std::uint32_t local, std::vector<Weight>& bounds) {
+    const GreedyCandidate& c = ctx.candidates[ctx.base + local];
     const Weight threshold = ctx.stretch * c.weight;
+    if (sketch_decides(ctx, local, c, threshold, bounds, wc)) return;
     if (ctx.oracle != nullptr && (*ctx.oracle)(worker, c.u, c.v, threshold)) {
-        verdict_[idx] = PrefilterVerdict::kOracleReject;
+        set_bit(oracle_bits_, local);
         return;
     }
     ++wc.dijkstra_runs;
@@ -245,9 +329,9 @@ void PrefilterStage::probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const 
                          ? ws.distance_bidirectional(view, c.u, c.v, threshold)
                          : ws.distance(view, c.u, c.v, threshold);
     if (d <= threshold) {
-        if (d < bounds[idx]) bounds[idx] = d;
+        if (d < bounds[local]) bounds[local] = d;
     } else {
-        verdict_[idx] = PrefilterVerdict::kFarAtSnapshot;
+        set_bit(far_bits_, local);
     }
 }
 

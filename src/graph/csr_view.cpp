@@ -20,7 +20,22 @@ void CsrView::rebuild(const Graph& g) {
 }
 
 void CsrOverlayView::snapshot(const Graph& g) {
+    // No-insertion fast path: nothing landed in the overlay and g still has
+    // the frozen shape, so the existing CSR is already exact. The
+    // last-edge fingerprint catches a *different* graph whose counts
+    // coincide (same guard as IncrementalCsrView::refresh).
+    if (frozen_ && overlay_edges_ == 0 && g.num_vertices() == csr_.num_vertices() &&
+        2 * g.num_edges() == csr_.num_half_edges() &&
+        (g.num_edges() == 0 ||
+         g.edge(static_cast<EdgeId>(g.num_edges() - 1)) == frozen_last_edge_)) {
+        return;
+    }
     csr_.rebuild(g);
+    frozen_last_edge_ = g.num_edges() > 0
+                            ? g.edge(static_cast<EdgeId>(g.num_edges() - 1))
+                            : Edge{};
+    ++rebuilds_;
+    frozen_ = true;
     // Clear stale overlay runs *before* resizing: a smaller graph would
     // otherwise leave touched_ entries pointing past the new size.
     for (VertexId v : touched_) overlay_[v].clear();

@@ -105,6 +105,12 @@ public:
     CsrOverlayView() = default;
 
     /// Refreeze the CSR from g's current adjacency and drop the overlay.
+    ///
+    /// Explicit no-insertion fast path: when the overlay is empty and g
+    /// still has exactly the frozen vertex/edge counts (the caller kept
+    /// mirroring the same graph and nothing was inserted since the last
+    /// snapshot), the call is an O(1) no-op instead of an O(n + m)
+    /// rebuild. `rebuilds()` counts the rebuilds that actually ran.
     void snapshot(const Graph& g);
 
     /// Record one undirected edge added to the underlying graph after the
@@ -115,6 +121,10 @@ public:
     [[nodiscard]] std::size_t num_vertices() const { return csr_.num_vertices(); }
     [[nodiscard]] std::size_t overlay_edges() const { return overlay_edges_; }
 
+    /// Number of snapshot() calls that performed a full CSR rebuild (the
+    /// no-insertion fast path does not count).
+    [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+
     [[nodiscard]] NeighborRange neighbors(VertexId v) const {
         return {csr_.neighbors(v), {overlay_[v].data(), overlay_[v].size()}};
     }
@@ -124,6 +134,9 @@ private:
     std::vector<std::vector<HalfEdge>> overlay_;  ///< per-vertex post-snapshot run
     std::vector<VertexId> touched_;               ///< vertices with overlay entries
     std::size_t overlay_edges_ = 0;
+    std::size_t rebuilds_ = 0;
+    Edge frozen_last_edge_;  ///< fingerprint of the newest frozen edge
+    bool frozen_ = false;    ///< a snapshot has been taken at least once
 };
 
 }  // namespace gsp

@@ -33,6 +33,33 @@ TEST(ClusterGraphTest, RadiusMonotonicity) {
     EXPECT_GE(fine.num_clusters(), coarse.num_clusters());
 }
 
+TEST(ClusterGraphTest, DirectEdgeFastPathFiresAndStaysSound) {
+    // The query path's direct coarse-edge scan: adjacent (or shared)
+    // clusters answer without the coarse Dijkstra. The scratch counters
+    // make the hit rate observable, and every fast-path answer must still
+    // dominate the true spanner distance.
+    const Graph h = spanner_fixture(120, 19);
+    const ClusterGraph cg(h, 6.0);
+    DijkstraWorkspace ws(h.num_vertices());
+    ClusterGraph::QueryScratch scratch;
+    Rng rng(23);
+    std::size_t calls = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto u = static_cast<VertexId>(rng.index(h.num_vertices()));
+        const auto v = static_cast<VertexId>(rng.index(h.num_vertices()));
+        if (u == v) continue;
+        const Weight bound = cg.upper_bound_distance(u, v, kInfiniteWeight, scratch);
+        ++calls;
+        if (bound != kInfiniteWeight) {
+            EXPECT_GE(bound, ws.distance(h, u, v, kInfiniteWeight) - 1e-9)
+                << "u=" << u << " v=" << v;
+        }
+    }
+    EXPECT_EQ(scratch.queries, calls);
+    EXPECT_GT(scratch.direct_hits, 0u);
+    EXPECT_LE(scratch.direct_hits, scratch.queries);
+}
+
 TEST(ClusterGraphTest, UpperBoundDominatesTrueDistance) {
     const Graph h = spanner_fixture(100, 11);
     const ClusterGraph cg(h, 8.0);

@@ -85,6 +85,62 @@ TEST(CsrOverlayViewTest, OverlayChainsAfterFrozenRun) {
     }
 }
 
+TEST(CsrOverlayViewTest, NoInsertionSnapshotIsANoOp) {
+    // Regression guard for the refreeze fast path: a snapshot taken when
+    // the overlay is empty and the graph kept its frozen shape must not
+    // rebuild (phases that end a batch with zero insertions used to pay a
+    // full O(n + m) refreeze anyway).
+    Rng rng(3);
+    Graph g = erdos_renyi(30, 0.2, {.lo = 0.5, .hi = 2.0}, rng);
+    CsrOverlayView view;
+    view.snapshot(g);
+    EXPECT_EQ(view.rebuilds(), 1u);
+    view.snapshot(g);  // nothing inserted: explicit no-op
+    view.snapshot(g);
+    EXPECT_EQ(view.rebuilds(), 1u);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        EXPECT_EQ(adjacency_of(view, u), adjacency_of(g, u)) << "vertex " << u;
+    }
+
+    // An overlay entry re-arms the rebuild...
+    const EdgeId id = g.add_edge(0, 1, 0.25);
+    view.add_edge(0, 1, 0.25, id);
+    view.snapshot(g);
+    EXPECT_EQ(view.rebuilds(), 2u);
+    // ...and folding it in restores the fast path.
+    view.snapshot(g);
+    EXPECT_EQ(view.rebuilds(), 2u);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        EXPECT_EQ(adjacency_of(view, u), adjacency_of(g, u)) << "vertex " << u;
+    }
+
+    // A graph that changed shape without overlay mirroring (a different
+    // run) must still rebuild.
+    Graph g2(30);
+    view.snapshot(g2);
+    EXPECT_EQ(view.rebuilds(), 3u);
+    EXPECT_TRUE(view.neighbors(0).begin() == view.neighbors(0).end());
+}
+
+TEST(CsrOverlayViewTest, FastPathRejectsDifferentGraphWithEqualCounts) {
+    // The last-edge fingerprint: a *different* graph whose vertex/edge
+    // counts coincide with the frozen shape must rebuild, not be served
+    // the stale adjacency.
+    Graph g1(5);
+    g1.add_edge(0, 1, 1.0);
+    g1.add_edge(2, 3, 2.0);
+    CsrOverlayView view;
+    view.snapshot(g1);
+    Graph g2(5);
+    g2.add_edge(0, 1, 1.0);
+    g2.add_edge(2, 4, 5.0);  // same n, same m, different newest edge
+    view.snapshot(g2);
+    EXPECT_EQ(view.rebuilds(), 2u);
+    for (VertexId u = 0; u < 5; ++u) {
+        EXPECT_EQ(adjacency_of(view, u), adjacency_of(g2, u)) << "vertex " << u;
+    }
+}
+
 TEST(CsrOverlayViewTest, DijkstraAgreesWithGraph) {
     Rng rng(11);
     Graph g = erdos_renyi(50, 0.12, {.lo = 0.5, .hi = 3.0}, rng);
