@@ -24,6 +24,7 @@
 #include "nets/net_hierarchy.hpp"
 #include "spanners/theta_graph.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
 #include "wspd/quadtree.hpp"
 #include "wspd/wspd.hpp"
 
@@ -182,6 +183,34 @@ void BM_GreedyMetricCached(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyMetricCached)->Arg(256)->Arg(512);
 
+/// The ROADMAP's bound-sketch tuning item: hit rate vs associativity on
+/// the metric probe shape (clustered points, cached engine). The sketch's
+/// value is cross-bucket rejects remembered in O(n * ways) memory; more
+/// ways keep more sources per vertex before evictions, at proportional
+/// memory and probe cost.
+void sketch_ways_section() {
+    const std::size_t n = 512;
+    const double t = 1.5;
+    std::cout << "== BoundSketch associativity sweep (metric probe, n=" << n
+              << ", t=" << t << ") ==\n";
+    gsp::Table table({"kWays", "sketch hits", "hit rate (per candidate)", "dijkstra runs",
+                      "seconds"});
+    const double m = static_cast<double>(n * (n - 1) / 2);
+    for (const std::size_t ways : {2u, 4u, 8u}) {
+        Rng rng(1234);
+        const EuclideanMetric pts = clustered_points(n, 2, 8, 60.0, 2.0, rng);
+        MetricGreedyOptions options{.stretch = t, .use_distance_cache = true,
+                                    .num_threads = 1, .sketch_ways = ways};
+        GreedyStats stats;
+        (void)greedy_spanner_metric(pts, options, &stats);
+        table.add_row({std::to_string(ways), std::to_string(stats.sketch_hits),
+                       gsp::fmt(static_cast<double>(stats.sketch_hits) / m, 4),
+                       std::to_string(stats.dijkstra_runs), gsp::fmt(stats.seconds, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
 /// Quick kernel sweep + BENCH_greedy.json, sized for a CI smoke run.
 void write_smoke_json() {
     Rng rng(42);
@@ -202,6 +231,7 @@ void write_smoke_json() {
 
 int main(int argc, char** argv) {
     write_smoke_json();
+    sketch_ways_section();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

@@ -3,10 +3,10 @@
 //
 // Both bench_runtime (full-size sweep, the perf-trajectory source of truth)
 // and bench_micro (CI smoke that validates the schema) emit the same JSON
-// shape, version-tagged "gsp.bench_greedy.v2":
+// shape, version-tagged "gsp.bench_greedy.v3":
 //
 //   {
-//     "schema": "gsp.bench_greedy.v2",
+//     "schema": "gsp.bench_greedy.v3",
 //     "source": "<bench binary>",
 //     "stretch": <t>,
 //     "instance": {"kind": ..., "n": ..., "m": ...},
@@ -16,15 +16,20 @@
 //        "edges": ..., "matches_naive": ..., "handoff_bytes": ...,
 //        "bytes_per_candidate": ..., "stats": {...}}, ...],
 //     "metric_probe": {...},        // bench_runtime only (optional)
+//     "accept_probe": {...},        // bench_runtime only (optional)
 //     "peak_rss_kb": <ru_maxrss>,
 //     "speedup_full_vs_naive": <naive seconds / full seconds>
 //   }
 //
-// v2 adds the memory trajectory next to the kernel-time trajectory: the
+// v2 added the memory trajectory next to the kernel-time trajectory: the
 // per-config stage-2 -> stage-3 handoff footprint (bytes_per_candidate),
 // the process peak RSS, and the metric-workload probe (n = 2^10,
 // m = n(n-1)/2 candidates) where the handoff size is the dominant memory
-// term.
+// term. v3 (the speculative two-phase accept path) adds the repair
+// counters to every config's stats block and the accept-heavy probe: a
+// clustered-euclidean instance with accept rate > 30%, reporting how many
+// tentative accepts resolved by certificate repair vs full-query
+// fallbacks (the repair_share acceptance criterion).
 //
 // The output path defaults to BENCH_greedy.json in the working directory;
 // override with the GSP_BENCH_JSON environment variable.
@@ -46,6 +51,7 @@
 #include "core/greedy.hpp"
 #include "core/greedy_engine.hpp"
 #include "core/greedy_metric.hpp"
+#include "gen/graphs.hpp"
 #include "gen/points.hpp"
 #include "graph/graph.hpp"
 #include "metric/euclidean.hpp"
@@ -141,6 +147,9 @@ struct MetricProbeResult {
     double bytes_per_candidate = 0.0;
     /// The PR-2 handoff layout's flat cost on the same run.
     double pr2_bytes_per_candidate = 9.0;
+    /// Two-phase accept-path counters of the mt2 run.
+    std::size_t repairs = 0;
+    std::size_t repair_fallbacks = 0;
     GreedyStats stats;  ///< serial cached-engine run
 };
 
@@ -165,6 +174,8 @@ inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
     const Graph mt = greedy_spanner_metric(pts, mt_options, &mt_stats);
     probe.mt2_seconds = mt_stats.seconds;
     probe.matches_serial = same_edge_set(mt, serial);
+    probe.repairs = mt_stats.repairs;
+    probe.repair_fallbacks = mt_stats.repair_fallbacks;
     // The parallel handoff adds the verdict bitsets; report the larger of
     // the two runs so the column upper-bounds both paths.
     probe.handoff_bytes =
@@ -172,6 +183,70 @@ inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
     probe.bytes_per_candidate =
         static_cast<double>(probe.handoff_bytes) /
         static_cast<double>(probe.candidates == 0 ? 1 : probe.candidates);
+    return probe;
+}
+
+/// The accept-heavy probe of the speculative two-phase accept path: a
+/// clustered-euclidean geometric graph (dense intra-cluster candidate
+/// sets with near-parallel alternatives) at moderate stretch, tuned so
+/// the greedy keeps > 30% of all candidates -- the regime PR 2/PR 3
+/// serialized entirely. Reports how the parallel run's tentative accepts
+/// resolved: still-current snapshot certificates, phase-B repairs, or
+/// full-query fallbacks. The acceptance criterion is repair_share >= 0.7.
+struct AcceptProbeResult {
+    std::size_t n = 0;
+    std::size_t m = 0;  ///< candidate edges
+    double stretch = 0.0;
+    double accept_rate = 0.0;  ///< |H| / m
+    double serial_seconds = 0.0;
+    double mt2_seconds = 0.0;
+    std::size_t edges = 0;
+    bool matches_serial = false;
+    std::size_t snapshot_accepts = 0;
+    std::size_t repairs = 0;
+    std::size_t repair_reprobes = 0;
+    std::size_t repair_fallbacks = 0;
+    std::size_t certs_published = 0;
+    std::size_t cert_ball_aborts = 0;
+    /// (snapshot_accepts + repairs) / (snapshot_accepts + repairs +
+    /// repair_fallbacks): the share of tentative accepts resolved without
+    /// a full exact query.
+    double repair_share = 0.0;
+};
+
+inline AcceptProbeResult run_accept_probe(std::size_t n, double t) {
+    Rng rng(7);
+    const Graph g = clustered_geometric(n, 12, 60.0, 1.0, 0.6, rng);
+    AcceptProbeResult probe;
+    probe.n = n;
+    probe.m = g.num_edges();
+    probe.stretch = t;
+
+    GreedyEngineOptions serial_options;
+    serial_options.stretch = t;
+    GreedyStats serial_stats;
+    const Graph serial = greedy_spanner_with(g, serial_options, &serial_stats);
+    probe.serial_seconds = serial_stats.seconds;
+    probe.edges = serial.num_edges();
+    probe.accept_rate =
+        static_cast<double>(serial.num_edges()) / static_cast<double>(g.num_edges());
+
+    GreedyEngineOptions mt_options;
+    mt_options.stretch = t;
+    mt_options.num_threads = 2;
+    GreedyStats mt;
+    const Graph parallel = greedy_spanner_with(g, mt_options, &mt);
+    probe.mt2_seconds = mt.seconds;
+    probe.matches_serial = same_edge_set(parallel, serial);
+    probe.snapshot_accepts = mt.snapshot_accepts;
+    probe.repairs = mt.repairs;
+    probe.repair_reprobes = mt.repair_reprobes;
+    probe.repair_fallbacks = mt.repair_fallbacks;
+    probe.certs_published = mt.certs_published;
+    probe.cert_ball_aborts = mt.cert_ball_aborts;
+    const double resolved = static_cast<double>(probe.snapshot_accepts + probe.repairs);
+    const double tentative = resolved + static_cast<double>(probe.repair_fallbacks);
+    probe.repair_share = tentative > 0.0 ? resolved / tentative : 1.0;
     return probe;
 }
 
@@ -199,12 +274,13 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
                                     const std::string& instance_kind, std::size_t n,
                                     std::size_t m, double t,
                                     const std::vector<KernelRun>& runs,
-                                    const MetricProbeResult* metric_probe = nullptr) {
+                                    const MetricProbeResult* metric_probe = nullptr,
+                                    const AcceptProbeResult* accept_probe = nullptr) {
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot write " + path);
     const auto b = [](bool v) { return v ? "true" : "false"; };
     out << "{\n";
-    out << "  \"schema\": \"gsp.bench_greedy.v2\",\n";
+    out << "  \"schema\": \"gsp.bench_greedy.v3\",\n";
     out << "  \"source\": \"" << source << "\",\n";
     out << "  \"stretch\": " << t << ",\n";
     out << "  \"instance\": {\"kind\": \"" << instance_kind << "\", \"n\": " << n
@@ -236,6 +312,11 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
             << "\"sketch_accepts\": " << r.stats.sketch_accepts << ", "
             << "\"bidirectional_meets\": " << r.stats.bidirectional_meets << ", "
             << "\"snapshot_accepts\": " << r.stats.snapshot_accepts << ", "
+            << "\"repairs\": " << r.stats.repairs << ", "
+            << "\"repair_reprobes\": " << r.stats.repair_reprobes << ", "
+            << "\"repair_fallbacks\": " << r.stats.repair_fallbacks << ", "
+            << "\"certs_published\": " << r.stats.certs_published << ", "
+            << "\"cert_ball_aborts\": " << r.stats.cert_ball_aborts << ", "
             << "\"buckets\": " << r.stats.buckets << "}}"
             << (i + 1 < runs.size() ? "," : "") << "\n";
     }
@@ -254,7 +335,28 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
             << "\"bytes_per_candidate\": " << p.bytes_per_candidate << ", "
             << "\"pr2_bytes_per_candidate\": " << p.pr2_bytes_per_candidate << ", "
             << "\"sketch_hits\": " << p.stats.sketch_hits << ", "
+            << "\"repairs\": " << p.repairs << ", "
+            << "\"repair_fallbacks\": " << p.repair_fallbacks << ", "
             << "\"dijkstra_runs\": " << p.stats.dijkstra_runs << "},\n";
+    }
+    if (accept_probe != nullptr) {
+        const AcceptProbeResult& p = *accept_probe;
+        out << "  \"accept_probe\": {\"kind\": \"clustered_geometric\", "
+            << "\"n\": " << p.n << ", "
+            << "\"m\": " << p.m << ", "
+            << "\"stretch\": " << p.stretch << ", "
+            << "\"accept_rate\": " << p.accept_rate << ", "
+            << "\"serial_seconds\": " << p.serial_seconds << ", "
+            << "\"mt2_seconds\": " << p.mt2_seconds << ", "
+            << "\"edges\": " << p.edges << ", "
+            << "\"matches_serial\": " << b(p.matches_serial) << ", "
+            << "\"snapshot_accepts\": " << p.snapshot_accepts << ", "
+            << "\"repairs\": " << p.repairs << ", "
+            << "\"repair_reprobes\": " << p.repair_reprobes << ", "
+            << "\"repair_fallbacks\": " << p.repair_fallbacks << ", "
+            << "\"certs_published\": " << p.certs_published << ", "
+            << "\"cert_ball_aborts\": " << p.cert_ball_aborts << ", "
+            << "\"repair_share\": " << p.repair_share << "},\n";
     }
     out << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
     // Named lookups: the ladder may append parallel rows after "full", so

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1/v2)
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1/v2/v3)
 and diff them against the tracked bench history.
 
 Usage:
@@ -7,18 +7,23 @@ Usage:
     validate_bench_json.py --history DIR [path]    schema check of the
         latest entry in DIR (or of `path` if given), plus a regression diff
         of the two newest entries in DIR: kernel configs more than 20%
-        slower than the previous entry are flagged, and (v2) configs whose
+        slower than the previous entry are flagged, and (v2+) configs whose
         stage-2/stage-3 handoff grew more than 20% in bytes-per-candidate
         are flagged alongside. The metric-workload probe's time and
-        bytes-per-candidate are diffed the same way. Flags are warnings by
-        default (bench timings on shared CI runners are noisy); --strict
-        turns them into a non-zero exit.
+        bytes-per-candidate, and (v3) the accept-heavy probe's time and
+        full-query-fallback share, are diffed the same way. Flags are
+        warnings by default (bench timings on shared CI runners are
+        noisy); --strict turns them into a non-zero exit.
 
 Schema v2 (PR 3) adds the memory trajectory: per-config "bound_sketch",
 "handoff_bytes" and "bytes_per_candidate", the optional "metric_probe"
 object (n = 2^10, m = n^2/2 candidates), and top-level "peak_rss_kb".
-v1 entries (the pre-PR3 history) are still accepted and diffed on the
-fields they carry.
+Schema v3 (PR 4, the speculative two-phase accept path) adds the repair
+counters ("repairs", "repair_fallbacks", ...) to every config's stats
+block and to the metric probe, plus the optional "accept_probe" object
+(clustered-euclidean instance, accept rate > 30%) whose "repair_share"
+must stay >= 0.7 -- the tentpole's acceptance criterion. Older entries
+are still accepted and diffed on the fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -29,7 +34,7 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2"}
+SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2", "gsp.bench_greedy.v3"}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
@@ -42,10 +47,22 @@ REQUIRED_CONFIG_V2 = REQUIRED_CONFIG | {"bound_sketch", "handoff_bytes",
 REQUIRED_STATS_V2 = REQUIRED_STATS | {"csr_compactions", "sketch_hits",
                                       "sketch_accepts", "snapshot_accepts"}
 REQUIRED_TOP_V2 = REQUIRED_TOP | {"peak_rss_kb"}
+# v3 additions: the two-phase accept-path counters.
+REQUIRED_STATS_V3 = REQUIRED_STATS_V2 | {"repairs", "repair_reprobes",
+                                         "repair_fallbacks", "certs_published",
+                                         "cert_ball_aborts"}
 REQUIRED_METRIC_PROBE = {"kind", "n", "candidates", "stretch", "serial_seconds",
                          "mt2_seconds", "edges", "matches_serial",
                          "handoff_bytes", "bytes_per_candidate",
                          "pr2_bytes_per_candidate"}
+REQUIRED_ACCEPT_PROBE = {"kind", "n", "m", "stretch", "accept_rate",
+                         "serial_seconds", "mt2_seconds", "edges",
+                         "matches_serial", "snapshot_accepts", "repairs",
+                         "repair_reprobes", "repair_fallbacks",
+                         "certs_published", "cert_ball_aborts", "repair_share"}
+# The tentpole's acceptance criterion: on the accept-heavy probe, at least
+# this share of tentative accepts must resolve without a full exact query.
+ACCEPT_PROBE_MIN_REPAIR_SHARE = 0.70
 
 REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
@@ -70,10 +87,12 @@ def validate(doc: dict, path) -> None:
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         fail(f"{path}: unexpected schema tag {schema!r}")
-    v2 = schema == "gsp.bench_greedy.v2"
+    v2 = schema in {"gsp.bench_greedy.v2", "gsp.bench_greedy.v3"}
+    v3 = schema == "gsp.bench_greedy.v3"
     required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
     required_config = REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG
-    required_stats = REQUIRED_STATS_V2 if v2 else REQUIRED_STATS
+    required_stats = (REQUIRED_STATS_V3 if v3 else
+                      REQUIRED_STATS_V2 if v2 else REQUIRED_STATS)
     if missing := required_top - doc.keys():
         fail(f"{path}: missing top-level keys: {sorted(missing)}")
     inst = doc["instance"]
@@ -114,10 +133,29 @@ def validate(doc: dict, path) -> None:
         if probe["candidates"] <= 0 or probe["bytes_per_candidate"] < 0:
             fail(f"{path}: metric_probe has nonsensical candidate accounting")
 
+    accept_probe = doc.get("accept_probe")
+    if accept_probe is not None:
+        if missing := REQUIRED_ACCEPT_PROBE - accept_probe.keys():
+            fail(f"{path}: accept_probe missing keys: {sorted(missing)}")
+        if not accept_probe["matches_serial"]:
+            fail(f"{path}: accept_probe parallel edge set diverged from serial")
+        if accept_probe["accept_rate"] <= 0.30:
+            fail(f"{path}: accept_probe is not accept-heavy "
+                 f"(accept_rate {accept_probe['accept_rate']:.3f} <= 0.30)")
+        if accept_probe["repair_share"] < ACCEPT_PROBE_MIN_REPAIR_SHARE:
+            fail(f"{path}: accept_probe repair_share "
+                 f"{accept_probe['repair_share']:.3f} below the "
+                 f"{ACCEPT_PROBE_MIN_REPAIR_SHARE:.2f} acceptance floor")
+
     extras = []
     if probe is not None:
         extras.append(f"metric probe {probe['bytes_per_candidate']:.2f} B/cand "
                       f"(PR2 baseline {probe['pr2_bytes_per_candidate']:.1f})")
+    if accept_probe is not None:
+        extras.append(f"accept probe repair share "
+                      f"{accept_probe['repair_share']:.2f} "
+                      f"({accept_probe['repairs']} repairs, "
+                      f"{accept_probe['repair_fallbacks']} fallbacks)")
     if v2:
         extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
     suffix = f"; {', '.join(extras)}" if extras else ""
@@ -183,6 +221,23 @@ def diff_history(history_dir: Path, strict: bool) -> int:
         report(diff_metric("metric_probe handoff",
                            old_probe.get("bytes_per_candidate"),
                            cur_probe["bytes_per_candidate"], " B/cand"))
+
+    def fallback_share(probe):
+        """Share of tentative accepts that fell back to a full exact query
+        (smaller is better, so diff_metric applies directly)."""
+        if probe is None or "repair_fallbacks" not in probe:
+            return None
+        tentative = (probe.get("snapshot_accepts", 0) + probe.get("repairs", 0) +
+                     probe["repair_fallbacks"])
+        return probe["repair_fallbacks"] / tentative if tentative > 0 else None
+
+    old_accept = prev_doc.get("accept_probe")
+    cur_accept = cur_doc.get("accept_probe")
+    if cur_accept is not None:
+        report(diff_metric("accept_probe time", (old_accept or {}).get("mt2_seconds"),
+                           cur_accept["mt2_seconds"], "s"))
+        report(diff_metric("accept_probe fallback share", fallback_share(old_accept),
+                           fallback_share(cur_accept), ""))
 
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "

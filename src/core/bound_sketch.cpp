@@ -1,11 +1,16 @@
 #include "core/bound_sketch.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace gsp {
 
-void BoundSketch::reset(std::size_t n) {
-    slots_.assign(n * kWays, Entry{});
+void BoundSketch::reset(std::size_t n, std::size_t ways) {
+    if (ways == 0 || (ways & (ways - 1)) != 0) {
+        throw std::invalid_argument("BoundSketch: ways must be a power of two >= 1");
+    }
+    ways_ = ways;
+    slots_.assign(n * ways_, Entry{});
 }
 
 BoundSketch::Entry& BoundSketch::entry_for_write(VertexId src, VertexId x) {
@@ -62,6 +67,64 @@ Weight BoundSketch::lower_bound_at(VertexId u, VertexId v,
     const Entry& b = slots_[slot(u, v)];
     if (b.src == v && b.lo_epoch == epoch) best = std::max(best, b.lo);
     return best;
+}
+
+void CertificateStore::reset(std::size_t n, std::size_t cap) {
+    cap_ = cap;
+    if (certs_.size() != n) {
+        certs_.assign(n, Cert{});
+        lookup_stamp_.assign(n, 0);
+        lookup_dist_.assign(n, kInfiniteWeight);
+        lookup_current_ = 0;
+    } else {
+        // Keep the per-source settled buffers warm; a zero scope can never
+        // match (the engine's batch sequence starts at 1).
+        for (Cert& c : certs_) c.scope = 0;
+    }
+    loaded_ = kNoVertex;
+    loaded_scope_ = 0;
+}
+
+bool CertificateStore::publish(VertexId source, std::uint64_t scope, std::uint64_t epoch,
+                               Weight radius,
+                               std::span<const std::pair<VertexId, Weight>> settled) {
+    Cert& c = certs_[source];
+    if (settled.size() > cap_) {
+        // Too big to be worth keeping (reject-heavy regime): leave the
+        // slot invalid so phase B falls back to the exact query.
+        c.scope = 0;
+        return false;
+    }
+    c.scope = scope;
+    c.epoch = epoch;
+    c.radius = radius;
+    c.settled.assign(settled.begin(), settled.end());
+    return true;
+}
+
+bool CertificateStore::load(VertexId source, std::uint64_t scope, std::uint64_t epoch,
+                            Weight radius_needed) {
+    const Cert& c = certs_[source];
+    if (c.scope != scope || c.epoch != epoch || c.radius < radius_needed) return false;
+    if (loaded_ == source && loaded_scope_ == scope) return true;  // already active
+    ++lookup_current_;
+    for (const auto& [x, d] : c.settled) {
+        lookup_stamp_[x] = lookup_current_;
+        lookup_dist_[x] = d;
+    }
+    loaded_ = source;
+    loaded_scope_ = scope;
+    return true;
+}
+
+std::size_t CertificateStore::bytes() const {
+    std::size_t total = certs_.capacity() * sizeof(Cert) +
+                        (lookup_stamp_.capacity() * sizeof(std::uint64_t)) +
+                        (lookup_dist_.capacity() * sizeof(Weight));
+    for (const Cert& c : certs_) {
+        total += c.settled.capacity() * sizeof(std::pair<VertexId, Weight>);
+    }
+    return total;
 }
 
 }  // namespace gsp

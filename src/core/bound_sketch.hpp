@@ -1,11 +1,12 @@
-// Cross-bucket bound persistence: a compact per-vertex distance sketch.
+// Cross-bucket bound persistence: a compact per-vertex distance sketch,
+// and the certificate store of the speculative two-phase accept path.
 //
 // The engine's per-candidate bounds are bucket-local (they live in the
 // stage-2/stage-3 handoff and die with their bucket), while the classic
 // Farshi-Gudmundsson DistanceCache of the metric kernel keeps one upper
 // bound per *pair* -- n^2 memory -- and owes most of its speed to hits that
 // span weight buckets. BoundSketch recovers those cross-bucket hits in
-// O(n) memory: a small set-associative table with kWays slots per vertex,
+// O(n) memory: a small set-associative table with `ways` slots per vertex,
 // each slot remembering what some earlier exact query learned about the
 // distance from one source to this vertex:
 //
@@ -21,16 +22,36 @@
 // Records are monotone-tightening: a repeated (vertex, source) record only
 // lowers `ub`, and only raises `lo` within an epoch (a newer epoch replaces
 // the tag). Slot placement is deterministic (source-indexed way), so runs
-// are reproducible and stats are schedule-independent.
+// are reproducible and stats are schedule-independent. The associativity
+// is a runtime parameter (power of two): kWays = 4 was PR 3's first cut,
+// and bench_micro measures the hit-rate curve at 2/4/8 ways.
 //
-// Concurrency contract: the sketch is written only by the engine's serial
-// insertion loop; stage-2 workers consult it read-only while no writer
-// runs (the fan-out/join of each batch brackets every write), exactly the
-// discipline of the frozen adjacency views.
+// CertificateStore is the sketch's epoch-tagged-lower-bound idea taken to
+// its limit for the two-phase accept path: phase A's drained snapshot
+// balls don't just certify "d(src, v) > threshold", they know the *entire*
+// settled frontier -- the exact snapshot distance to every vertex within
+// the radius, and (implicitly) "further than the radius" for every vertex
+// outside it. That settled set is exactly what phase-B repair needs: an
+// edge inserted after the snapshot can only create a <= threshold path if
+// its first use is reachable within the threshold *at the snapshot*, i.e.
+// if its entry endpoint is in the certificate's settled set. The store
+// keeps one certificate per source vertex (scope- and epoch-tagged, lazily
+// invalidated like the engine's shared balls) and activates one at a time
+// into a stamped lookup table for O(1) snapshot-distance queries.
+//
+// Concurrency contract: both structures are written on a fan-out/join
+// schedule. The sketch is written only by the engine's serial insertion
+// loop while stage-2 workers consult it read-only. The certificate store
+// is written by stage-2 workers -- but each worker publishes only the
+// sources of its own task's group, and groups partition the batch's
+// sources, so writes land in disjoint per-source slots; the serial loop
+// reads strictly after the join.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -39,14 +60,17 @@ namespace gsp {
 
 class BoundSketch {
 public:
-    /// Slots per vertex. Sources map to ways by their low bits, so up to
-    /// kWays distinct sources can coexist per vertex before evictions.
-    static constexpr std::size_t kWays = 4;
+    /// Default slots per vertex. Sources map to ways by their low bits, so
+    /// up to `ways` distinct sources can coexist per vertex before
+    /// evictions.
+    static constexpr std::size_t kDefaultWays = 4;
 
-    /// Clear and size for n vertices (O(n); once per engine run).
-    void reset(std::size_t n);
+    /// Clear and size for n vertices with `ways` slots each (O(n * ways);
+    /// once per engine run). `ways` must be a power of two >= 1.
+    void reset(std::size_t n, std::size_t ways = kDefaultWays);
 
     [[nodiscard]] bool empty() const { return slots_.empty(); }
+    [[nodiscard]] std::size_t ways() const { return ways_; }
     [[nodiscard]] std::size_t bytes() const { return slots_.capacity() * sizeof(Entry); }
 
     /// Record an exact distance d(src, x) = d measured at `epoch`: upper
@@ -79,11 +103,77 @@ private:
     };
 
     [[nodiscard]] std::size_t slot(VertexId x, VertexId src) const {
-        return static_cast<std::size_t>(x) * kWays + (src & (kWays - 1));
+        return static_cast<std::size_t>(x) * ways_ + (src & (ways_ - 1));
     }
     Entry& entry_for_write(VertexId src, VertexId x);
 
-    std::vector<Entry> slots_;  ///< n * kWays, way-indexed by source
+    std::size_t ways_ = kDefaultWays;
+    std::vector<Entry> slots_;  ///< n * ways_, way-indexed by source
+};
+
+/// Phase-A distance certificates for the speculative accept path: one per
+/// source vertex, holding the settled frontier of a drained snapshot ball
+/// -- (vertex, exact snapshot distance) for everything within `radius`,
+/// with the guarantee that everything absent is *further* than `radius`.
+class CertificateStore {
+public:
+    /// Size for n vertices and clear every certificate (once per run).
+    /// `cap` bounds the settled entries one certificate may hold; larger
+    /// frontiers are not published (phase B falls back to the exact
+    /// query), keeping the store's footprint proportional to the small
+    /// balls of accept-heavy phases rather than the big balls of
+    /// reject-heavy ones.
+    void reset(std::size_t n, std::size_t cap);
+
+    /// Publish the certificate for `source`: the settled set of a drained
+    /// snapshot ball of radius `radius`, measured at insertion epoch
+    /// `epoch`, scoped to the engine's batch sequence number `scope`
+    /// (lazy invalidation -- stale scopes are simply never matched).
+    /// Called from stage-2 workers; each source is owned by exactly one
+    /// task, so writes are race-free. Returns false (and stores nothing)
+    /// when the frontier exceeds the cap.
+    bool publish(VertexId source, std::uint64_t scope, std::uint64_t epoch, Weight radius,
+                 std::span<const std::pair<VertexId, Weight>> settled);
+
+    /// Activate the certificate of `source` for snapshot-distance queries,
+    /// iff one was published under `scope` at `epoch` with radius >=
+    /// `radius_needed`. Serial-side only.
+    bool load(VertexId source, std::uint64_t scope, std::uint64_t epoch,
+              Weight radius_needed);
+
+    /// After a successful load: the exact snapshot distance from the
+    /// loaded source to x, or +infinity when x was outside the ball
+    /// (equivalently: certified further than the certificate's radius).
+    [[nodiscard]] Weight snapshot_distance(VertexId x) const {
+        return lookup_stamp_[x] == lookup_current_ ? lookup_dist_[x] : kInfiniteWeight;
+    }
+
+    /// Radius of the loaded certificate.
+    [[nodiscard]] Weight loaded_radius() const { return certs_[loaded_].radius; }
+
+    [[nodiscard]] std::size_t cap() const { return cap_; }
+
+    /// Resident bytes of the published settled sets (handoff accounting).
+    [[nodiscard]] std::size_t bytes() const;
+
+private:
+    struct Cert {
+        std::uint64_t scope = 0;  ///< batch sequence the certificate belongs to
+        std::uint64_t epoch = 0;  ///< insertion epoch of the snapshot it measured
+        Weight radius = 0.0;
+        std::vector<std::pair<VertexId, Weight>> settled;
+    };
+
+    std::vector<Cert> certs_;  ///< per-source slots, lazily invalidated by scope
+    std::size_t cap_ = 0;
+
+    // The activated certificate, expanded into a stamped O(1) lookup
+    // table (timestamp reset, like DijkstraWorkspace scratch).
+    std::vector<std::uint64_t> lookup_stamp_;
+    std::vector<Weight> lookup_dist_;
+    std::uint64_t lookup_current_ = 0;
+    VertexId loaded_ = kNoVertex;
+    std::uint64_t loaded_scope_ = 0;
 };
 
 }  // namespace gsp

@@ -43,6 +43,20 @@ struct GreedyStats {
     std::size_t snapshot_accepts = 0;   ///< accepts certified by the bucket-start probe
     std::size_t prefilter_gated_off = 0;  ///< 1 if the measured-cost gate disabled the prefilter
 
+    // Speculative-accept counters (zero when speculative_repair is off or
+    // the run is serial). A "tentative accept" is a candidate phase A
+    // certified far-at-snapshot; when insertions staled the certificate,
+    // phase B either repairs it (inspecting only paths through the edges
+    // inserted since the snapshot) or falls back to the full exact query.
+    std::size_t repairs = 0;            ///< stale certificates resolved by repair alone
+    std::size_t repair_reprobes = 0;    ///< repairs that needed the seeded probe
+                                        ///< (the rest stood with zero graph work)
+    std::size_t repair_fallbacks = 0;   ///< stale tentative accepts with no usable
+                                        ///< certificate -> full exact query
+    std::size_t certs_published = 0;    ///< phase-A certificates recorded
+    std::size_t cert_ball_aborts = 0;   ///< certificate balls that blew the cap
+                                        ///< (expander-like neighborhoods)
+
     // Bound-sketch counters (zero when bound_sketch is off). Not a
     // partition of edges_examined: a stage-2 sketch far certificate counts
     // here *and* as a snapshot_accept when stage 3 consumes its bit.

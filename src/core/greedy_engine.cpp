@@ -14,12 +14,27 @@ namespace gsp {
 
 namespace {
 
-/// Queries run directly on the growing Graph (csr_snapshot off).
+/// Queries run directly on the growing Graph (csr_snapshot off). The
+/// adapter still keeps the insertion log phase-B repair iterates (the
+/// live graph is always fresh, so repair works on either adapter).
 struct LiveAdapter {
     const Graph* h = nullptr;
+    std::vector<LoggedInsert> log;
+    bool log_inserts = false;
     void snapshot(const Graph& g) { h = &g; }
-    void add_edge(VertexId, VertexId, Weight, EdgeId) {}
+    void add_edge(VertexId a, VertexId b, Weight w, EdgeId) {
+        if (log_inserts) log.push_back(LoggedInsert{a, b, w});
+    }
     [[nodiscard]] const Graph& view() const { return *h; }
+    void set_log_inserts(bool on) {
+        log_inserts = on;
+        if (!on) log.clear();
+    }
+    void clear_insert_log() { log.clear(); }
+    [[nodiscard]] std::size_t insert_log_size() const { return log.size(); }
+    [[nodiscard]] std::span<const LoggedInsert> inserts_since(std::size_t mark) const {
+        return {log.data() + mark, log.size() - mark};
+    }
     [[nodiscard]] static std::size_t rebuilds() { return 0; }
     [[nodiscard]] static std::size_t compactions() { return 0; }
 };
@@ -34,6 +49,12 @@ struct IncrementalAdapter {
     void snapshot(const Graph& g) { v.refresh(g); }
     void add_edge(VertexId a, VertexId b, Weight w, EdgeId id) { v.add_edge(a, b, w, id); }
     [[nodiscard]] const IncrementalCsrView& view() const { return v; }
+    void set_log_inserts(bool on) { v.set_log_inserts(on); }
+    void clear_insert_log() { v.clear_insert_log(); }
+    [[nodiscard]] std::size_t insert_log_size() const { return v.insert_log_size(); }
+    [[nodiscard]] std::span<const LoggedInsert> inserts_since(std::size_t mark) const {
+        return v.inserts_since(mark);
+    }
     [[nodiscard]] std::size_t rebuilds() const { return v.rebuilds(); }
     [[nodiscard]] std::size_t compactions() const { return v.compactions(); }
 };
@@ -84,6 +105,11 @@ GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
     }
     if (options_.parallel_batch == 0) {
         throw std::invalid_argument("GreedyEngine: parallel_batch must be >= 1");
+    }
+    if (options_.sketch_ways == 0 ||
+        (options_.sketch_ways & (options_.sketch_ways - 1)) != 0) {
+        throw std::invalid_argument(
+            "GreedyEngine: sketch_ways must be a power of two >= 1");
     }
     workers_ = options_.parallel_prefilter
                    ? ThreadPool::resolve_workers(options_.num_threads)
@@ -139,7 +165,23 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         ball_radius_.assign(n_, 0.0);
     }
     if (parallel) prefilter_stage_.begin_run(workers_);
-    if (use_sketch) sketch_.reset(n_);
+    if (use_sketch) sketch_.reset(n_, options_.sketch_ways);
+    // The speculative accept path needs stage 2 (its phase A) to record
+    // certificates; serial runs have nothing to repair.
+    const bool repair = parallel && options_.speculative_repair;
+    if (repair) certs_.reset(n_, options_.repair_cert_cap);
+    // The insertion log is the phase-B repair feed; runs that never
+    // repair must not pay for it.
+    adapter.set_log_inserts(repair);
+    // Batch widths follow the predicted accept rate when repair is on
+    // (accept-heavy batches shrink so certificates stay shallowly stale);
+    // the PR-2 fixed width otherwise.
+    const BatchPlanner planner(options_.parallel_batch, options_.parallel_target_accepts);
+    // Certificate-mode economics: sticky off once a certificate-mode
+    // batch aborts more balls than it publishes (expander-like
+    // neighborhoods, where the certificates can never pay). A pure
+    // function of the greedy decisions -- identical at every thread count.
+    bool cert_mode_live = true;
 
     PrefilterGateState gate;
     const bool have_serial_pf = static_cast<bool>(options_.prefilter);
@@ -218,7 +260,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         if (parallel) prefilter_stage_.begin_bucket(bucket);
         const std::size_t handoff_bytes =
             (track_bounds ? bound_.capacity() * sizeof(Weight) : 0) +
-            (parallel ? prefilter_stage_.verdict_bytes() : 0);
+            (parallel ? prefilter_stage_.verdict_bytes() : 0) +
+            (repair ? certs_.bytes() : 0);
         stats.handoff_peak_bytes = std::max(stats.handoff_peak_bytes, handoff_bytes);
 
         const auto cand_at = [&](std::uint32_t local) -> const GreedyCandidate& {
@@ -232,24 +275,43 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // keep the PR-1 shape: one batch == the bucket.
         std::size_t batch_begin = bucket.begin;
         while (batch_begin < bucket.end) {
+        const std::size_t batch_width =
+            repair ? planner.next_width(last_accept_rate) : options_.parallel_batch;
         const std::size_t batch_end =
-            parallel ? std::min(batch_begin + options_.parallel_batch, bucket.end)
-                     : bucket.end;
+            parallel ? std::min(batch_begin + batch_width, bucket.end) : bucket.end;
         const CandidateBucket batch{batch_begin, batch_end, bucket.lo, bucket.hi};
         ++batch_seq;
 
-        // Stage 2 runs for this batch only when the accept rate says its
-        // certificates have a chance to survive, and never during the
-        // prefilter gate's calibration window (calibration times the
-        // *serial* economics; stage-2 probes would hollow out the exact
-        // decisions it measures and double-consult the oracle). The
-        // incremental view is exact right now either way -- there is no
-        // refreeze to pay, only the probe work itself to gate.
-        const bool run_stage2 = parallel && !gate.calibrating &&
-                                last_accept_rate <= options_.parallel_accept_gate;
+        // Whether (and how) stage 2 runs is keyed on the previous batch's
+        // accept rate, and never during the prefilter gate's calibration
+        // window (calibration times the *serial* economics; stage-2 probes
+        // would hollow out the exact decisions it measures and
+        // double-consult the oracle). Without repair, accept-predicted
+        // batches skip stage 2 entirely -- their certificates would die on
+        // the first insertion. With repair, they run it in *certificate
+        // mode* instead: every group grows a drained snapshot ball whose
+        // settled frontier phase B can repair through later insertions.
+        // Both decisions are pure functions of the greedy decisions, hence
+        // identical at every thread count. The incremental view is exact
+        // right now either way -- there is no refreeze to pay, only the
+        // probe work itself to gate.
+        const bool accept_predicted = last_accept_rate > options_.parallel_accept_gate;
+        // Certificates ride on source-group balls, so without ball
+        // sharing there is nothing to publish -- accept-predicted batches
+        // then skip stage 2 outright (the PR-2 rule) instead of burning
+        // probes whose facts die on the first insertion.
+        const bool certificate_mode =
+            repair && sharing && accept_predicted && cert_mode_live;
+        const bool run_stage2 =
+            parallel && !gate.calibrating && (!accept_predicted || certificate_mode);
         if (sharing) groups_.rebuild(cands, batch, bucket.begin, n_);
         const std::uint64_t snapshot_epoch = insert_epoch;
         const std::size_t batch_accepts_before = stats.edges_added;
+        // Truncate the repair feed at the snapshot boundary: entries from
+        // earlier batches are never read again (marks are per batch), so
+        // the log stays O(accepts per batch). The mark is then always 0.
+        if (repair) adapter.clear_insert_log();
+        const std::size_t batch_log_mark = 0;
 
         // --- Stage 2: parallel reject-only prefilter over the batch-start
         // view. Everything it records is sound regardless of what stage 3
@@ -269,8 +331,20 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             ctx.oracle = (have_concurrent_pf && gate.live && !gate.calibrating)
                              ? &options_.concurrent_prefilter
                              : nullptr;
+            ctx.certificates = (repair && sharing) ? &certs_ : nullptr;
+            ctx.certificate_mode = certificate_mode;
+            ctx.cert_ball_fallback_work = options_.repair_ball_fallback_work;
+            ctx.point_cost_hint = point_cost;
+            ctx.cert_ball_cap = options_.repair_cert_cap;
+            const std::size_t published_before = stats.certs_published;
+            const std::size_t aborts_before = stats.cert_ball_aborts;
             prefilter_stage_.run_batch(*pool_, ws_pool_, adapter.view(), ctx, bound_,
                                        ball_bucket_, ball_epoch_, ball_radius_, stats);
+            if (ctx.certificate_mode &&
+                stats.cert_ball_aborts - aborts_before >
+                    stats.certs_published - published_before) {
+                cert_mode_live = false;
+            }
         }
 
         // --- Stage 3: the serialized insertion loop re-walks the batch in
@@ -318,7 +392,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                 }
             };
 
-            bool accept;
+            bool accept = false;
+            bool decided = false;
             if (track_bounds && bound_[li] <= threshold) {
                 // A realizable witness path no heavier than the threshold
                 // is already known (harvested serially or by stage 2); the
@@ -340,12 +415,59 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                 record_exact();
                 continue;
             }
-            if (parallel && prefilter_stage_.far_at_snapshot(i) &&
-                insert_epoch == snapshot_epoch) {
-                // The stage-2 probe was exact on the batch-start view and
-                // nothing has been inserted since: the certificate stands.
-                ++stats.snapshot_accepts;
-                accept = true;
+            if (parallel && prefilter_stage_.far_at_snapshot(i)) {
+                if (insert_epoch == snapshot_epoch) {
+                    // The stage-2 probe was exact on the batch-start view
+                    // and nothing has been inserted since: the certificate
+                    // stands.
+                    ++stats.snapshot_accepts;
+                    accept = true;
+                    decided = true;
+                } else if (repair &&
+                           certs_.load(c.u, batch_seq, snapshot_epoch, threshold)) {
+                    // Phase B: certificate repair. The certificate proved
+                    // d(u, v) > threshold on the batch-start snapshot via a
+                    // drained ball, so any <= threshold path in the current
+                    // spanner must *enter* an edge inserted since -- and the
+                    // snapshot-only prefix up to that first inserted edge
+                    // must end inside the certified ball. Seed a bounded
+                    // probe at each inserted endpoint with (certified
+                    // snapshot distance + edge weight): every seed is a
+                    // realizable current path length (never too low), and
+                    // the first-inserted-edge decomposition of any shortest
+                    // improving path is dominated by some seed (never too
+                    // high), so the probe re-decides the candidate exactly.
+                    // No seeds at all means no insertion can have touched
+                    // the ball: the certificate stands with zero graph work.
+                    repair_seeds_.clear();
+                    for (const LoggedInsert& e : adapter.inserts_since(batch_log_mark)) {
+                        const Weight via_u = certs_.snapshot_distance(e.u) + e.weight;
+                        if (via_u <= threshold) repair_seeds_.push_back({e.v, via_u});
+                        const Weight via_v = certs_.snapshot_distance(e.v) + e.weight;
+                        if (via_v <= threshold) repair_seeds_.push_back({e.u, via_v});
+                    }
+                    ++stats.repairs;
+                    if (repair_seeds_.empty()) {
+                        accept = true;
+                    } else {
+                        ++stats.repair_reprobes;
+                        ++stats.dijkstra_runs;
+                        const Weight d = ws_.distance_seeded(adapter.view(), repair_seeds_,
+                                                             c.v, threshold);
+                        // d is the exact current distance when it beats the
+                        // threshold (the snapshot side already exceeded it).
+                        accept = d > threshold;
+                        if (!accept) sk_pair_exact(c.u, c.v, d);
+                    }
+                    decided = true;
+                } else if (repair) {
+                    // Tentative accept with no usable certificate (point
+                    // probe, sketch-decided, or over-cap frontier): the
+                    // exact machinery below re-decides it.
+                    ++stats.repair_fallbacks;
+                }
+            }
+            if (decided) {
             } else if (use_sketch &&
                        sketch_.lower_bound_at(c.u, c.v, insert_epoch) > threshold) {
                 // Epoch-valid sketch lower bound: the pair was measured

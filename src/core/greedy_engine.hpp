@@ -5,26 +5,36 @@
 // Theorem-6 simulation over a base spanner) -- is the same loop: examine
 // candidate edges in non-decreasing weight order and keep an edge iff the
 // growing spanner's distance between its endpoints exceeds t * w(e).
-// GreedyEngine runs that loop once, as an explicit three-stage pipeline per
-// weight bucket:
+// GreedyEngine runs that loop once, as an explicit three-phase pipeline per
+// weight bucket (batched when parallel):
 //
 //   [1] candidate stream   (core/candidate_stream) -- materialize the
-//       bucket [w, bucket_ratio * w) and group its candidates by source
-//       (bucket-local indices);
-//   [2] parallel prefilter (core/prefilter_stage)  -- fan the groups out to
-//       a shared worker pool; each worker owns a DijkstraWorkspace and runs
-//       the *reject-only* passes (bound-sketch consults, concurrent
-//       cluster-oracle lookups, bounded bidirectional probes) against the
-//       batch-start incremental CSR view, recording sound per-candidate
-//       facts in a thin handoff (packed verdict bitsets + a bucket-local
-//       bound slot per candidate);
-//   [3] serialized insertion loop -- re-walk the bucket in deterministic
-//       tie order, consume the recorded facts (permanent rejects, "far at
-//       snapshot" certificates valid until the first insertion), and run
-//       the exact machinery for whatever remains.
+//       bucket [w, bucket_ratio * w), group its candidates by source
+//       (bucket-local indices), and plan batch widths from the predicted
+//       accept rate (BatchPlanner);
+//   [2] speculative probe  (core/prefilter_stage)  -- fan the groups out to
+//       a work-stealing worker pool; each worker owns a DijkstraWorkspace
+//       and runs exact probes against the batch-start incremental CSR
+//       view, recording sound per-candidate facts in a thin handoff
+//       (packed verdict bitsets + a bucket-local bound slot per
+//       candidate): permanent witness-bound rejects, and epoch-tagged
+//       "far at snapshot" distance certificates. In accept-predicted
+//       batches the probes are drained certificate balls whose settled
+//       frontiers are published to the CertificateStore -- the phase-A
+//       half of the speculative accept path;
+//   [3] repair sweep       -- the serialized insertion loop re-walks the
+//       batch in deterministic tie order and consumes the recorded facts.
+//       A "far" certificate whose epoch is still current accepts
+//       outright; one staled by insertions is *repaired* (phase B): only
+//       paths entering an edge inserted since the snapshot can have
+//       invalidated it, so a bounded probe seeded from those edges'
+//       endpoints (at their certified snapshot distances) re-decides the
+//       candidate exactly, falling back to the full exact query only when
+//       no usable certificate exists.
 //
-// Because stage-2 facts are sound upper bounds / exact snapshot distances
-// and stage 3 re-verifies every surviving accept, the edge set is
+// Because stage-2 facts are sound upper bounds / exact snapshot distances,
+// certificate repair is exact (see the repair block in run_impl), and
+// stage 3 re-verifies every surviving accept, the edge set is
 // bit-identical to the naive kernel at every thread count.
 //
 // The stacked optimisations of the serial kernel are individually
@@ -109,14 +119,63 @@ struct GreedyEngineOptions {
     /// depend only on the input. Ignored when serial.
     std::size_t parallel_batch = 2048;
 
-    /// Accept-rate gate for stage 2: a batch is prefiltered only when the
-    /// previous batch's accept rate was <= this value. Accept-heavy phases
-    /// (the MST regime of light buckets, expanders at small t) serialize
-    /// by nature -- nearly every stage-2 certificate dies on the next
-    /// insertion -- so probing them in parallel is mostly wasted work. The
-    /// rate is a pure function of the greedy decisions, hence identical at
-    /// every thread count. 1.0 = prefilter every batch.
+    /// Accept-rate boundary for stage 2, keyed on the previous batch's
+    /// measured accept rate (a pure function of the greedy decisions,
+    /// hence identical at every thread count). With speculative_repair
+    /// *off*, a batch above the gate skips stage 2 entirely (the PR-2
+    /// rule: accept-heavy certificates die on the next insertion, so
+    /// probing them was wasted work). With repair *on*, the gate instead
+    /// switches stage 2 into certificate mode: accept-predicted batches
+    /// grow drained certificate balls whose facts survive insertions via
+    /// phase-B repair. 1.0 = never predict accept-heavy.
     double parallel_accept_gate = 0.25;
+
+    /// The speculative two-phase accept path. Phase A (stage 2) records an
+    /// epoch-tagged distance certificate for every far-at-snapshot
+    /// candidate; phase B (in the insertion loop) repairs certificates
+    /// staled by the batch's insertions through a bounded probe seeded at
+    /// the inserted endpoints, instead of a full exact re-query. Decisions
+    /// are exact either way -- the edge set stays bit-identical at every
+    /// thread count. No effect on serial runs.
+    bool speculative_repair = true;
+
+    /// Largest settled frontier a phase-A certificate may store (and the
+    /// settled-count abort of a certificate-mode ball attempt). A
+    /// certificate's value is bounded -- it saves a couple of serial
+    /// queries -- while its cost scales with the frontier, so only small
+    /// balls are worth certifying; bigger ones abort at bounded cost and
+    /// fall back to the exact query when staled. Measured on the n=2^13
+    /// expander: cap 4096 lets ~1000-vertex frontiers through and
+    /// multiplies the parallel rows' wall clock by 12x; cap 128 keeps
+    /// them at parity with repair off while still resolving tens of
+    /// thousands of accepts by repair.
+    std::size_t repair_cert_cap = 128;
+
+    /// Work budget (heap pushes) of a certificate-mode ball attempt while
+    /// the serial point-query cost model is still uncalibrated; once
+    /// calibrated, the budget is a few point queries per undecided
+    /// candidate of the group instead. On bounded-growth instances the
+    /// drained ball stays far below either budget; on expander-like
+    /// instances the attempt aborts at bounded cost and the group falls
+    /// back to the non-certificate rules. When a certificate-mode batch
+    /// aborts more balls than it publishes, certificate mode switches off
+    /// for the rest of the run (the accept gate then skips stage 2 for
+    /// accept-predicted batches, the PR-2 rule). Aborts and the
+    /// switch-off are pure functions of the input -- schedule-free.
+    std::size_t repair_ball_fallback_work = 8192;
+
+    /// Insertion budget per batch for the accept-rate batch planner
+    /// (candidate_stream's BatchPlanner): accept-predicted batches shrink
+    /// so that roughly this many insertions land per batch, bounding how
+    /// stale any certificate can get before its repair. Only consulted
+    /// when speculative_repair is on; reject-predicted batches stay at
+    /// parallel_batch.
+    std::size_t parallel_target_accepts = 128;
+
+    /// Bound-sketch associativity: slots per vertex (power of two).
+    /// kWays = 4 is PR 3's first cut; bench_micro measures the hit-rate
+    /// curve at 2/4/8.
+    std::size_t sketch_ways = BoundSketch::kDefaultWays;
 
     /// Geometric ratio of the weight buckets that pace ball sharing, CSR
     /// rebuilds, and `on_bucket` callbacks. Must be > 1.
@@ -201,6 +260,8 @@ private:
     PrefilterStage prefilter_stage_;      ///< stage-2 verdict bitsets + counters
     SourceGroups groups_;                 ///< stage-1 per-bucket grouping
     BoundSketch sketch_;                  ///< cross-bucket bound persistence
+    CertificateStore certs_;              ///< phase-A certificates for phase-B repair
+    std::vector<RepairSeed> repair_seeds_;  ///< phase-B scratch
 
     // Ball-sharing / prefilter scratch, reused across runs. Groups are
     // cleared lazily so a bucket costs O(its candidates), not O(n).

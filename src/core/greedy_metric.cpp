@@ -50,6 +50,8 @@ Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& opt
     engine_options.csr_snapshot = options.use_distance_cache;
     engine_options.bound_sketch = options.use_distance_cache;
     engine_options.num_threads = options.use_distance_cache ? options.num_threads : 1;
+    engine_options.speculative_repair = options.speculative_repair;
+    engine_options.sketch_ways = options.sketch_ways;
 
     const Timer timer;  // include pair enumeration + sort, as before
     const auto pairs = sorted_pairs(m);

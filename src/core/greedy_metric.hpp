@@ -17,6 +17,7 @@
 //    bucket.
 #pragma once
 
+#include "core/bound_sketch.hpp"
 #include "core/greedy.hpp"
 #include "graph/graph.hpp"
 #include "metric/metric_space.hpp"
@@ -32,6 +33,11 @@ struct MetricGreedyOptions {
     /// Stage-2 workers for the cached engine (1 = serial, 0 = hardware
     /// concurrency). The edge set is identical at every value.
     std::size_t num_threads = 1;
+    /// Speculative two-phase accept path for parallel runs (phase-A
+    /// certificate balls + phase-B repair); identical edge set either way.
+    bool speculative_repair = true;
+    /// Bound-sketch associativity (power of two; slots per vertex).
+    std::size_t sketch_ways = BoundSketch::kDefaultWays;
 };
 
 /// The greedy t-spanner of the metric m, as a graph over m's points whose

@@ -79,6 +79,38 @@ struct PrefilterContext {
     /// Optional concurrent reject-only oracle (worker, u, v, threshold);
     /// null when unset or gated off.
     const std::function<bool(std::size_t, VertexId, VertexId, Weight)>* oracle = nullptr;
+    /// Certificate store of the speculative accept path (null = repair
+    /// off). Every drained snapshot ball publishes its settled frontier
+    /// here -- the exact snapshot-distance function phase-B repair seeds
+    /// from. Writes are race-free: each source belongs to exactly one
+    /// group, and groups are task-owned.
+    CertificateStore* certificates = nullptr;
+    /// Accept-heavy prediction for this batch: attempt a drained
+    /// certificate ball for *every* group (point probes prove "far"
+    /// cheaper, but leave nothing to repair when the certificate goes
+    /// stale -- and in an accept-heavy batch it will). A deterministic,
+    /// schedule-free decision.
+    bool certificate_mode = false;
+    /// Work budget (heap pushes) of a certificate-mode ball attempt when
+    /// the serial cost model has not calibrated yet. On bounded-growth
+    /// instances (the accept-heavy regime that matters) the drained ball
+    /// stays far below any budget; on expander-like instances it blows
+    /// through, the attempt aborts at bounded cost, and the group falls
+    /// back to the non-certificate rules. Aborts are pure functions of
+    /// the snapshot, so decisions stay schedule-independent; the engine
+    /// watches the abort/publish ratio and turns certificate mode off for
+    /// the run when aborts dominate.
+    std::size_t cert_ball_fallback_work = 8192;
+    /// Measured heap pushes of one serial point query (the engine's
+    /// exponential moving average; 0 = not yet calibrated). When present,
+    /// a group's certificate ball may spend the work of a few point
+    /// queries per undecided candidate -- phase A work is parallel, and
+    /// every certificate it buys removes a *serial* exact query from
+    /// phase B.
+    double point_cost_hint = 0.0;
+    /// Hard cap on a certificate frontier's settled count (the publish
+    /// cap; bigger frontiers could never be stored anyway).
+    std::size_t cert_ball_cap = 4096;
 };
 
 /// Owns the packed verdict bitsets and per-worker counters. One instance
@@ -136,6 +168,8 @@ private:
         std::size_t dijkstra_runs = 0;
         std::size_t balls_computed = 0;
         std::size_t sketch_hits = 0;
+        std::size_t certs_published = 0;
+        std::size_t cert_aborts = 0;
     };
 
     /// Set a bucket-local verdict bit. Words are shared across tasks, so
@@ -183,7 +217,12 @@ private:
             ++wc.sketch_hits;
             return true;
         }
-        if (ctx.sketch->lower_bound_at(c.u, c.v, ctx.snapshot_epoch) > threshold) {
+        // In certificate mode the epoch-tagged shortcut is a bad trade:
+        // the batch is predicted to insert, which will stale the sketch
+        // fact and force a full-query fallback -- where the ball the
+        // shortcut skipped would have left a repairable certificate.
+        if (!ctx.certificate_mode &&
+            ctx.sketch->lower_bound_at(c.u, c.v, ctx.snapshot_epoch) > threshold) {
             set_bit(far_bits_, local);
             ++wc.sketch_hits;
             return true;
@@ -227,6 +266,8 @@ void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
         stats.dijkstra_runs += wc.dijkstra_runs;
         stats.balls_computed += wc.balls_computed;
         stats.sketch_hits += wc.sketch_hits;
+        stats.certs_published += wc.certs_published;
+        stats.cert_ball_aborts += wc.cert_aborts;
         wc = WorkerCounters{};
     }
 }
@@ -264,13 +305,13 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
     }
     if (undecided == 0) return;
 
-    if (undecided >= ctx.ball_share_min_group) {
-        // One shared ball answers the whole group *exactly* at the
-        // snapshot: settled => exact distance; unsettled => distance
-        // exceeds the radius, which covers the group's largest threshold.
-        const Weight radius = ctx.stretch * cand_at(grp.back()).weight;
-        (void)ws.ball(view, source, radius);
-        ++wc.dijkstra_runs;
+    // The radius that covers the group's largest threshold: one drained
+    // ball at this radius answers every candidate of the group *exactly*
+    // at the snapshot (settled => exact distance; unsettled => distance
+    // exceeds the radius), and its settled frontier is the phase-A
+    // certificate phase B repairs through.
+    const Weight radius = ctx.stretch * cand_at(grp.back()).weight;
+    const auto harvest_ball = [&](std::span<const std::pair<VertexId, Weight>> settled) {
         ++wc.balls_computed;
         for (std::uint32_t local : grp) {
             if (oracle_reject(ctx.base + local)) continue;
@@ -279,11 +320,45 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
             if (d < bounds[local]) bounds[local] = d;
             if (d > ctx.stretch * c.weight) set_bit(far_bits_, local);
         }
+        if (ctx.certificates != nullptr &&
+            ctx.certificates->publish(source, ctx.ball_scope, ctx.snapshot_epoch, radius,
+                                      settled)) {
+            ++wc.certs_published;
+        }
         // Publish the ball for the insertion loop's lazy revalidation: it
         // stays exact until the first post-snapshot insertion.
         ball_bucket[source] = ctx.ball_scope;
         ball_epoch[source] = ctx.snapshot_epoch;
         ball_radius[source] = radius;
+    };
+
+    // Certificate mode: attempt the capped drained ball for every group
+    // (a point probe proves "far" cheaper, but leaves nothing for phase B
+    // to repair once the batch's insertions stale the certificate). An
+    // abort means the frontier blew past the cap -- an expander-like
+    // neighborhood where the certificate cannot pay -- and the group
+    // falls through to the non-certificate rules below.
+    if (ctx.certificate_mode) {
+        const std::size_t budget =
+            ctx.point_cost_hint > 0.0
+                ? static_cast<std::size_t>(
+                      ctx.point_cost_hint *
+                      (2.0 + 2.0 * static_cast<double>(undecided)))
+                : ctx.cert_ball_fallback_work;
+        ++wc.dijkstra_runs;
+        const auto* settled =
+            ws.ball_bounded(view, source, radius, budget, ctx.cert_ball_cap);
+        if (settled != nullptr) {
+            harvest_ball(*settled);
+            return;
+        }
+        ++wc.cert_aborts;
+    }
+
+    if (undecided >= ctx.ball_share_min_group) {
+        const auto& settled = ws.ball(view, source, radius);
+        ++wc.dijkstra_runs;
+        harvest_ball(settled);
         return;
     }
 

@@ -149,4 +149,47 @@ Graph random_geometric(std::size_t n, double radius, Rng& rng, bool ensure_conne
     return g;
 }
 
+Graph clustered_geometric(std::size_t n, std::size_t clusters, double extent,
+                          double spread, double radius, Rng& rng,
+                          bool ensure_connected) {
+    if (clusters == 0) throw std::invalid_argument("clustered_geometric: clusters == 0");
+    std::vector<double> cx(clusters), cy(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+        cx[c] = rng.uniform(0.0, extent);
+        cy[c] = rng.uniform(0.0, extent);
+    }
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = i % clusters;  // balanced blobs
+        xs[i] = rng.normal(cx[c], spread);
+        ys[i] = rng.normal(cy[c], spread);
+    }
+    Graph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            const double dx = xs[i] - xs[j];
+            const double dy = ys[i] - ys[j];
+            const double d = std::sqrt(dx * dx + dy * dy);
+            if (d <= radius && d > 0.0) g.add_edge(i, j, d);
+        }
+    }
+    if (ensure_connected) {
+        std::vector<VertexId> by_x(n);
+        for (VertexId i = 0; i < n; ++i) by_x[i] = i;
+        std::sort(by_x.begin(), by_x.end(),
+                  [&](VertexId a, VertexId b) { return xs[a] < xs[b]; });
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            const VertexId a = by_x[i];
+            const VertexId b = by_x[i + 1];
+            if (!g.has_edge(a, b)) {
+                const double dx = xs[a] - xs[b];
+                const double dy = ys[a] - ys[b];
+                const double d = std::max(std::sqrt(dx * dx + dy * dy), 1e-9);
+                g.add_edge(a, b, d);
+            }
+        }
+    }
+    return g;
+}
+
 }  // namespace gsp

@@ -39,4 +39,15 @@ Graph hypercube_graph(std::size_t d, WeightRange w, Rng& rng);
 Graph random_geometric(std::size_t n, double radius, Rng& rng,
                        bool ensure_connected = true);
 
+/// Clustered-euclidean geometric graph: n points in `clusters` Gaussian
+/// blobs (centers uniform in [0, extent]^2, standard deviation `spread`),
+/// one edge per pair within `radius`, weighted by Euclidean distance.
+/// With radius a few multiples of spread, the candidate set is dominated
+/// by dense intra-cluster edges whose endpoints have many near-parallel
+/// alternatives of almost equal length -- the accept-heavy regime of the
+/// greedy at moderate stretch (the two-phase bench probe's instance).
+Graph clustered_geometric(std::size_t n, std::size_t clusters, double extent,
+                          double spread, double radius, Rng& rng,
+                          bool ensure_connected = true);
+
 }  // namespace gsp

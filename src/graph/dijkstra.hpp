@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -29,6 +30,14 @@
 #include "util/dary_heap.hpp"
 
 namespace gsp {
+
+/// One seed of a repair-scoped probe (`DijkstraWorkspace::distance_seeded`):
+/// vertex `v` starts labeled with `key`, the length of an already-known
+/// realizable path ending at v.
+struct RepairSeed {
+    VertexId v = kNoVertex;
+    Weight key = 0.0;
+};
 
 /// Reusable state for repeated Dijkstra runs over graphs with the same
 /// vertex count. Not thread-safe; use one workspace per thread (the
@@ -57,6 +66,21 @@ public:
     template <class G>
     Weight distance_bidirectional(const G& g, VertexId s, VertexId target, Weight limit);
 
+    /// The repair-scoped bounded probe of the speculative accept path: a
+    /// one-sided limited Dijkstra whose frontier starts from `seeds`
+    /// instead of one source. Each seed's key must be the length of a
+    /// realizable path (from some implicit origin) ending at the seed
+    /// vertex; the returned value is then the exact minimum, over all
+    /// origin paths passing through a seed, of the path length to
+    /// `target` -- or +infinity if it exceeds `limit`. The greedy engine
+    /// seeds the endpoints of edges inserted since a certificate's
+    /// snapshot with (certified snapshot distance + edge weight), so the
+    /// probe explores only the region those insertions can have improved,
+    /// not the whole ball around the origin.
+    template <class G>
+    Weight distance_seeded(const G& g, std::span<const RepairSeed> seeds, VertexId target,
+                           Weight limit);
+
     /// Single-source distances to every vertex within `limit`; entries beyond
     /// the limit (or unreachable) are +infinity. The result is valid until
     /// the next call on this workspace.
@@ -76,6 +100,20 @@ public:
     template <class G>
     const std::vector<std::pair<VertexId, Weight>>& ball(const G& g, VertexId s,
                                                          Weight limit);
+
+    /// As `ball`, but abandons the query (returning nullptr) once it has
+    /// performed more than `max_work` heap pushes or settled more than
+    /// `max_settled` vertices. Both abort conditions depend only on
+    /// (g, s, limit, max_work, max_settled), so callers that must be
+    /// schedule-independent (the certificate-mode prefilter) can rely on
+    /// them. After an abort the workspace holds partial state: do not
+    /// consult settled_distance()/last_forward_bound() until the next
+    /// query.
+    template <class G>
+    const std::vector<std::pair<VertexId, Weight>>* ball_bounded(const G& g, VertexId s,
+                                                                 Weight limit,
+                                                                 std::size_t max_work,
+                                                                 std::size_t max_settled);
 
     /// Valid immediately after ball() or all_distances(): the exact distance
     /// to v from that query's source if v was settled, +infinity otherwise.
@@ -301,6 +339,49 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
 }
 
 template <class G>
+Weight DijkstraWorkspace::distance_seeded(const G& g, std::span<const RepairSeed> seeds,
+                                          VertexId target, Weight limit) {
+    resize(g.num_vertices());
+    if (target >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::distance_seeded: vertex out of range");
+    }
+    begin_query();
+
+    for (const RepairSeed& s : seeds) {
+        if (s.v >= g.num_vertices()) {
+            throw std::out_of_range(
+                "DijkstraWorkspace::distance_seeded: seed out of range");
+        }
+        if (s.key > limit) continue;
+        const bool fresh = !seen(s.v);
+        if (fresh || s.key < dist_[s.v]) {
+            if (fresh) stamp_[s.v] = current_;
+            dist_[s.v] = s.key;
+            push_fwd(s.key, s.v);
+        }
+    }
+
+    while (!heap_.empty()) {
+        const QueueItem top = heap_.pop_min();
+        if (top.dist > dist_[top.vertex]) continue;  // stale entry
+        if (top.vertex == target) return top.dist;
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            const bool fresh = !seen(h.to);
+            if (fresh || nd < dist_[h.to]) {
+                if (fresh) {
+                    stamp_[h.to] = current_;
+                }
+                dist_[h.to] = nd;
+                push_fwd(nd, h.to);
+            }
+        }
+    }
+    return kInfiniteWeight;
+}
+
+template <class G>
 const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const G& g,
                                                                         VertexId s,
                                                                         Weight limit) {
@@ -332,6 +413,43 @@ const std::vector<std::pair<VertexId, Weight>>& DijkstraWorkspace::ball(const G&
         }
     }
     return ball_;
+}
+
+template <class G>
+const std::vector<std::pair<VertexId, Weight>>* DijkstraWorkspace::ball_bounded(
+    const G& g, VertexId s, Weight limit, std::size_t max_work,
+    std::size_t max_settled) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices()) {
+        throw std::out_of_range("DijkstraWorkspace::ball_bounded: vertex out of range");
+    }
+    begin_query();
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    push_fwd(0.0, s);
+
+    while (!heap_.empty()) {
+        const QueueItem top = heap_.pop_min();
+        if (top.dist > dist_[top.vertex]) continue;  // stale
+        if (last_work_ > max_work || ball_.size() >= max_settled) {
+            return nullptr;  // the frontier blew its budget
+        }
+        ball_.push_back({top.vertex, top.dist});  // settled: distance is final
+        for (const HalfEdge& h : g.neighbors(top.vertex)) {
+            const Weight nd = top.dist + h.weight;
+            if (nd > limit) continue;
+            const bool fresh = !seen(h.to);
+            if (fresh || nd < dist_[h.to]) {
+                if (fresh) {
+                    stamp_[h.to] = current_;
+                }
+                dist_[h.to] = nd;
+                push_fwd(nd, h.to);
+            }
+        }
+    }
+    return &ball_;
 }
 
 /// Convenience wrappers (allocate a fresh workspace; fine for one-off use).

@@ -8,6 +8,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
     if (workers == 0) {
         throw std::invalid_argument("ThreadPool: workers must be >= 1");
     }
+    deques_ = std::vector<Deque>(workers);
     threads_.reserve(workers - 1);
     for (std::size_t i = 1; i < workers; ++i) {
         threads_.emplace_back([this] { worker_loop(); });
@@ -39,11 +40,21 @@ void ThreadPool::run(std::size_t num_tasks, const TaskFn& fn) {
     {
         std::lock_guard<std::mutex> lock(mu_);
         fn_ = &fn;
-        num_tasks_ = num_tasks;
-        next_task_.store(0, std::memory_order_relaxed);
         first_error_ = nullptr;
         busy_ = threads_.size();
         ++generation_;
+        // Deal the tasks as contiguous ranges, one per worker; remainders
+        // go to the earliest workers so every range differs by <= 1.
+        const std::size_t workers = deques_.size();
+        const std::size_t base = num_tasks / workers;
+        const std::size_t extra = num_tasks % workers;
+        std::size_t next = 0;
+        for (std::size_t w = 0; w < workers; ++w) {
+            std::lock_guard<std::mutex> dq(deques_[w].mu);
+            deques_[w].lo = next;
+            next += base + (w < extra ? 1 : 0);
+            deques_[w].hi = next;
+        }
     }
     cv_start_.notify_all();
 
@@ -81,19 +92,66 @@ void ThreadPool::worker_loop() {
     }
 }
 
+bool ThreadPool::claim(std::size_t worker, std::size_t& task) {
+    // LIFO-local: pop the high end of our own range.
+    {
+        Deque& mine = deques_[worker];
+        std::lock_guard<std::mutex> lock(mine.mu);
+        if (mine.lo < mine.hi) {
+            task = --mine.hi;
+            return true;
+        }
+    }
+    // FIFO-steal: take the low end of the fullest victim. The size scan
+    // is racy-by-design (sizes move under us); the claim itself re-checks
+    // under the victim's lock, and a victim drained in between forces a
+    // rescan -- other deques may still hold work. The rescan loop
+    // terminates because no job ever refills a deque: sizes only shrink,
+    // so a scan that finds every deque empty is final.
+    const std::size_t workers = deques_.size();
+    for (;;) {
+        std::size_t victim = workers;
+        std::size_t victim_size = 0;
+        for (std::size_t i = 1; i < workers; ++i) {
+            const std::size_t w = (worker + i) % workers;
+            Deque& d = deques_[w];
+            std::lock_guard<std::mutex> lock(d.mu);
+            const std::size_t size = d.hi - d.lo;
+            if (size > victim_size) {
+                victim = w;
+                victim_size = size;
+            }
+        }
+        if (victim == workers) return false;
+        Deque& d = deques_[victim];
+        std::lock_guard<std::mutex> lock(d.mu);
+        if (d.lo >= d.hi) continue;  // drained between the scan and the claim
+        task = d.lo++;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+}
+
+void ThreadPool::abandon_all() {
+    for (Deque& d : deques_) {
+        std::lock_guard<std::mutex> lock(d.mu);
+        d.lo = d.hi;
+    }
+}
+
 void ThreadPool::drain(std::size_t worker) {
     const TaskFn& fn = *fn_;
-    const std::size_t total = num_tasks_;
-    for (;;) {
-        const std::size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
-        if (task >= total) return;
+    std::size_t task = 0;
+    while (claim(worker, task)) {
         try {
             fn(worker, task);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (!first_error_) first_error_ = std::current_exception();
-            // Abandon the remaining tasks: park the cursor at the end.
-            next_task_.store(total, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+            // Abandon the remaining tasks: empty every deque.
+            abandon_all();
             return;
         }
     }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <sstream>
@@ -220,6 +221,56 @@ TEST(ThreadPoolTest, PropagatesTaskExceptions) {
 
 TEST(ThreadPoolTest, RejectsZeroWorkers) {
     EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, WorkStealingDrainsPathologicallySkewedTasks) {
+    // Tasks are dealt as contiguous per-worker ranges; the first range is
+    // loaded with tasks ~1000x the cost of the rest (the phase-A shape:
+    // one source's ball dwarfs its neighbors'). Exhausted workers must
+    // steal from the loaded range rather than idle: every task runs
+    // exactly once, and the slow block is retired by more than one worker.
+    constexpr std::size_t kWorkers = 4;
+    constexpr std::size_t kTasks = 256;
+    constexpr std::size_t kSlowBlock = kTasks / kWorkers;  // worker 0's deal
+    ThreadPool pool(kWorkers);
+    const std::size_t steals_before = pool.steal_count();
+    std::vector<std::atomic<int>> hits(kTasks);
+    std::array<std::atomic<std::size_t>, kWorkers> slow_by_worker{};
+    pool.run(kTasks, [&](std::size_t worker, std::size_t task) {
+        hits[task].fetch_add(1, std::memory_order_relaxed);
+        if (task < kSlowBlock) {
+            slow_by_worker[worker].fetch_add(1, std::memory_order_relaxed);
+            volatile double sink = 0.0;
+            for (int i = 0; i < 200000; ++i) sink = sink + static_cast<double>(i);
+        }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    std::size_t workers_on_slow_block = 0;
+    std::size_t slow_total = 0;
+    for (const auto& c : slow_by_worker) {
+        if (c.load() > 0) ++workers_on_slow_block;
+        slow_total += c.load();
+    }
+    EXPECT_EQ(slow_total, kSlowBlock);
+    // The whole point of stealing: the initial owner does not drain the
+    // slow block alone while three workers idle.
+    EXPECT_GE(workers_on_slow_block, 2u);
+    EXPECT_GT(pool.steal_count(), steals_before);
+}
+
+TEST(ThreadPoolTest, StealingPreservesTaskIndexedResults) {
+    // Results land in task-indexed slots, so the outcome must be
+    // independent of which worker ran what -- run the same job twice and
+    // compare.
+    ThreadPool pool(3);
+    auto run_once = [&] {
+        std::vector<std::size_t> out(512, 0);
+        pool.run(out.size(), [&](std::size_t, std::size_t task) {
+            out[task] = 3 * task + 1;  // task-owned slot
+        });
+        return out;
+    };
+    EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(ThreadPoolTest, ResolveWorkersHonorsExplicitRequest) {
