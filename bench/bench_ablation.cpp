@@ -12,6 +12,8 @@
 #include <iostream>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy_metric.hpp"
 #include "gen/hard_instances.hpp"
@@ -21,6 +23,36 @@
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// Metric greedy through the unified API; cached = full engine, naive =
+/// everything off.
+gsp::Graph metric_greedy_with(const gsp::MetricSpace& m, double t, bool cached,
+                              gsp::GreedyStats* stats = nullptr) {
+    gsp::SpannerSession session;
+    gsp::BuildOptions options;
+    options.stretch = t;
+    if (!cached) options.engine = gsp::EngineTuning::naive();
+    gsp::MetricCandidateSource source(m);
+    gsp::BuildReport report;
+    gsp::Graph h = session.build(source, options, &report);
+    if (stats != nullptr) {
+        *stats = report.stats;
+        stats->seconds = report.seconds;
+    }
+    return h;
+}
+
+gsp::ApproxGreedyResult approx_with(const gsp::MetricSpace& m,
+                                    const gsp::ApproxParams& params) {
+    gsp::SpannerSession session;
+    gsp::BuildOptions options;
+    options.approx = params;
+    return gsp::approx_greedy_build(session, m, options);
+}
+
+}  // namespace
 
 int main() {
     using namespace gsp;
@@ -34,12 +66,8 @@ int main() {
             const EuclideanMetric pts =
                 uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
             GreedyStats naive, cached;
-            (void)greedy_spanner_metric(
-                pts, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = false},
-                &naive);
-            (void)greedy_spanner_metric(
-                pts, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = true},
-                &cached);
+            (void)metric_greedy_with(pts, 1.5, /*cached=*/false, &naive);
+            (void)metric_greedy_with(pts, 1.5, /*cached=*/true, &cached);
             t.add_row({std::to_string(n), std::to_string(naive.dijkstra_runs),
                        std::to_string(cached.dijkstra_runs),
                        fmt(100.0 * (1.0 - static_cast<double>(cached.dijkstra_runs) /
@@ -58,14 +86,14 @@ int main() {
             Rng rng(5 * n + 1);
             const EuclideanMetric pts =
                 uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
-            const auto off = approx_greedy_spanner(
-                pts, ApproxGreedyOptions{.epsilon = 0.5,
-                                         .theta_cones_override = 16,
-                                         .use_cluster_oracle = false});
-            const auto on = approx_greedy_spanner(
-                pts, ApproxGreedyOptions{.epsilon = 0.5,
-                                         .theta_cones_override = 16,
-                                         .use_cluster_oracle = true});
+            const auto off =
+                approx_with(pts, ApproxParams{.epsilon = 0.5,
+                                              .theta_cones_override = 16,
+                                              .use_cluster_oracle = false});
+            const auto on =
+                approx_with(pts, ApproxParams{.epsilon = 0.5,
+                                              .theta_cones_override = 16,
+                                              .use_cluster_oracle = true});
             t.add_row({std::to_string(n), fmt(off.seconds_total, 2),
                        fmt(on.seconds_total, 2),
                        fmt_ratio(off.seconds_total / on.seconds_total),
@@ -84,8 +112,8 @@ int main() {
         Table t({"cones", "base edges", "base stretch", "|H|", "lightness",
                  "final stretch", "secs"});
         for (std::size_t k : {10u, 16u, 24u, 40u}) {
-            const auto r = approx_greedy_spanner(
-                pts, ApproxGreedyOptions{.epsilon = 0.5, .theta_cones_override = k});
+            const auto r =
+                approx_with(pts, ApproxParams{.epsilon = 0.5, .theta_cones_override = k});
             const double base_stretch = max_stretch_metric_sampled(pts, r.base, 32, 3);
             const double final_stretch =
                 max_stretch_metric_sampled(pts, r.spanner, 32, 3);
@@ -129,8 +157,8 @@ int main() {
         }
         {
             Timer timer;
-            const auto r = approx_greedy_spanner(
-                star, ApproxGreedyOptions{.epsilon = 0.5, .net_degree_cap = 16});
+            const auto r =
+                approx_with(star, ApproxParams{.epsilon = 0.5, .net_degree_cap = 16});
             const double s = timer.seconds();
             t.add_row({"Theorem 6: approximate-greedy",
                        std::to_string(r.spanner.num_edges()),

@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy_metric.hpp"
 #include "gen/hard_instances.hpp"
@@ -28,8 +30,11 @@ int main() {
         const MatrixMetric star = geometric_star_metric(n, 1.7);
         const DoublingEstimate ddim = estimate_doubling(star);
         const Graph greedy = greedy_spanner_metric(star, 1.0 + eps);
-        const ApproxGreedyResult approx = approx_greedy_spanner(
-            star, ApproxGreedyOptions{.epsilon = eps, .net_degree_cap = 16});
+        SpannerSession session;
+        BuildOptions options;
+        options.approx.epsilon = eps;
+        options.approx.net_degree_cap = 16;
+        const ApproxGreedyResult approx = approx_greedy_build(session, star, options);
         const SpannerAudit ga = audit_metric_spanner(star, greedy);
         const SpannerAudit aa = audit_metric_spanner(star, approx.spanner);
         table.add_row({std::to_string(n), fmt(ddim.ddim_upper(), 2),

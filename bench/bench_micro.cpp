@@ -12,6 +12,8 @@
 
 #include "greedy_kernel_bench.hpp"
 
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/greedy.hpp"
 #include "core/greedy_engine.hpp"
 #include "core/greedy_metric.hpp"
@@ -164,16 +166,32 @@ BENCHMARK(BM_GreedyGraph)->Arg(512)->Arg(1024);
 
 void BM_GreedyGraphNaive(benchmark::State& state) {
     const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
-    GreedyEngineOptions options;
+    BuildOptions options;
     options.stretch = 3.0;
-    options.bidirectional = false;
-    options.ball_sharing = false;
-    options.csr_snapshot = false;
+    options.engine = EngineTuning::naive();
+    SpannerSession session;
+    GraphCandidateSource source(g);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(greedy_spanner_with(g, options).num_edges());
+        benchmark::DoNotOptimize(session.build(source, options).num_edges());
     }
 }
 BENCHMARK(BM_GreedyGraphNaive)->Arg(512)->Arg(1024);
+
+void BM_SessionWarmBuild(benchmark::State& state) {
+    // The request-serving shape: repeated parallel builds on one warm
+    // session (zero pool / workspace construction per iteration).
+    const Graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+    BuildOptions options;
+    options.stretch = 3.0;
+    options.engine.num_threads = 2;
+    SpannerSession session;
+    GraphCandidateSource source(g);
+    benchmark::DoNotOptimize(session.build(source, options).num_edges());  // prime
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.build(source, options).num_edges());
+    }
+}
+BENCHMARK(BM_SessionWarmBuild)->Arg(512)->Arg(1024);
 
 void BM_GreedyMetricCached(benchmark::State& state) {
     const EuclideanMetric pts = make_points(static_cast<std::size_t>(state.range(0)));
@@ -199,32 +217,43 @@ void sketch_ways_section() {
     for (const std::size_t ways : {2u, 4u, 8u}) {
         Rng rng(1234);
         const EuclideanMetric pts = clustered_points(n, 2, 8, 60.0, 2.0, rng);
-        MetricGreedyOptions options{.stretch = t, .use_distance_cache = true,
-                                    .num_threads = 1, .sketch_ways = ways};
-        GreedyStats stats;
-        (void)greedy_spanner_metric(pts, options, &stats);
-        table.add_row({std::to_string(ways), std::to_string(stats.sketch_hits),
-                       gsp::fmt(static_cast<double>(stats.sketch_hits) / m, 4),
-                       std::to_string(stats.dijkstra_runs), gsp::fmt(stats.seconds, 3)});
+        SpannerSession session;
+        MetricCandidateSource source(pts);
+        BuildOptions options;
+        options.stretch = t;
+        options.engine.sketch_ways = ways;
+        BuildReport report;
+        (void)session.build(source, options, &report);
+        table.add_row({std::to_string(ways), std::to_string(report.stats.sketch_hits),
+                       gsp::fmt(static_cast<double>(report.stats.sketch_hits) / m, 4),
+                       std::to_string(report.stats.dijkstra_runs),
+                       gsp::fmt(report.seconds, 3)});
     }
     table.print(std::cout);
     std::cout << "\n";
 }
 
-/// Quick kernel sweep + BENCH_greedy.json, sized for a CI smoke run.
+/// Quick kernel sweep + session-reuse probe + BENCH_greedy.json, sized for
+/// a CI smoke run. Including the session probe here means every PR's smoke
+/// job counter-verifies the warm-start contract (the validator fails on
+/// any warm pool / workspace construction).
 void write_smoke_json() {
     Rng rng(42);
     const std::size_t n = 512;
     const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
     const double t = 2.0;
     const auto runs = benchutil::run_kernel_sweep(g, t);
+    const auto session_probe = benchutil::run_session_probe(n, t, 2, 4);
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_micro", "random_nm", n,
-                                       g.num_edges(), t, runs);
+                                       g.num_edges(), t, runs, &session_probe);
     bool all_match = true;
     for (const auto& r : runs) all_match = all_match && r.matches_naive;
     std::cout << "wrote " << path << " (smoke sweep, n=" << n
-              << ", edge sets " << (all_match ? "identical" : "MISMATCHED") << ")\n";
+              << ", edge sets " << (all_match ? "identical" : "MISMATCHED")
+              << ", warm session constructions "
+              << session_probe.warm_pool_constructions << "/"
+              << session_probe.warm_workspace_constructions << ")\n";
 }
 
 }  // namespace

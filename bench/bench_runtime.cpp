@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "greedy_kernel_bench.hpp"
+#include "api/candidate_source.hpp"
+#include "api/registry.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy_metric.hpp"
 #include "gen/graphs.hpp"
@@ -188,9 +191,34 @@ void graph_kernel_section() {
     atable.add_row({"mt2 edge set == serial", accept_probe.matches_serial ? "yes" : "NO"});
     atable.print(std::cout);
 
+    // Session-reuse probe: the request-serving path. One warm session vs a
+    // fresh session per call; warm calls must construct zero thread pools
+    // and zero workspaces (the v4 acceptance criterion).
+    const auto session_probe = benchutil::run_session_probe(1u << 10, 2.0, 2, 6);
+    std::cout << "\n== Session-reuse probe (warm SpannerSession vs cold per-call) ==\n";
+    Table stable({"metric", "value"});
+    stable.add_row({"instance", "random_nm n=" + std::to_string(session_probe.n) +
+                                    ", m=" + std::to_string(session_probe.m) +
+                                    ", threads=" + std::to_string(session_probe.threads)});
+    stable.add_row({"builds per arm", std::to_string(session_probe.builds)});
+    stable.add_row({"cold seconds (fresh session each)",
+                    fmt(session_probe.cold_seconds, 4)});
+    stable.add_row({"warm seconds (one session)", fmt(session_probe.warm_seconds, 4)});
+    stable.add_row({"cold setup seconds", fmt(session_probe.cold_setup_seconds, 5)});
+    stable.add_row({"warm setup seconds", fmt(session_probe.warm_setup_seconds, 5)});
+    stable.add_row({"cold pool / workspace constructions",
+                    std::to_string(session_probe.cold_pool_constructions) + " / " +
+                        std::to_string(session_probe.cold_workspace_constructions)});
+    stable.add_row({"warm pool / workspace constructions (target 0 / 0)",
+                    std::to_string(session_probe.warm_pool_constructions) + " / " +
+                        std::to_string(session_probe.warm_workspace_constructions)});
+    stable.add_row({"warm edge sets == cold", session_probe.matches ? "yes" : "NO"});
+    stable.print(std::cout);
+
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_runtime", "random_nm", n,
-                                       g.num_edges(), t, runs, &probe, &accept_probe);
+                                       g.num_edges(), t, runs, &session_probe, &probe,
+                                       &accept_probe);
     std::cout << "wrote " << path << "\n\n";
 
     // Parallel-stage scaling probe at t = 3: the reject-heavy regime
@@ -206,25 +234,58 @@ void graph_kernel_section() {
                  "same edges"});
     Graph reference(0);
     double serial_s = 0.0;
+    SpannerSession scale_session;  // warm across the whole sweep
+    GraphCandidateSource scale_source(g);
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-        GreedyEngineOptions options;
+        BuildOptions options;
         options.stretch = t3;
-        options.num_threads = threads;
-        GreedyStats s;
-        const Graph h = greedy_spanner_with(g, options, &s);
+        options.engine.num_threads = threads;
+        BuildReport report;
+        const Graph h = scale_session.build(scale_source, options, &report);
         if (threads == 1) {
             reference = h;
-            serial_s = s.seconds;
+            serial_s = report.seconds;
         }
         scale.add_row({threads == 1 ? "full (serial)" : ("full+mt" + std::to_string(threads)),
-                       std::to_string(threads), fmt(s.seconds, 3),
-                       fmt_ratio(serial_s / s.seconds),
-                       std::to_string(s.snapshot_accepts),
+                       std::to_string(threads), fmt(report.seconds, 3),
+                       fmt_ratio(serial_s / report.seconds),
+                       std::to_string(report.stats.snapshot_accepts),
                        same_edge_set(h, reference) ? "yes" : "NO"});
     }
     scale.print(std::cout);
     std::cout << "(workers beyond " << std::thread::hardware_concurrency()
               << " hardware thread(s) cannot speed this host up)\n\n";
+}
+
+/// Every registry entry built through one warm SpannerSession over shared
+/// instances -- the uniform enumeration the unified API exists for.
+void registry_section() {
+    using namespace gsp;
+    const std::size_t n = 256;
+    Rng rng(11);
+    const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
+    const EuclideanMetric pts =
+        uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
+    SpannerSession session;
+    BuildOptions options;
+    options.stretch = 2.0;
+
+    std::cout << "== Algorithm registry (one warm session, n = " << n << ") ==\n";
+    Table table({"algorithm", "input", "seconds", "|H|", "weight", "max deg",
+                 "stretch target"});
+    const AlgorithmRegistry& registry = AlgorithmRegistry::global();
+    for (const AlgorithmInfo* info : registry.algorithms()) {
+        const BuildInput input = info->input == InputKind::kGraph ? BuildInput::of(g)
+                                                                  : BuildInput::of(pts);
+        BuildReport report;
+        (void)registry.build(info->name, session, input, options, &report);
+        table.add_row({std::string(info->name), std::string(to_string(info->input)),
+                       fmt(report.seconds, 3), std::to_string(report.edges),
+                       fmt(report.weight, 1), std::to_string(report.max_degree),
+                       fmt(report.stretch_target, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
 }
 
 }  // namespace
@@ -235,6 +296,7 @@ int main(int argc, char** argv) {
     graph_kernel_section();
     // CI's history-recording job only needs the kernel artifact.
     if (argc > 1 && std::strcmp(argv[1], "--kernel-only") == 0) return 0;
+    registry_section();
 
     const double eps = 0.5;
     std::cout << "== Runtime scaling: exact greedy vs approximate-greedy (eps = " << eps
@@ -251,33 +313,39 @@ int main(int argc, char** argv) {
         const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
         const EuclideanMetric pts = uniform_points(n, 2, extent, rng);
 
+        SpannerSession session;  // one session per instance: all three share arenas
+        MetricCandidateSource pair_source(pts);
+
         std::string naive_cell = "-";
         if (n <= 512) {
-            GreedyStats naive_stats;
-            (void)greedy_spanner_metric(
-                pts,
-                MetricGreedyOptions{.stretch = 1.0 + eps, .use_distance_cache = false},
-                &naive_stats);
+            BuildOptions naive_options;
+            naive_options.stretch = 1.0 + eps;
+            naive_options.engine = EngineTuning::naive();
+            BuildReport naive_report;
+            (void)session.build(pair_source, naive_options, &naive_report);
             n_naive.push_back(static_cast<double>(n));
-            naive_s.push_back(naive_stats.seconds);
-            naive_cell = fmt(naive_stats.seconds, 3);
+            naive_s.push_back(naive_report.seconds);
+            naive_cell = fmt(naive_report.seconds, 3);
         }
 
         std::string cached_cell = "-";
         std::string cached_size = "-";
         if (n <= 2048) {
-            GreedyStats cached_stats;
-            const Graph cached = greedy_spanner_metric(
-                pts, MetricGreedyOptions{.stretch = 1.0 + eps, .use_distance_cache = true},
-                &cached_stats);
+            BuildOptions cached_options;
+            cached_options.stretch = 1.0 + eps;
+            BuildReport cached_report;
+            const Graph cached = session.build(pair_source, cached_options, &cached_report);
             n_cached.push_back(static_cast<double>(n));
-            cached_s.push_back(cached_stats.seconds);
-            cached_cell = fmt(cached_stats.seconds, 3);
+            cached_s.push_back(cached_report.seconds);
+            cached_cell = fmt(cached_report.seconds, 3);
             cached_size = std::to_string(cached.num_edges());
         }
 
-        const ApproxGreedyResult approx = approx_greedy_spanner(
-            pts, ApproxGreedyOptions{.epsilon = eps, .theta_cones_override = 16});
+        BuildOptions approx_options;
+        approx_options.approx.epsilon = eps;
+        approx_options.approx.theta_cones_override = 16;
+        const ApproxGreedyResult approx =
+            approx_greedy_build(session, pts, approx_options);
         n_approx.push_back(static_cast<double>(n));
         approx_s.push_back(approx.seconds_total);
 

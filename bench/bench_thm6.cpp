@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "gen/points.hpp"
 #include "graph/mst.hpp"
@@ -36,8 +38,11 @@ int main() {
         Rng rng(5 * n + 1);
         const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
         const EuclideanMetric pts = uniform_points(n, 2, extent, rng);
-        const ApproxGreedyResult r = approx_greedy_spanner(
-            pts, ApproxGreedyOptions{.epsilon = eps, .theta_cones_override = 16});
+        SpannerSession session;
+        BuildOptions options;
+        options.approx.epsilon = eps;
+        options.approx.theta_cones_override = 16;
+        const ApproxGreedyResult r = approx_greedy_build(session, pts, options);
         const double stretch = max_stretch_metric_sampled(pts, r.spanner, 48, 99);
         const double lightness = r.spanner.total_weight() / metric_mst_weight(pts);
         ns.push_back(static_cast<double>(n));

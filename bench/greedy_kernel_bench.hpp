@@ -3,10 +3,12 @@
 //
 // Both bench_runtime (full-size sweep, the perf-trajectory source of truth)
 // and bench_micro (CI smoke that validates the schema) emit the same JSON
-// shape, version-tagged "gsp.bench_greedy.v3":
+// shape, version-tagged "gsp.bench_greedy.v4", built on the library's
+// shared JsonWriter + append_greedy_stats serializer (src/api/build_report)
+// instead of hand-rolled streams:
 //
 //   {
-//     "schema": "gsp.bench_greedy.v3",
+//     "schema": "gsp.bench_greedy.v4",
 //     "source": "<bench binary>",
 //     "stretch": <t>,
 //     "instance": {"kind": ..., "n": ..., "m": ...},
@@ -17,19 +19,19 @@
 //        "bytes_per_candidate": ..., "stats": {...}}, ...],
 //     "metric_probe": {...},        // bench_runtime only (optional)
 //     "accept_probe": {...},        // bench_runtime only (optional)
+//     "session_probe": {...},       // the session-reuse probe (v4)
 //     "peak_rss_kb": <ru_maxrss>,
 //     "speedup_full_vs_naive": <naive seconds / full seconds>
 //   }
 //
-// v2 added the memory trajectory next to the kernel-time trajectory: the
-// per-config stage-2 -> stage-3 handoff footprint (bytes_per_candidate),
-// the process peak RSS, and the metric-workload probe (n = 2^10,
-// m = n(n-1)/2 candidates) where the handoff size is the dominant memory
-// term. v3 (the speculative two-phase accept path) adds the repair
-// counters to every config's stats block and the accept-heavy probe: a
-// clustered-euclidean instance with accept rate > 30%, reporting how many
-// tentative accepts resolved by certificate repair vs full-query
-// fallbacks (the repair_share acceptance criterion).
+// v2 added the memory trajectory (handoff bytes-per-candidate, peak RSS,
+// the metric-workload probe); v3 the speculative-accept counters and the
+// accept-heavy probe. v4 (the unified API) adds the session-reuse probe:
+// the same instance built repeatedly through one SpannerSession vs a fresh
+// session per call, with the per-call thread-pool / workspace construction
+// counters -- warm calls must report zero of each (enforced by
+// scripts/validate_bench_json.py), certifying the warm-start contract of
+// the request-serving path.
 //
 // The output path defaults to BENCH_greedy.json in the working directory;
 // override with the GSP_BENCH_JSON environment variable.
@@ -48,13 +50,15 @@
 #include <sys/resource.h>
 #endif
 
+#include "api/build_report.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/greedy.hpp"
-#include "core/greedy_engine.hpp"
-#include "core/greedy_metric.hpp"
 #include "gen/graphs.hpp"
 #include "gen/points.hpp"
 #include "graph/graph.hpp"
 #include "metric/euclidean.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 
 namespace gsp::benchutil {
@@ -95,28 +99,34 @@ struct KernelRun {
     GreedyStats stats;
 };
 
-inline GreedyEngineOptions options_for(const KernelConfig& config, double t) {
-    GreedyEngineOptions options;
+inline BuildOptions options_for(const KernelConfig& config, double t) {
+    BuildOptions options;
     options.stretch = t;
-    options.bidirectional = config.bidirectional;
-    options.ball_sharing = config.ball_sharing;
-    options.csr_snapshot = config.csr_snapshot;
-    options.bound_sketch = config.bound_sketch;
-    options.num_threads = config.threads;
+    options.engine.bidirectional = config.bidirectional;
+    options.engine.ball_sharing = config.ball_sharing;
+    options.engine.csr_snapshot = config.csr_snapshot;
+    options.engine.bound_sketch = config.bound_sketch;
+    options.engine.num_threads = config.threads;
     return options;
 }
 
 /// Run every kernel configuration on (g, t) and verify each edge set
 /// against the naive kernel's -- the in-benchmark equivalence check the
-/// acceptance criteria require.
+/// acceptance criteria require. Each configuration runs in a fresh
+/// session (per-call timings stay comparable across the bench history).
 inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
     std::vector<KernelRun> runs;
     Graph naive_spanner(0);
     for (const KernelConfig& config : kKernelConfigs) {
         KernelRun run;
         run.config = config;
-        const Graph h = greedy_spanner_with(g, options_for(config, t), &run.stats);
-        run.seconds = run.stats.seconds;
+        SpannerSession session;
+        GraphCandidateSource source(g);
+        BuildReport report;
+        const Graph h = session.build(source, options_for(config, t), &report);
+        run.stats = report.stats;
+        run.stats.seconds = report.seconds;
+        run.seconds = report.seconds;
         run.edges = h.num_edges();
         if (runs.empty()) {
             naive_spanner = h;
@@ -131,10 +141,10 @@ inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
 
 /// The metric-workload probe: n points, m = n(n-1)/2 candidates -- the
 /// regime where the stage-2/stage-3 handoff dominates memory traffic and
-/// the PR-2 verdict/bound arrays cost a flat 9 bytes per candidate
-/// (1-byte verdict + 8-byte bound, both sized to the whole run). The v2
-/// artifact tracks the measured bytes-per-candidate of the bucket-local
-/// handoff against that baseline.
+/// the PR-2 verdict/bound arrays cost a flat 9 bytes per candidate (1-byte
+/// verdict + 8-byte bound, both sized to the whole run). The artifact
+/// tracks the measured bytes-per-candidate of the bucket-local handoff
+/// against that baseline.
 struct MetricProbeResult {
     std::size_t n = 0;
     std::size_t candidates = 0;
@@ -162,24 +172,29 @@ inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
     probe.candidates = n * (n - 1) / 2;
     probe.stretch = t;
 
-    MetricGreedyOptions serial_options{.stretch = t, .use_distance_cache = true,
-                                       .num_threads = 1};
-    const Graph serial = greedy_spanner_metric(pts, serial_options, &probe.stats);
-    probe.serial_seconds = probe.stats.seconds;
+    SpannerSession session;  // one session serves both runs (the API path)
+    MetricCandidateSource source(pts);
+    BuildOptions options;
+    options.stretch = t;
+
+    BuildReport serial_report;
+    const Graph serial = session.build(source, options, &serial_report);
+    probe.stats = serial_report.stats;
+    probe.stats.seconds = serial_report.seconds;
+    probe.serial_seconds = serial_report.seconds;
     probe.edges = serial.num_edges();
 
-    MetricGreedyOptions mt_options{.stretch = t, .use_distance_cache = true,
-                                   .num_threads = 2};
-    GreedyStats mt_stats;
-    const Graph mt = greedy_spanner_metric(pts, mt_options, &mt_stats);
-    probe.mt2_seconds = mt_stats.seconds;
+    options.engine.num_threads = 2;
+    BuildReport mt_report;
+    const Graph mt = session.build(source, options, &mt_report);
+    probe.mt2_seconds = mt_report.seconds;
     probe.matches_serial = same_edge_set(mt, serial);
-    probe.repairs = mt_stats.repairs;
-    probe.repair_fallbacks = mt_stats.repair_fallbacks;
+    probe.repairs = mt_report.stats.repairs;
+    probe.repair_fallbacks = mt_report.stats.repair_fallbacks;
     // The parallel handoff adds the verdict bitsets; report the larger of
     // the two runs so the column upper-bounds both paths.
-    probe.handoff_bytes =
-        std::max(probe.stats.handoff_peak_bytes, mt_stats.handoff_peak_bytes);
+    probe.handoff_bytes = std::max(serial_report.stats.handoff_peak_bytes,
+                                   mt_report.stats.handoff_peak_bytes);
     probe.bytes_per_candidate =
         static_cast<double>(probe.handoff_bytes) /
         static_cast<double>(probe.candidates == 0 ? 1 : probe.candidates);
@@ -222,31 +237,100 @@ inline AcceptProbeResult run_accept_probe(std::size_t n, double t) {
     probe.m = g.num_edges();
     probe.stretch = t;
 
-    GreedyEngineOptions serial_options;
-    serial_options.stretch = t;
-    GreedyStats serial_stats;
-    const Graph serial = greedy_spanner_with(g, serial_options, &serial_stats);
-    probe.serial_seconds = serial_stats.seconds;
+    SpannerSession session;
+    GraphCandidateSource source(g);
+    BuildOptions options;
+    options.stretch = t;
+
+    BuildReport serial_report;
+    const Graph serial = session.build(source, options, &serial_report);
+    probe.serial_seconds = serial_report.seconds;
     probe.edges = serial.num_edges();
     probe.accept_rate =
         static_cast<double>(serial.num_edges()) / static_cast<double>(g.num_edges());
 
-    GreedyEngineOptions mt_options;
-    mt_options.stretch = t;
-    mt_options.num_threads = 2;
-    GreedyStats mt;
-    const Graph parallel = greedy_spanner_with(g, mt_options, &mt);
+    options.engine.num_threads = 2;
+    BuildReport mt;
+    const Graph parallel = session.build(source, options, &mt);
     probe.mt2_seconds = mt.seconds;
     probe.matches_serial = same_edge_set(parallel, serial);
-    probe.snapshot_accepts = mt.snapshot_accepts;
-    probe.repairs = mt.repairs;
-    probe.repair_reprobes = mt.repair_reprobes;
-    probe.repair_fallbacks = mt.repair_fallbacks;
-    probe.certs_published = mt.certs_published;
-    probe.cert_ball_aborts = mt.cert_ball_aborts;
+    probe.snapshot_accepts = mt.stats.snapshot_accepts;
+    probe.repairs = mt.stats.repairs;
+    probe.repair_reprobes = mt.stats.repair_reprobes;
+    probe.repair_fallbacks = mt.stats.repair_fallbacks;
+    probe.certs_published = mt.stats.certs_published;
+    probe.cert_ball_aborts = mt.stats.cert_ball_aborts;
     const double resolved = static_cast<double>(probe.snapshot_accepts + probe.repairs);
     const double tentative = resolved + static_cast<double>(probe.repair_fallbacks);
     probe.repair_share = tentative > 0.0 ? resolved / tentative : 1.0;
+    return probe;
+}
+
+/// The session-reuse probe: the same parallel build run `builds` times
+/// through one warm SpannerSession vs a fresh session per call. The
+/// counters certify the tentpole's warm-start claim -- a warm build()
+/// constructs zero thread pools and zero Dijkstra workspaces (the
+/// validator enforces both at exactly 0) -- and the seconds columns show
+/// the per-call setup cost eliminated.
+struct SessionProbeResult {
+    std::size_t n = 0;
+    std::size_t m = 0;
+    double stretch = 0.0;
+    std::size_t threads = 0;
+    std::size_t builds = 0;  ///< measured calls per arm (after the warm prime)
+    double cold_seconds = 0.0;       ///< sum over fresh-session calls
+    double warm_seconds = 0.0;       ///< sum over warm calls of one session
+    double cold_setup_seconds = 0.0; ///< engine/pool acquisition, fresh sessions
+    double warm_setup_seconds = 0.0; ///< same, warm session (should be ~0)
+    std::size_t cold_pool_constructions = 0;
+    std::size_t cold_workspace_constructions = 0;
+    std::size_t warm_pool_constructions = 0;       ///< must be 0
+    std::size_t warm_workspace_constructions = 0;  ///< must be 0
+    bool matches = true;  ///< every warm edge set == the cold edge set
+};
+
+inline SessionProbeResult run_session_probe(std::size_t n, double t,
+                                            std::size_t threads, std::size_t builds) {
+    Rng rng(99);
+    const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
+    SessionProbeResult probe;
+    probe.n = n;
+    probe.m = g.num_edges();
+    probe.stretch = t;
+    probe.threads = threads;
+    probe.builds = builds;
+
+    BuildOptions options;
+    options.stretch = t;
+    options.engine.num_threads = threads;
+    GraphCandidateSource source(g);
+
+    Graph reference(0);
+    for (std::size_t i = 0; i < builds; ++i) {
+        SpannerSession cold;  // pays pool + workspace construction every call
+        BuildReport report;
+        Graph h = cold.build(source, options, &report);
+        probe.cold_seconds += report.seconds;
+        probe.cold_setup_seconds += report.setup_seconds;
+        probe.cold_pool_constructions += report.pools_constructed;
+        probe.cold_workspace_constructions += report.workspaces_constructed;
+        if (i == 0) reference = std::move(h);
+    }
+
+    SpannerSession warm;
+    {
+        BuildReport prime;  // first call of the session pays construction once
+        (void)warm.build(source, options, &prime);
+    }
+    for (std::size_t i = 0; i < builds; ++i) {
+        BuildReport report;
+        const Graph h = warm.build(source, options, &report);
+        probe.warm_seconds += report.seconds;
+        probe.warm_setup_seconds += report.setup_seconds;
+        probe.warm_pool_constructions += report.pools_constructed;
+        probe.warm_workspace_constructions += report.workspaces_constructed;
+        probe.matches = probe.matches && same_edge_set(h, reference);
+    }
     return probe;
 }
 
@@ -274,91 +358,106 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
                                     const std::string& instance_kind, std::size_t n,
                                     std::size_t m, double t,
                                     const std::vector<KernelRun>& runs,
+                                    const SessionProbeResult* session_probe = nullptr,
                                     const MetricProbeResult* metric_probe = nullptr,
                                     const AcceptProbeResult* accept_probe = nullptr) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("cannot write " + path);
-    const auto b = [](bool v) { return v ? "true" : "false"; };
-    out << "{\n";
-    out << "  \"schema\": \"gsp.bench_greedy.v3\",\n";
-    out << "  \"source\": \"" << source << "\",\n";
-    out << "  \"stretch\": " << t << ",\n";
-    out << "  \"instance\": {\"kind\": \"" << instance_kind << "\", \"n\": " << n
-        << ", \"m\": " << m << "},\n";
-    out << "  \"configs\": [\n";
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const KernelRun& r = runs[i];
+    JsonWriter w;
+    w.begin_object();
+    w.member("schema", "gsp.bench_greedy.v4");
+    w.member("source", source);
+    w.member("stretch", t);
+    w.key("instance").begin_object();
+    w.member("kind", instance_kind);
+    w.member("n", n);
+    w.member("m", m);
+    w.end_object();
+
+    w.key("configs").begin_array();
+    for (const KernelRun& r : runs) {
         const double bpc = static_cast<double>(r.stats.handoff_peak_bytes) /
                            static_cast<double>(m == 0 ? 1 : m);
-        out << "    {\"name\": \"" << r.config.name << "\", "
-            << "\"bidirectional\": " << b(r.config.bidirectional) << ", "
-            << "\"ball_sharing\": " << b(r.config.ball_sharing) << ", "
-            << "\"csr_snapshot\": " << b(r.config.csr_snapshot) << ", "
-            << "\"bound_sketch\": " << b(r.config.bound_sketch) << ", "
-            << "\"threads\": " << r.config.threads << ", "
-            << "\"seconds\": " << r.seconds << ", "
-            << "\"edges\": " << r.edges << ", "
-            << "\"matches_naive\": " << b(r.matches_naive) << ",\n"
-            << "     \"handoff_bytes\": " << r.stats.handoff_peak_bytes << ", "
-            << "\"bytes_per_candidate\": " << bpc << ",\n"
-            << "     \"stats\": {"
-            << "\"edges_examined\": " << r.stats.edges_examined << ", "
-            << "\"dijkstra_runs\": " << r.stats.dijkstra_runs << ", "
-            << "\"balls_computed\": " << r.stats.balls_computed << ", "
-            << "\"cache_hits\": " << r.stats.cache_hits << ", "
-            << "\"csr_rebuilds\": " << r.stats.csr_rebuilds << ", "
-            << "\"csr_compactions\": " << r.stats.csr_compactions << ", "
-            << "\"sketch_hits\": " << r.stats.sketch_hits << ", "
-            << "\"sketch_accepts\": " << r.stats.sketch_accepts << ", "
-            << "\"bidirectional_meets\": " << r.stats.bidirectional_meets << ", "
-            << "\"snapshot_accepts\": " << r.stats.snapshot_accepts << ", "
-            << "\"repairs\": " << r.stats.repairs << ", "
-            << "\"repair_reprobes\": " << r.stats.repair_reprobes << ", "
-            << "\"repair_fallbacks\": " << r.stats.repair_fallbacks << ", "
-            << "\"certs_published\": " << r.stats.certs_published << ", "
-            << "\"cert_ball_aborts\": " << r.stats.cert_ball_aborts << ", "
-            << "\"buckets\": " << r.stats.buckets << "}}"
-            << (i + 1 < runs.size() ? "," : "") << "\n";
+        w.begin_object();
+        w.member("name", r.config.name);
+        w.member("bidirectional", r.config.bidirectional);
+        w.member("ball_sharing", r.config.ball_sharing);
+        w.member("csr_snapshot", r.config.csr_snapshot);
+        w.member("bound_sketch", r.config.bound_sketch);
+        w.member("threads", r.config.threads);
+        w.member("seconds", r.seconds);
+        w.member("edges", r.edges);
+        w.member("matches_naive", r.matches_naive);
+        w.member("handoff_bytes", r.stats.handoff_peak_bytes);
+        w.member("bytes_per_candidate", bpc);
+        w.key("stats").begin_object();
+        append_greedy_stats(w, r.stats);
+        w.end_object();
+        w.end_object();
     }
-    out << "  ],\n";
+    w.end_array();
+
     if (metric_probe != nullptr) {
         const MetricProbeResult& p = *metric_probe;
-        out << "  \"metric_probe\": {\"kind\": \"euclidean_uniform\", "
-            << "\"n\": " << p.n << ", "
-            << "\"candidates\": " << p.candidates << ", "
-            << "\"stretch\": " << p.stretch << ", "
-            << "\"serial_seconds\": " << p.serial_seconds << ", "
-            << "\"mt2_seconds\": " << p.mt2_seconds << ", "
-            << "\"edges\": " << p.edges << ", "
-            << "\"matches_serial\": " << b(p.matches_serial) << ", "
-            << "\"handoff_bytes\": " << p.handoff_bytes << ", "
-            << "\"bytes_per_candidate\": " << p.bytes_per_candidate << ", "
-            << "\"pr2_bytes_per_candidate\": " << p.pr2_bytes_per_candidate << ", "
-            << "\"sketch_hits\": " << p.stats.sketch_hits << ", "
-            << "\"repairs\": " << p.repairs << ", "
-            << "\"repair_fallbacks\": " << p.repair_fallbacks << ", "
-            << "\"dijkstra_runs\": " << p.stats.dijkstra_runs << "},\n";
+        w.key("metric_probe").begin_object();
+        w.member("kind", "euclidean_uniform");
+        w.member("n", p.n);
+        w.member("candidates", p.candidates);
+        w.member("stretch", p.stretch);
+        w.member("serial_seconds", p.serial_seconds);
+        w.member("mt2_seconds", p.mt2_seconds);
+        w.member("edges", p.edges);
+        w.member("matches_serial", p.matches_serial);
+        w.member("handoff_bytes", p.handoff_bytes);
+        w.member("bytes_per_candidate", p.bytes_per_candidate);
+        w.member("pr2_bytes_per_candidate", p.pr2_bytes_per_candidate);
+        w.member("sketch_hits", p.stats.sketch_hits);
+        w.member("repairs", p.repairs);
+        w.member("repair_fallbacks", p.repair_fallbacks);
+        w.member("dijkstra_runs", p.stats.dijkstra_runs);
+        w.end_object();
     }
     if (accept_probe != nullptr) {
         const AcceptProbeResult& p = *accept_probe;
-        out << "  \"accept_probe\": {\"kind\": \"clustered_geometric\", "
-            << "\"n\": " << p.n << ", "
-            << "\"m\": " << p.m << ", "
-            << "\"stretch\": " << p.stretch << ", "
-            << "\"accept_rate\": " << p.accept_rate << ", "
-            << "\"serial_seconds\": " << p.serial_seconds << ", "
-            << "\"mt2_seconds\": " << p.mt2_seconds << ", "
-            << "\"edges\": " << p.edges << ", "
-            << "\"matches_serial\": " << b(p.matches_serial) << ", "
-            << "\"snapshot_accepts\": " << p.snapshot_accepts << ", "
-            << "\"repairs\": " << p.repairs << ", "
-            << "\"repair_reprobes\": " << p.repair_reprobes << ", "
-            << "\"repair_fallbacks\": " << p.repair_fallbacks << ", "
-            << "\"certs_published\": " << p.certs_published << ", "
-            << "\"cert_ball_aborts\": " << p.cert_ball_aborts << ", "
-            << "\"repair_share\": " << p.repair_share << "},\n";
+        w.key("accept_probe").begin_object();
+        w.member("kind", "clustered_geometric");
+        w.member("n", p.n);
+        w.member("m", p.m);
+        w.member("stretch", p.stretch);
+        w.member("accept_rate", p.accept_rate);
+        w.member("serial_seconds", p.serial_seconds);
+        w.member("mt2_seconds", p.mt2_seconds);
+        w.member("edges", p.edges);
+        w.member("matches_serial", p.matches_serial);
+        w.member("snapshot_accepts", p.snapshot_accepts);
+        w.member("repairs", p.repairs);
+        w.member("repair_reprobes", p.repair_reprobes);
+        w.member("repair_fallbacks", p.repair_fallbacks);
+        w.member("certs_published", p.certs_published);
+        w.member("cert_ball_aborts", p.cert_ball_aborts);
+        w.member("repair_share", p.repair_share);
+        w.end_object();
     }
-    out << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
+    if (session_probe != nullptr) {
+        const SessionProbeResult& p = *session_probe;
+        w.key("session_probe").begin_object();
+        w.member("kind", "random_nm");
+        w.member("n", p.n);
+        w.member("m", p.m);
+        w.member("stretch", p.stretch);
+        w.member("threads", p.threads);
+        w.member("builds", p.builds);
+        w.member("cold_seconds", p.cold_seconds);
+        w.member("warm_seconds", p.warm_seconds);
+        w.member("cold_setup_seconds", p.cold_setup_seconds);
+        w.member("warm_setup_seconds", p.warm_setup_seconds);
+        w.member("cold_pool_constructions", p.cold_pool_constructions);
+        w.member("cold_workspace_constructions", p.cold_workspace_constructions);
+        w.member("warm_pool_constructions", p.warm_pool_constructions);
+        w.member("warm_workspace_constructions", p.warm_workspace_constructions);
+        w.member("matches", p.matches);
+        w.end_object();
+    }
+
+    w.member("peak_rss_kb", peak_rss_kb());
     // Named lookups: the ladder may append parallel rows after "full", so
     // ratios reference configs by name rather than position.
     const auto seconds_of = [&runs](const std::string& name) -> double {
@@ -370,11 +469,14 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
     const double naive_s = runs.front().seconds;
     const double full_s = seconds_of("full");
     const double mt_s = seconds_of("full+mt4");
-    out << "  \"speedup_full_vs_naive\": "
-        << (full_s > 0.0 ? naive_s / full_s : 0.0) << ",\n";
-    out << "  \"speedup_parallel_vs_full\": "
-        << (mt_s > 0.0 && full_s > 0.0 ? full_s / mt_s : 0.0) << "\n";
-    out << "}\n";
+    w.member("speedup_full_vs_naive", full_s > 0.0 ? naive_s / full_s : 0.0);
+    w.member("speedup_parallel_vs_full",
+             mt_s > 0.0 && full_s > 0.0 ? full_s / mt_s : 0.0);
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << w.str() << "\n";
 }
 
 }  // namespace gsp::benchutil

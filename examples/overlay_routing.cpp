@@ -13,6 +13,8 @@
 #include <iostream>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy_metric.hpp"
 #include "gen/points.hpp"
@@ -85,8 +87,11 @@ int main() {
     add("greedy t=1.5", greedy_spanner_metric(latency, 1.5));
     add("greedy t=2", greedy_spanner_metric(latency, 2.0));
     {
-        const ApproxGreedyResult r = approx_greedy_spanner(
-            latency, ApproxGreedyOptions{.epsilon = 0.5, .theta_cones_override = 16});
+        SpannerSession session;
+        BuildOptions options;
+        options.approx.epsilon = 0.5;
+        options.approx.theta_cones_override = 16;
+        const ApproxGreedyResult r = approx_greedy_build(session, latency, options);
         add("approx-greedy eps=0.5", r.spanner);
     }
     table.print(std::cout);

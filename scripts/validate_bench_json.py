@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1/v2/v3)
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v4)
 and diff them against the tracked bench history.
 
 Usage:
@@ -22,8 +22,13 @@ Schema v3 (PR 4, the speculative two-phase accept path) adds the repair
 counters ("repairs", "repair_fallbacks", ...) to every config's stats
 block and to the metric probe, plus the optional "accept_probe" object
 (clustered-euclidean instance, accept rate > 30%) whose "repair_share"
-must stay >= 0.7 -- the tentpole's acceptance criterion. Older entries
-are still accepted and diffed on the fields they carry.
+must stay >= 0.7. Schema v4 (PR 5, the unified session API) adds the
+required "session_probe" object: the same instance built repeatedly
+through one warm SpannerSession vs a fresh session per call, whose
+"warm_pool_constructions" and "warm_workspace_constructions" must both
+be exactly 0 -- the warm-start acceptance criterion -- and whose warm
+edge sets must match the cold ones. Older entries are still accepted
+and diffed on the fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -34,7 +39,8 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2", "gsp.bench_greedy.v3"}
+SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
+           "gsp.bench_greedy.v4"}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
@@ -64,6 +70,15 @@ REQUIRED_ACCEPT_PROBE = {"kind", "n", "m", "stretch", "accept_rate",
 # this share of tentative accepts must resolve without a full exact query.
 ACCEPT_PROBE_MIN_REPAIR_SHARE = 0.70
 
+# v4 additions: the session-reuse probe of the unified API.
+REQUIRED_SESSION_PROBE = {"kind", "n", "m", "stretch", "threads", "builds",
+                          "cold_seconds", "warm_seconds",
+                          "cold_setup_seconds", "warm_setup_seconds",
+                          "cold_pool_constructions",
+                          "cold_workspace_constructions",
+                          "warm_pool_constructions",
+                          "warm_workspace_constructions", "matches"}
+
 REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
 
@@ -87,8 +102,10 @@ def validate(doc: dict, path) -> None:
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         fail(f"{path}: unexpected schema tag {schema!r}")
-    v2 = schema in {"gsp.bench_greedy.v2", "gsp.bench_greedy.v3"}
-    v3 = schema == "gsp.bench_greedy.v3"
+    v2 = schema in {"gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
+                    "gsp.bench_greedy.v4"}
+    v3 = schema in {"gsp.bench_greedy.v3", "gsp.bench_greedy.v4"}
+    v4 = schema == "gsp.bench_greedy.v4"
     required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
     required_config = REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG
     required_stats = (REQUIRED_STATS_V3 if v3 else
@@ -133,6 +150,30 @@ def validate(doc: dict, path) -> None:
         if probe["candidates"] <= 0 or probe["bytes_per_candidate"] < 0:
             fail(f"{path}: metric_probe has nonsensical candidate accounting")
 
+    session_probe = doc.get("session_probe")
+    if v4 and session_probe is None:
+        fail(f"{path}: schema v4 requires the session_probe object")
+    if session_probe is not None:
+        if missing := REQUIRED_SESSION_PROBE - session_probe.keys():
+            fail(f"{path}: session_probe missing keys: {sorted(missing)}")
+        if not session_probe["matches"]:
+            fail(f"{path}: session_probe warm edge sets diverged from cold")
+        if session_probe["builds"] <= 0:
+            fail(f"{path}: session_probe measured no builds")
+        # The warm-start acceptance criterion: a warm build() constructs
+        # nothing -- zero thread pools, zero Dijkstra workspaces.
+        if session_probe["warm_pool_constructions"] != 0:
+            fail(f"{path}: warm builds constructed "
+                 f"{session_probe['warm_pool_constructions']} thread pool(s); "
+                 f"the session warm-start contract requires 0")
+        if session_probe["warm_workspace_constructions"] != 0:
+            fail(f"{path}: warm builds constructed "
+                 f"{session_probe['warm_workspace_constructions']} workspace(s); "
+                 f"the session warm-start contract requires 0")
+        if session_probe["cold_pool_constructions"] == 0 and session_probe["threads"] > 1:
+            fail(f"{path}: session_probe cold arm constructed no pools -- "
+                 f"the probe is not measuring what it claims")
+
     accept_probe = doc.get("accept_probe")
     if accept_probe is not None:
         if missing := REQUIRED_ACCEPT_PROBE - accept_probe.keys():
@@ -156,6 +197,11 @@ def validate(doc: dict, path) -> None:
                       f"{accept_probe['repair_share']:.2f} "
                       f"({accept_probe['repairs']} repairs, "
                       f"{accept_probe['repair_fallbacks']} fallbacks)")
+    if session_probe is not None:
+        extras.append(
+            f"session probe warm/cold {session_probe['warm_seconds']:.3f}s/"
+            f"{session_probe['cold_seconds']:.3f}s over "
+            f"{session_probe['builds']} builds, warm constructions 0/0")
     if v2:
         extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
     suffix = f"; {', '.join(extras)}" if extras else ""
@@ -238,6 +284,19 @@ def diff_history(history_dir: Path, strict: bool) -> int:
                            cur_accept["mt2_seconds"], "s"))
         report(diff_metric("accept_probe fallback share", fallback_share(old_accept),
                            fallback_share(cur_accept), ""))
+
+    def per_build(probe, key):
+        """Normalize a session-probe arm to seconds per build."""
+        if probe is None or key not in probe or not probe.get("builds"):
+            return None
+        return probe[key] / probe["builds"]
+
+    old_session = prev_doc.get("session_probe")
+    cur_session = cur_doc.get("session_probe")
+    if cur_session is not None:
+        report(diff_metric("session_probe warm build",
+                           per_build(old_session, "warm_seconds"),
+                           per_build(cur_session, "warm_seconds"), "s"))
 
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "

@@ -32,6 +32,12 @@ double max_stretch_over_edges(const Graph& g, const Graph& h, DijkstraWorkspace&
     return worst;
 }
 
+double max_stretch_over_edges(const Graph& g, const Graph& h,
+                              DijkstraWorkspacePool& pool) {
+    pool.configure(1, h.num_vertices());
+    return max_stretch_over_edges(g, h, pool.at(0));
+}
+
 double max_stretch_over_edges(const Graph& g, const Graph& h) {
     DijkstraWorkspace ws(h.num_vertices());
     return max_stretch_over_edges(g, h, ws);
@@ -50,6 +56,12 @@ double max_stretch_metric(const MetricSpace& m, const Graph& h, DijkstraWorkspac
         }
     }
     return worst;
+}
+
+double max_stretch_metric(const MetricSpace& m, const Graph& h,
+                          DijkstraWorkspacePool& pool) {
+    pool.configure(1, h.num_vertices());
+    return max_stretch_metric(m, h, pool.at(0));
 }
 
 double max_stretch_metric(const MetricSpace& m, const Graph& h) {
@@ -76,6 +88,13 @@ double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
         }
     }
     return worst;
+}
+
+double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
+                                  std::size_t sources, std::uint64_t seed,
+                                  DijkstraWorkspacePool& pool) {
+    pool.configure(1, h.num_vertices());
+    return max_stretch_metric_sampled(m, h, sources, seed, pool.at(0));
 }
 
 double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
@@ -106,6 +125,12 @@ SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h, DijkstraWorkspa
     return a;
 }
 
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h,
+                                 DijkstraWorkspacePool& pool) {
+    pool.configure(1, h.num_vertices());
+    return audit_graph_spanner(g, h, pool.at(0));
+}
+
 SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h) {
     DijkstraWorkspace ws(h.num_vertices());
     return audit_graph_spanner(g, h, ws);
@@ -117,6 +142,12 @@ SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h,
     a.lightness = a.weight / metric_mst_weight(m);
     a.max_stretch = max_stretch_metric(m, h, ws);
     return a;
+}
+
+SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h,
+                                  DijkstraWorkspacePool& pool) {
+    pool.configure(1, h.num_vertices());
+    return audit_metric_spanner(m, h, pool.at(0));
 }
 
 SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h) {

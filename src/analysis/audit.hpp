@@ -7,8 +7,11 @@
 //
 // Every auditor has a workspace-taking overload so callers in tight loops
 // (benches sweeping configurations, per-bucket re-audits) reuse one
-// DijkstraWorkspace instead of paying an O(n) allocation per call; the
-// plain overloads allocate a local workspace and delegate.
+// DijkstraWorkspace instead of paying an O(n) allocation per call, and a
+// pool-taking overload that borrows workspace 0 of a DijkstraWorkspacePool
+// -- pass SpannerSession::workspace_pool() so audits between builds share
+// the session's arenas (zero allocation on the audit path). The plain
+// overloads allocate a local workspace and delegate.
 #pragma once
 
 #include <cstddef>
@@ -32,11 +35,15 @@ struct SpannerAudit {
 /// Exact maximum stretch of h w.r.t. the edges of g: one Dijkstra on h per
 /// distinct edge source. Requires matching vertex counts.
 double max_stretch_over_edges(const Graph& g, const Graph& h, DijkstraWorkspace& ws);
+double max_stretch_over_edges(const Graph& g, const Graph& h,
+                              DijkstraWorkspacePool& pool);
 double max_stretch_over_edges(const Graph& g, const Graph& h);
 
 /// Exact maximum stretch of h w.r.t. all pairs of the metric m: n Dijkstra
 /// runs on h. Infinite if h fails to connect some pair.
 double max_stretch_metric(const MetricSpace& m, const Graph& h, DijkstraWorkspace& ws);
+double max_stretch_metric(const MetricSpace& m, const Graph& h,
+                          DijkstraWorkspacePool& pool);
 double max_stretch_metric(const MetricSpace& m, const Graph& h);
 
 /// Lower bound on the maximum stretch from `sources` randomly chosen source
@@ -46,16 +53,23 @@ double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
                                   std::size_t sources, std::uint64_t seed,
                                   DijkstraWorkspace& ws);
 double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
+                                  std::size_t sources, std::uint64_t seed,
+                                  DijkstraWorkspacePool& pool);
+double max_stretch_metric_sampled(const MetricSpace& m, const Graph& h,
                                   std::size_t sources, std::uint64_t seed);
 
 /// Full audit of spanner h for graph input g (throws if g disconnected,
 /// since lightness is undefined).
 SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h, DijkstraWorkspace& ws);
+SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h,
+                                 DijkstraWorkspacePool& pool);
 SpannerAudit audit_graph_spanner(const Graph& g, const Graph& h);
 
 /// Full audit of spanner h for metric input m.
 SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h,
                                   DijkstraWorkspace& ws);
+SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h,
+                                  DijkstraWorkspacePool& pool);
 SpannerAudit audit_metric_spanner(const MetricSpace& m, const Graph& h);
 
 }  // namespace gsp

@@ -1,0 +1,28 @@
+#include "api/build_options.hpp"
+
+#include <stdexcept>
+
+namespace gsp {
+
+void BuildOptions::validate() const {
+    if (stretch < 1.0) {
+        throw std::invalid_argument("BuildOptions: stretch must be >= 1");
+    }
+    if (!(engine.bucket_ratio > 1.0)) {
+        throw std::invalid_argument("BuildOptions: engine.bucket_ratio must be > 1");
+    }
+    if (engine.parallel_batch == 0) {
+        throw std::invalid_argument("BuildOptions: engine.parallel_batch must be >= 1");
+    }
+    if (engine.sketch_ways == 0 ||
+        (engine.sketch_ways & (engine.sketch_ways - 1)) != 0) {
+        throw std::invalid_argument(
+            "BuildOptions: engine.sketch_ways must be a power of two >= 1");
+    }
+    if (!(engine.parallel_accept_gate >= 0.0)) {
+        throw std::invalid_argument(
+            "BuildOptions: engine.parallel_accept_gate must be >= 0");
+    }
+}
+
+}  // namespace gsp

@@ -1,0 +1,254 @@
+#include "api/candidate_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+#include "api/session.hpp"
+#include "spanners/net_spanner.hpp"
+#include "spanners/theta_graph.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "wspd/quadtree.hpp"
+#include "wspd/wspd.hpp"
+
+namespace gsp {
+
+void CandidateSource::seed(Graph&) {}
+
+void CandidateSource::configure_engine(GreedyEngineOptions&, SpannerSession&) {}
+
+double CandidateSource::stretch_target(double engine_stretch) const {
+    return engine_stretch;
+}
+
+void GraphCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
+    append_sorted_graph_candidates(g_, out);
+}
+
+void MetricCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
+    const std::size_t n = m_.size();
+    if (n < 2) return;
+    const std::size_t base = out.size();
+    out.reserve(base + n * (n - 1) / 2);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            out.push_back(GreedyCandidate{i, j, m_.distance(i, j)});
+        }
+    }
+    // The metric kernel's deterministic tie order: (weight, u, v).
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+              [](const GreedyCandidate& a, const GreedyCandidate& b) {
+                  return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+              });
+}
+
+WspdCandidateSource::WspdCandidateSource(const EuclideanMetric& m, double separation,
+                                         double epsilon)
+    : m_(m), separation_(separation) {
+    if (separation_ <= 0.0) {
+        if (!(epsilon > 0.0)) {
+            throw std::invalid_argument(
+                "WspdCandidateSource: epsilon must be > 0 to derive a separation");
+        }
+        separation_ = 4.0 + 8.0 / epsilon;  // always > 4
+    }
+    if (!(separation_ > 4.0)) {
+        // At s <= 4 the dumbbell bound is infinite: greedy over the pairs
+        // would build *something*, but with no stretch guarantee at all
+        // (and a stretch_target of infinity downstream). Refuse up front.
+        throw std::invalid_argument(
+            "WspdCandidateSource: separation must be > 4 for a finite stretch bound");
+    }
+}
+
+void WspdCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
+    if (m_.size() < 2) return;
+    const std::size_t base = out.size();
+    const QuadTree tree(m_);
+    const auto pairs = well_separated_pairs(tree, separation_);
+    out.reserve(base + pairs.size());
+    for (const WspdPair& p : pairs) {
+        const VertexId a = tree.node(p.a).representative;
+        const VertexId b = tree.node(p.b).representative;
+        const VertexId u = std::min(a, b);
+        const VertexId v = std::max(a, b);
+        out.push_back(GreedyCandidate{u, v, m_.distance(u, v)});
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+              [](const GreedyCandidate& a, const GreedyCandidate& b) {
+                  return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+              });
+}
+
+double wspd_greedy_stretch_bound(double engine_stretch, double separation) {
+    // Dumbbell induction: for a pair (p, q) covered by the s-separated
+    // dumbbell (A, B) with representatives (u, v), enclosing radius r per
+    // side, d(p, q) >= s * r:
+    //   d_H(p, q) <= t' * d(p,u) + t * d(u,v) + t' * d(v,q)
+    //             <= 4 t' r + t (d + 4r)
+    // and solving 4 t'/s + t + 4t/s <= t' gives t' = t (s + 4) / (s - 4).
+    if (!(separation > 4.0)) return std::numeric_limits<double>::infinity();
+    return engine_stretch * (separation + 4.0) / (separation - 4.0);
+}
+
+namespace {
+
+/// Smallest cone count whose guaranteed theta-graph stretch is <= budget.
+std::size_t cones_for_budget(double budget) {
+    for (std::size_t k = 8; k <= 4096; ++k) {
+        if (theta_graph_stretch_bound(k) <= budget) return k;
+    }
+    throw std::invalid_argument("approx_greedy: stretch budget too tight for theta base");
+}
+
+Graph build_base(const MetricSpace& m, const ApproxParams& params, double t_base) {
+    const auto* e = dynamic_cast<const EuclideanMetric*>(&m);
+    if (e != nullptr && e->dim() == 2) {
+        const std::size_t k = params.theta_cones_override != 0
+                                  ? params.theta_cones_override
+                                  : cones_for_budget(t_base);
+        return theta_graph_sweep(*e, k);
+    }
+    // Generic doubling metric: net-tree spanner with budget eps' = t_base - 1.
+    return net_spanner(m, NetSpannerOptions{.epsilon = t_base - 1.0,
+                                            .degree_cap = params.net_degree_cap});
+}
+
+}  // namespace
+
+BaseSpannerCandidateSource::BaseSpannerCandidateSource(const MetricSpace& m,
+                                                       const BuildOptions& options)
+    : m_(m), params_(options.approx), base_(m.size()) {
+    const double eps = params_.epsilon;
+    if (!(eps > 0.0) || eps > 1.0) {
+        throw std::invalid_argument(
+            "BaseSpannerCandidateSource: epsilon must be in (0, 1]");
+    }
+    // Split the stretch budget: (1 + eps/3) for the base, the rest for the
+    // simulation; (1 + eps/3) * t_sim = 1 + eps exactly.
+    t_base_ = 1.0 + eps / 3.0;
+    t_sim_ = (1.0 + eps) / t_base_;
+    const std::size_t n = m.size();
+    if (n <= 1) return;
+
+    {
+        const Timer base_timer;
+        base_ = build_base(m, params_, t_base_);
+        seconds_base_ = base_timer.seconds();
+    }
+
+    // E0: edges of weight <= D/n go straight to the output, lightest
+    // first (their spanner edge ids must form the prefix -- the Lemma-11
+    // suite relies on it). The heavier rest of G' is streamed by
+    // materialize() straight into the session's candidate buffer, so the
+    // source never holds a second copy of the candidate list.
+    Weight max_w = 0.0;
+    for (const Edge& e : base_.edges()) max_w = std::max(max_w, e.weight);
+    light_threshold_ = max_w / static_cast<double>(n);
+    for (const Edge& e : base_.edges()) {
+        if (e.weight <= light_threshold_) light_.push_back(e);
+    }
+    std::sort(light_.begin(), light_.end(), [](const Edge& a, const Edge& b) {
+        return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+    });
+}
+
+void BaseSpannerCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
+    if (m_.size() <= 1) return;
+    // The simulated candidates: G' minus E0, in the simulation's
+    // historical tie order (weight, u, v) over raw endpoints.
+    const std::size_t base = out.size();
+    out.reserve(base + base_.num_edges() - light_.size());
+    for (const Edge& e : base_.edges()) {
+        if (e.weight > light_threshold_) {
+            out.push_back(GreedyCandidate{e.u, e.v, e.weight});
+        }
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+              [](const GreedyCandidate& a, const GreedyCandidate& b) {
+                  return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+              });
+}
+
+void BaseSpannerCandidateSource::seed(Graph& h) {
+    for (const Edge& e : light_) h.add_edge(e.u, e.v, e.weight);
+}
+
+void BaseSpannerCandidateSource::configure_engine(GreedyEngineOptions& options,
+                                                  SpannerSession& session) {
+    // The simulation runs at its own stretch budget, whatever the caller
+    // put in BuildOptions::stretch.
+    options.stretch = t_sim_;
+    if (!params_.use_cluster_oracle) return;
+
+    const double eps = params_.epsilon;
+    const std::size_t n = m_.size();
+    // Rebuild the coarse oracle at each bucket boundary, on the session's
+    // serial workspace (on_bucket runs strictly before stage 2 fans out,
+    // so sharing it with the insertion loop is race-free) -- no ad-hoc
+    // O(n) workspace allocation per build.
+    DijkstraWorkspace& oracle_ws = session.workspace();
+    oracle_ws.resize(n);
+    options.on_bucket = [this, eps, &oracle_ws](const Graph& spanner, Weight bucket_lo) {
+        oracle_ = std::make_unique<ClusterGraph>(spanner, (eps / 16.0) * bucket_lo,
+                                                 &oracle_ws);
+    };
+    // Sound reject-only fast path: a bound within the threshold is the
+    // length of a realizable witness path. The engine counts rejects
+    // (stats.prefilter_rejects) and gates the oracle off mid-run if its
+    // measured cost exceeds the exact work it saves.
+    options.prefilter = [this](VertexId u, VertexId v, Weight threshold) {
+        return oracle_->upper_bound_distance(u, v, threshold) <= threshold;
+    };
+    // Concurrent variant for the parallel prefilter stage: one query
+    // scratch per worker, sized from the same resolution rule the engine
+    // applies.
+    oracle_scratch_.resize(options.parallel_prefilter
+                               ? ThreadPool::resolve_workers(options.num_threads)
+                               : 1);
+    options.concurrent_prefilter = [this](std::size_t worker, VertexId u, VertexId v,
+                                          Weight threshold) {
+        return oracle_->upper_bound_distance(u, v, threshold,
+                                             oracle_scratch_[worker]) <= threshold;
+    };
+}
+
+ApproxGreedyResult approx_greedy_build(SpannerSession& session, const MetricSpace& m,
+                                       const BuildOptions& options, BuildReport* report) {
+    // Reset-before-work: a throw below (bad options, bad epsilon) must not
+    // leave a previous build's numbers in the caller's report.
+    if (report != nullptr) *report = BuildReport{};
+    const Timer total_timer;
+    options.validate();
+    const std::size_t n = m.size();
+
+    BaseSpannerCandidateSource source(m, options);
+    ApproxGreedyResult result{.spanner = Graph(n), .base = Graph(n)};
+    result.t_base = source.t_base();
+    result.t_sim = source.t_sim();
+    if (n <= 1) {
+        if (report != nullptr) *report = BuildReport{};
+        result.seconds_total = total_timer.seconds();
+        return result;
+    }
+    result.base = source.base();
+    result.seconds_base = source.seconds_base();
+    result.light_edges = source.light_edges();
+
+    BuildReport local_report;
+    result.spanner = session.build(source, options, &local_report);
+    local_report.algorithm = "greedy-approx";
+    result.buckets = local_report.stats.buckets;
+    result.oracle_rejects = local_report.stats.prefilter_rejects;
+    // Candidates that got past the oracle were decided by the exact kernel
+    // (cached exact bounds included).
+    result.exact_queries = local_report.stats.edges_examined - result.oracle_rejects;
+    result.seconds_total = total_timer.seconds();
+    if (report != nullptr) *report = local_report;
+    return result;
+}
+
+}  // namespace gsp

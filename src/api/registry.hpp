@@ -1,0 +1,88 @@
+// The string-keyed algorithm registry.
+//
+// One uniform way to name, enumerate, and run every spanner construction
+// the library ships -- the exact-greedy family (which runs the shared
+// engine through a SpannerSession) and the baseline constructions (theta,
+// yao, wspd, net, baswana-sen) -- so bench drivers, the spanner_cli
+// example, and the test suites iterate algorithms instead of hard-coding
+// call sites. Each entry declares what input it consumes; build() type-
+// checks the input, runs the construction, and fills a BuildReport.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "api/build_options.hpp"
+#include "api/build_report.hpp"
+#include "api/session.hpp"
+#include "graph/graph.hpp"
+#include "metric/metric_space.hpp"
+
+namespace gsp {
+
+/// What an algorithm consumes. kEuclidean requires an EuclideanMetric
+/// (any dimension); kEuclidean2D additionally requires dim() == 2.
+/// kMetric accepts any MetricSpace (including Euclidean ones).
+enum class InputKind { kGraph, kMetric, kEuclidean, kEuclidean2D };
+
+[[nodiscard]] std::string_view to_string(InputKind kind);
+
+/// A build input: exactly one of graph / metric, matching the entry's
+/// InputKind.
+struct BuildInput {
+    const Graph* graph = nullptr;
+    const MetricSpace* metric = nullptr;
+
+    [[nodiscard]] static BuildInput of(const Graph& g) {
+        BuildInput in;
+        in.graph = &g;
+        return in;
+    }
+    [[nodiscard]] static BuildInput of(const MetricSpace& m) {
+        BuildInput in;
+        in.metric = &m;
+        return in;
+    }
+};
+
+struct AlgorithmInfo {
+    std::string_view name;
+    InputKind input;
+    bool uses_engine = false;  ///< runs the shared greedy engine (exact family)
+    bool randomized = false;   ///< output depends on BuildOptions seed fields
+    std::string_view description;
+};
+
+class AlgorithmRegistry {
+public:
+    /// The process-wide registry of built-in algorithms.
+    [[nodiscard]] static const AlgorithmRegistry& global();
+
+    /// Infos in registration order (stable across runs; the order the CLI
+    /// and benches print).
+    [[nodiscard]] std::vector<const AlgorithmInfo*> algorithms() const;
+
+    /// Lookup by name; nullptr when unknown.
+    [[nodiscard]] const AlgorithmInfo* find(std::string_view name) const;
+
+    /// Build algorithm `name` over `input` through `session`, filling
+    /// `*report` (zeroed first) when given. Throws std::invalid_argument
+    /// on unknown names or input-kind mismatches.
+    Graph build(std::string_view name, SpannerSession& session, const BuildInput& input,
+                const BuildOptions& options, BuildReport* report = nullptr) const;
+
+private:
+    using BuildFn = std::function<Graph(SpannerSession&, const BuildInput&,
+                                        const BuildOptions&, BuildReport*)>;
+    struct Entry {
+        AlgorithmInfo info;
+        BuildFn fn;
+    };
+
+    AlgorithmRegistry();
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace gsp

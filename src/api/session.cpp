@@ -1,0 +1,59 @@
+#include "api/session.hpp"
+
+#include <utility>
+
+#include "api/candidate_source.hpp"
+#include "util/timer.hpp"
+
+namespace gsp {
+
+Graph SpannerSession::build(CandidateSource& source, const BuildOptions& options,
+                            BuildReport* report) {
+    // Reset-before-work: a throw below must never leave a previous
+    // build's numbers in the caller's report.
+    if (report != nullptr) *report = BuildReport{};
+    options.validate();
+
+    const Timer timer;
+    const std::size_t n = source.num_vertices();
+
+    GreedyEngineOptions engine_options;
+    static_cast<EngineTuning&>(engine_options) = options.engine;
+    engine_options.stretch = options.stretch;
+    source.configure_engine(engine_options, *this);
+
+    const std::size_t pools_before = resources_.pools_constructed();
+    const std::size_t workspaces_before = resources_.workspaces_constructed();
+    const Timer setup_timer;
+    GreedyEngine engine(n, std::move(engine_options), resources_);
+    const double setup_seconds = setup_timer.seconds();
+
+    candidates_.clear();
+    source.materialize(candidates_);
+    Graph h(n);
+    source.seed(h);
+
+    GreedyStats stats;
+    h = engine.run(std::move(h), candidates_, &stats);
+    ++builds_;
+
+    if (report != nullptr) {
+        report->algorithm = source.kind();
+        report->source = source.kind();
+        report->vertices = n;
+        report->candidates = candidates_.size();
+        report->stretch_target = source.stretch_target(engine.options().stretch);
+        fill_audit_fields(*report, h);
+        report->seconds = timer.seconds();
+        report->setup_seconds = setup_seconds;
+        // Worker workspaces are sized lazily inside run(), so the deltas
+        // are read only now: both are zero on every warm call.
+        report->pools_constructed = resources_.pools_constructed() - pools_before;
+        report->workspaces_constructed =
+            resources_.workspaces_constructed() - workspaces_before;
+        report->stats = stats;
+    }
+    return h;
+}
+
+}  // namespace gsp

@@ -1,151 +1,32 @@
 #include "core/approx_greedy.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <stdexcept>
-#include <vector>
-
-#include "cluster/cluster_graph.hpp"
-#include "core/greedy_engine.hpp"
-#include "graph/dijkstra.hpp"
-#include "metric/euclidean.hpp"
-#include "spanners/net_spanner.hpp"
-#include "spanners/theta_graph.hpp"
-#include "util/timer.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 
 namespace gsp {
 
-namespace {
-
-/// Smallest cone count whose guaranteed theta-graph stretch is <= budget.
-std::size_t cones_for_budget(double budget) {
-    for (std::size_t k = 8; k <= 4096; ++k) {
-        if (theta_graph_stretch_bound(k) <= budget) return k;
-    }
-    throw std::invalid_argument("approx_greedy: stretch budget too tight for theta base");
+ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m, double epsilon) {
+    SpannerSession session;
+    BuildOptions options;
+    options.approx.epsilon = epsilon;
+    return approx_greedy_build(session, m, options);
 }
 
-Graph build_base(const MetricSpace& m, const ApproxGreedyOptions& options, double t_base) {
-    const auto* e = dynamic_cast<const EuclideanMetric*>(&m);
-    if (e != nullptr && e->dim() == 2) {
-        const std::size_t k = options.theta_cones_override != 0
-                                  ? options.theta_cones_override
-                                  : cones_for_budget(t_base);
-        return theta_graph_sweep(*e, k);
-    }
-    // Generic doubling metric: net-tree spanner with budget eps' = t_base - 1.
-    return net_spanner(m, NetSpannerOptions{.epsilon = t_base - 1.0,
-                                            .degree_cap = options.net_degree_cap});
-}
-
-}  // namespace
-
+#ifndef GSP_NO_DEPRECATED
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m,
                                          const ApproxGreedyOptions& options) {
-    const double eps = options.epsilon;
-    if (!(eps > 0.0) || eps > 1.0) {
-        throw std::invalid_argument("approx_greedy_spanner: epsilon must be in (0, 1]");
-    }
-    if (!(options.bucket_ratio > 1.0)) {
-        throw std::invalid_argument("approx_greedy_spanner: bucket_ratio must be > 1");
-    }
-    const Timer total_timer;
-    const std::size_t n = m.size();
-
-    ApproxGreedyResult result{.spanner = Graph(n), .base = Graph(n)};
-    // Split the stretch budget: (1 + eps/3) for the base, the rest for the
-    // simulation; (1 + eps/3) * t_sim = 1 + eps exactly.
-    result.t_base = 1.0 + eps / 3.0;
-    result.t_sim = (1.0 + eps) / result.t_base;
-    if (n <= 1) {
-        result.seconds_total = total_timer.seconds();
-        return result;
-    }
-
-    {
-        const Timer base_timer;
-        result.base = build_base(m, options, result.t_base);
-        result.seconds_base = base_timer.seconds();
-    }
-    const Graph& base = result.base;
-    Graph& h = result.spanner;
-
-    // Candidate edges of G' in non-decreasing weight order.
-    std::vector<EdgeId> order(base.num_edges());
-    for (EdgeId i = 0; i < base.num_edges(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
-        const Edge& ea = base.edge(a);
-        const Edge& eb = base.edge(b);
-        return std::tie(ea.weight, ea.u, ea.v) < std::tie(eb.weight, eb.u, eb.v);
-    });
-
-    // E0: edges of weight <= D/n go straight to the output.
-    Weight max_w = 0.0;
-    for (const Edge& e : base.edges()) max_w = std::max(max_w, e.weight);
-    const Weight light_threshold = max_w / static_cast<double>(n);
-    std::size_t cursor = 0;
-    while (cursor < order.size() && base.edge(order[cursor]).weight <= light_threshold) {
-        const Edge& e = base.edge(order[cursor]);
-        h.add_edge(e.u, e.v, e.weight);
-        ++cursor;
-    }
-    result.light_edges = cursor;
-
-    // Greedy simulation over the remaining edges: the shared GreedyEngine
-    // runs the bucket loop; the cluster oracle rides along as a reject-only
-    // prefilter rebuilt at each bucket boundary (reusing one Dijkstra
-    // workspace across rebuilds).
-    std::vector<GreedyCandidate> candidates;
-    candidates.reserve(order.size() - cursor);
-    for (; cursor < order.size(); ++cursor) {
-        const Edge& e = base.edge(order[cursor]);
-        candidates.push_back(GreedyCandidate{e.u, e.v, e.weight});
-    }
-
-    GreedyEngineOptions engine_options;
-    engine_options.stretch = result.t_sim;
-    engine_options.bucket_ratio = options.bucket_ratio;
-    engine_options.num_threads = options.num_threads;
-    DijkstraWorkspace oracle_ws(n);
-    std::unique_ptr<ClusterGraph> oracle;
-    std::vector<ClusterGraph::QueryScratch> oracle_scratch;
-    if (options.use_cluster_oracle) {
-        engine_options.on_bucket = [&](const Graph& spanner, Weight bucket_lo) {
-            // Entering a new bucket: rebuild the coarse oracle at this scale
-            // (serial -- the engine fans stage 2 out only after this).
-            oracle = std::make_unique<ClusterGraph>(spanner, (eps / 16.0) * bucket_lo,
-                                                    &oracle_ws);
-        };
-        // Sound reject-only fast path: a bound within the threshold is the
-        // length of a realizable witness path. The engine counts rejects
-        // (stats.prefilter_rejects) and gates the oracle off mid-run if its
-        // measured cost exceeds the exact work it saves.
-        engine_options.prefilter = [&](VertexId u, VertexId v, Weight threshold) {
-            return oracle->upper_bound_distance(u, v, threshold) <= threshold;
-        };
-        // Concurrent variant for the parallel prefilter stage: one query
-        // scratch per worker, sized after the engine resolves its pool.
-        engine_options.concurrent_prefilter = [&oracle, &oracle_scratch](
-                                                  std::size_t worker, VertexId u,
-                                                  VertexId v, Weight threshold) {
-            return oracle->upper_bound_distance(u, v, threshold,
-                                                oracle_scratch[worker]) <= threshold;
-        };
-    }
-
-    GreedyEngine engine(n, std::move(engine_options));
-    oracle_scratch.resize(engine.num_workers());
-    GreedyStats sim_stats;
-    result.spanner = engine.run(std::move(h), candidates, &sim_stats);
-    result.buckets = sim_stats.buckets;
-    result.oracle_rejects = sim_stats.prefilter_rejects;
-    // Candidates that got past the oracle were decided by the exact kernel
-    // (cached exact bounds included).
-    result.exact_queries = sim_stats.edges_examined - result.oracle_rejects;
-
-    result.seconds_total = total_timer.seconds();
-    return result;
+    SpannerSession session;
+    BuildOptions build;
+    build.approx.epsilon = options.epsilon;
+    build.approx.theta_cones_override = options.theta_cones_override;
+    build.approx.use_cluster_oracle = options.use_cluster_oracle;
+    build.approx.net_degree_cap = options.net_degree_cap;
+    build.engine = options.engine;
+    return approx_greedy_build(session, m, build);
 }
+#pragma GCC diagnostic pop
+#endif  // GSP_NO_DEPRECATED
 
 }  // namespace gsp

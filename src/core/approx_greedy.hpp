@@ -22,17 +22,28 @@
 // soundness story, at the cost of a (measured, small) extra runtime factor.
 //
 // Output stretch: t_base * t_sim <= 1 + eps by construction of the budgets.
+//
+// Since the api redesign the pipeline itself lives behind the candidate-
+// source seam: api/candidate_source's BaseSpannerCandidateSource builds G',
+// seeds E0, and streams the remaining edges into the shared GreedyEngine;
+// `approx_greedy_build` (same header) runs it through a SpannerSession.
+// This header keeps the algorithm's parameter section, its result struct,
+// and the entry points.
 #pragma once
 
 #include <cstddef>
 
+#include "core/engine_tuning.hpp"
 #include "core/greedy.hpp"
 #include "graph/graph.hpp"
 #include "metric/metric_space.hpp"
 
 namespace gsp {
 
-struct ApproxGreedyOptions {
+/// The approximate-greedy parameter section: what BuildOptions.approx
+/// carries in the unified API (engine/parallelism knobs live in the shared
+/// EngineTuning block, not here).
+struct ApproxParams {
     double epsilon = 0.5;  ///< overall stretch target 1 + epsilon (0 < eps <= 1)
 
     /// Cones for the 2D Euclidean base spanner; 0 = smallest k whose
@@ -40,9 +51,6 @@ struct ApproxGreedyOptions {
     /// override with a practical k (the audit column then certifies the
     /// measured stretch).
     std::size_t theta_cones_override = 0;
-
-    /// Geometric ratio between weight buckets (mu in the paper's sketch).
-    double bucket_ratio = 2.0;
 
     /// Use the ClusterGraph reject-only fast path. Off by default: with the
     /// engine's bidirectional + cached exact path, bench_ablation measures
@@ -52,10 +60,6 @@ struct ApproxGreedyOptions {
     /// which times a calibration window and drops the oracle mid-run if it
     /// is not paying for itself; the output is identical either way.
     bool use_cluster_oracle = false;
-
-    /// Workers for the engine's parallel prefilter stage (1 = serial,
-    /// 0 = hardware concurrency). Identical output at every value.
-    std::size_t num_threads = 1;
 
     /// Degree cap handed to the net-spanner base (generic metrics only).
     std::size_t net_degree_cap = 64;
@@ -74,13 +78,29 @@ struct ApproxGreedyResult {
     double seconds_total = 0.0;     ///< wall-clock: whole pipeline
 };
 
-/// Run Algorithm Approximate-Greedy on the metric.
+/// Run Algorithm Approximate-Greedy with default parameters (one-shot
+/// session). For configured or repeated builds use `approx_greedy_build`
+/// with a SpannerSession and BuildOptions (api/candidate_source.hpp).
+ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m, double epsilon);
+
+#ifndef GSP_NO_DEPRECATED
+/// Legacy option struct. The engine/parallelism knobs it used to
+/// re-declare (num_threads, bucket_ratio) live in the embedded shared
+/// `engine` block now.
+struct ApproxGreedyOptions {
+    double epsilon = 0.5;
+    std::size_t theta_cones_override = 0;
+    bool use_cluster_oracle = false;
+    std::size_t net_degree_cap = 64;
+    EngineTuning engine;  ///< the shared engine block (threads, bucket ratio, ...)
+};
+
+/// Legacy front door: prefer approx_greedy_build with a SpannerSession and
+/// BuildOptions (api/candidate_source.hpp), which reuses pools and
+/// workspaces across builds.
+[[deprecated("use approx_greedy_build with a SpannerSession and BuildOptions")]]
 ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m,
                                          const ApproxGreedyOptions& options);
-
-/// Convenience overload.
-inline ApproxGreedyResult approx_greedy_spanner(const MetricSpace& m, double epsilon) {
-    return approx_greedy_spanner(m, ApproxGreedyOptions{.epsilon = epsilon});
-}
+#endif  // GSP_NO_DEPRECATED
 
 }  // namespace gsp

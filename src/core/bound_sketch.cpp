@@ -118,11 +118,17 @@ bool CertificateStore::load(VertexId source, std::uint64_t scope, std::uint64_t 
 }
 
 std::size_t CertificateStore::bytes() const {
-    std::size_t total = certs_.capacity() * sizeof(Cert) +
-                        (lookup_stamp_.capacity() * sizeof(std::uint64_t)) +
-                        (lookup_dist_.capacity() * sizeof(Weight));
+    // Logical bytes, and only scope-live settled sets: reset() keeps the
+    // per-source buffers warm across runs (scope = 0 marks them stale),
+    // so counting capacities or stale frontiers would make the handoff
+    // stats depend on what a previous run in the same session published.
+    std::size_t total = certs_.size() * sizeof(Cert) +
+                        (lookup_stamp_.size() * sizeof(std::uint64_t)) +
+                        (lookup_dist_.size() * sizeof(Weight));
     for (const Cert& c : certs_) {
-        total += c.settled.capacity() * sizeof(std::pair<VertexId, Weight>);
+        if (c.scope != 0) {
+            total += c.settled.size() * sizeof(std::pair<VertexId, Weight>);
+        }
     }
     return total;
 }

@@ -153,7 +153,9 @@ public:
 
     [[nodiscard]] std::size_t cap() const { return cap_; }
 
-    /// Resident bytes of the published settled sets (handoff accounting).
+    /// Logical bytes of the store and its scope-live settled sets (handoff
+    /// accounting) -- a pure function of the current run's publishes, so
+    /// warm-session stats match fresh-session stats exactly.
     [[nodiscard]] std::size_t bytes() const;
 
 private:

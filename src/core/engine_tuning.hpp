@@ -1,0 +1,99 @@
+// The shared engine configuration block.
+//
+// Before the unified API every greedy front door re-declared the same
+// knobs: GreedyEngineOptions, MetricGreedyOptions and ApproxGreedyOptions
+// each carried their own num_threads / sketch_ways / speculative_repair
+// (and drifted -- the metric path never exposed bound_sketch at all).
+// EngineTuning is that block declared once: GreedyEngineOptions derives
+// from it (so `options.bidirectional` keeps reading as before), the
+// legacy option structs embed it, and the api layer's BuildOptions carries
+// it verbatim as its `engine` section.
+//
+// Every field here is *decision preserving*: the greedy edge set is
+// bit-identical at every setting (the knobs trade work, not output).
+#pragma once
+
+#include <cstddef>
+
+#include "core/bound_sketch.hpp"
+
+namespace gsp {
+
+struct EngineTuning {
+    bool bidirectional = true;  ///< meet-in-the-middle point queries
+    bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
+    bool csr_snapshot = true;   ///< incremental gap-buffered CSR adjacency
+    bool bound_sketch = true;   ///< cross-bucket per-vertex bound sketch
+
+    /// Worker count for the parallel prefilter stage: 1 = fully serial
+    /// (the default -- parallelism is opt-in so the serial entry points
+    /// keep schedule-free stats), 0 = hardware concurrency, k = exactly k
+    /// workers. The edge set is identical at every value.
+    std::size_t num_threads = 1;
+
+    /// Master switch for stage 2. With it off (or num_threads resolving to
+    /// 1) buckets flow straight from the candidate stream into the
+    /// serialized insertion loop.
+    bool parallel_prefilter = true;
+
+    /// Stage-2 batch width ceiling: when the parallel stage is active,
+    /// buckets are processed in sub-batches of at most this many
+    /// candidates, probed against the batch-start incremental view.
+    /// Constant across thread counts, so stage-2 decisions (and stats)
+    /// depend only on the input. Ignored when serial.
+    std::size_t parallel_batch = 2048;
+
+    /// Accept-rate boundary for stage 2, keyed on the previous batch's
+    /// measured accept rate (a pure function of the greedy decisions,
+    /// hence identical at every thread count). With speculative_repair
+    /// *off*, a batch above the gate skips stage 2 entirely; with repair
+    /// *on*, the gate instead switches stage 2 into certificate mode.
+    /// 1.0 = never predict accept-heavy.
+    double parallel_accept_gate = 0.25;
+
+    /// The speculative two-phase accept path: phase-A certificate balls in
+    /// stage 2, phase-B bounded repair probes in the insertion loop.
+    /// Decisions are exact either way. No effect on serial runs.
+    bool speculative_repair = true;
+
+    /// Largest settled frontier a phase-A certificate may store (and the
+    /// settled-count abort of a certificate-mode ball attempt).
+    std::size_t repair_cert_cap = 128;
+
+    /// Work budget (heap pushes) of a certificate-mode ball attempt while
+    /// the serial point-query cost model is still uncalibrated.
+    std::size_t repair_ball_fallback_work = 8192;
+
+    /// Insertion budget per batch for the accept-rate batch planner; only
+    /// consulted when speculative_repair is on.
+    std::size_t parallel_target_accepts = 128;
+
+    /// Bound-sketch associativity: slots per vertex (power of two).
+    std::size_t sketch_ways = BoundSketch::kDefaultWays;
+
+    /// Geometric ratio of the weight buckets that pace ball sharing, CSR
+    /// rebuilds, and `on_bucket` callbacks (mu in the paper's sketch).
+    /// Must be > 1.
+    double bucket_ratio = 2.0;
+
+    /// Until the first ball of a run calibrates the ball-vs-point cost
+    /// model, a shared ball is attempted only for groups with at least
+    /// this many undecided candidates.
+    std::size_t ball_share_min_group = 16;
+
+    /// The naive reference kernel: every optimisation off, one one-sided
+    /// distance-limited Dijkstra per candidate. What old-vs-new
+    /// equivalence suites compare everything against.
+    [[nodiscard]] static EngineTuning naive() {
+        EngineTuning t;
+        t.bidirectional = false;
+        t.ball_sharing = false;
+        t.csr_snapshot = false;
+        t.bound_sketch = false;
+        t.num_threads = 1;
+        t.parallel_prefilter = false;
+        return t;
+    }
+};
+
+}  // namespace gsp

@@ -1,13 +1,24 @@
 #include "core/greedy.hpp"
 
-#include "core/greedy_engine.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 
 namespace gsp {
 
 Graph greedy_spanner(const Graph& g, double t, GreedyStats* stats) {
-    GreedyEngineOptions options;  // all engine optimisations on by default
+    // Zero the out-param before any work (never additive, even on throw).
+    if (stats != nullptr) *stats = GreedyStats{};
+    SpannerSession session;
+    BuildOptions options;  // all engine optimisations on by default
     options.stretch = t;
-    return greedy_spanner_with(g, options, stats);
+    GraphCandidateSource source(g);
+    BuildReport report;
+    Graph h = session.build(source, options, &report);
+    if (stats != nullptr) {
+        *stats = report.stats;
+        stats->seconds = report.seconds;  // include the candidate sort, as always
+    }
+    return h;
 }
 
 }  // namespace gsp

@@ -78,9 +78,11 @@ struct GreedyStats {
 /// a path of equal weight (<= t * w since t >= 1).
 ///
 /// Runs on the full-featured GreedyEngine (bidirectional bounded Dijkstra,
-/// per-bucket ball sharing, CSR snapshots); use greedy_spanner_with from
-/// core/greedy_engine.hpp to select individual optimisations. Every
-/// configuration returns the same edge set.
+/// per-bucket ball sharing, CSR snapshots) through a one-shot session; use
+/// a SpannerSession with BuildOptions (src/api/session.hpp) to select
+/// individual optimisations, parallelism, or warm-started repeated builds.
+/// Every configuration returns the same edge set. `*stats` is zeroed
+/// before any work (never additive across calls).
 Graph greedy_spanner(const Graph& g, double t, GreedyStats* stats = nullptr);
 
 }  // namespace gsp

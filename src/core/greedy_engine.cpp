@@ -95,8 +95,28 @@ struct PrefilterGateState {
 
 }  // namespace
 
+ThreadPool& EngineResources::acquire_pool(std::size_t workers) {
+    for (const auto& pool : pools_) {
+        if (pool->num_workers() == workers) return *pool;
+    }
+    pools_.push_back(std::make_unique<ThreadPool>(workers));
+    ++pools_constructed_;
+    return *pools_.back();
+}
+
 GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
-    : options_(std::move(options)), n_(n), ws_(n) {
+    : options_(std::move(options)), n_(n),
+      owned_(std::make_unique<EngineResources>()), res_(owned_.get()) {
+    init();
+}
+
+GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options,
+                           EngineResources& resources)
+    : options_(std::move(options)), n_(n), res_(&resources) {
+    init();
+}
+
+void GreedyEngine::init() {
     if (options_.stretch < 1.0) {
         throw std::invalid_argument("GreedyEngine: stretch must be >= 1");
     }
@@ -115,7 +135,7 @@ GreedyEngine::GreedyEngine(std::size_t n, GreedyEngineOptions options)
                    ? ThreadPool::resolve_workers(options_.num_threads)
                    : 1;
     if (workers_ > 1) {
-        pool_ = std::make_unique<ThreadPool>(workers_);
+        pool_ = &res_->acquire_pool(workers_);
         // Worker workspaces are sized lazily by run_impl on first use.
     }
 }
@@ -149,27 +169,45 @@ Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
 template <class Adapter>
 Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                              std::span<const GreedyCandidate> cands, GreedyStats& stats) {
+    // Every expensive array below lives in the (possibly session-shared)
+    // resources; a warm build reuses them all. Per-run state is reset
+    // explicitly here, so a run's decisions *and stats* are a pure
+    // function of (candidates, options) -- identical whether the
+    // resources are fresh or warm (the session-equivalence contract).
+    EngineResources& res = *res_;
+    DijkstraWorkspace& ws = res.ws_;
+    DijkstraWorkspacePool& ws_pool = res.ws_pool_;
+    PrefilterStage& prefilter_stage = res.prefilter_stage_;
+    SourceGroups& groups = res.groups_;
+    BoundSketch& sketch = res.sketch_;
+    CertificateStore& certs = res.certs_;
+    std::vector<RepairSeed>& repair_seeds = res.repair_seeds_;
+    std::vector<Weight>& bound = res.bound_;
+    std::vector<std::uint64_t>& ball_bucket = res.ball_bucket_;
+    std::vector<std::uint64_t>& ball_epoch = res.ball_epoch_;
+    std::vector<Weight>& ball_radius = res.ball_radius_;
+
     const double t = options_.stretch;
     const bool sharing = options_.ball_sharing;
     const bool parallel = parallel_enabled();
     const bool use_sketch = options_.bound_sketch;
     // Bounds are the currency of both ball sharing and the parallel stage.
     const bool track_bounds = sharing || parallel;
-    const std::size_t meets_before = ws_.meet_events() + ws_pool_.total_meet_events();
-    ws_.resize(n_);
-    if (parallel) ws_pool_.configure(workers_, n_);
+    const std::size_t meets_before = ws.meet_events() + ws_pool.total_meet_events();
+    ws.resize(n_);
+    if (parallel) ws_pool.configure(workers_, n_);
 
     if (track_bounds) {
-        ball_bucket_.assign(n_, 0);
-        ball_epoch_.assign(n_, 0);
-        ball_radius_.assign(n_, 0.0);
+        ball_bucket.assign(n_, 0);
+        ball_epoch.assign(n_, 0);
+        ball_radius.assign(n_, 0.0);
     }
-    if (parallel) prefilter_stage_.begin_run(workers_);
-    if (use_sketch) sketch_.reset(n_, options_.sketch_ways);
+    if (parallel) prefilter_stage.begin_run(workers_);
+    if (use_sketch) sketch.reset(n_, options_.sketch_ways);
     // The speculative accept path needs stage 2 (its phase A) to record
     // certificates; serial runs have nothing to repair.
     const bool repair = parallel && options_.speculative_repair;
-    if (repair) certs_.reset(n_, options_.repair_cert_cap);
+    if (repair) certs.reset(n_, options_.repair_cert_cap);
     // The insertion log is the phase-B repair feed; runs that never
     // repair must not pay for it.
     adapter.set_log_inserts(repair);
@@ -217,8 +255,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
     // ROADMAP's incremental certificate repair, where far facts survive.)
     const auto sk_pair_exact = [&](VertexId a, VertexId b, Weight d) {
         if (!use_sketch) return;
-        sketch_.record_exact(a, b, d, insert_epoch);
-        sketch_.record_exact(b, a, d, insert_epoch);
+        sketch.record_exact(a, b, d, insert_epoch);
+        sketch.record_exact(b, a, d, insert_epoch);
     };
 
     // Online cost model for the ball-vs-point decision: exponential moving
@@ -256,12 +294,15 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // verdict bits per candidate, all bucket-local. Bounds die with
         // the bucket by design -- cross-bucket persistence is the
         // sketch's job, in O(n) instead of O(m).
-        if (track_bounds) bound_.assign(bucket.size(), kInfiniteWeight);
-        if (parallel) prefilter_stage_.begin_bucket(bucket);
+        if (track_bounds) bound.assign(bucket.size(), kInfiniteWeight);
+        if (parallel) prefilter_stage.begin_bucket(bucket);
+        // Logical footprint, not vector capacities: capacities depend on
+        // what earlier (possibly larger) runs left in a warm session, and
+        // the handoff counter must be a pure function of this run.
         const std::size_t handoff_bytes =
-            (track_bounds ? bound_.capacity() * sizeof(Weight) : 0) +
-            (parallel ? prefilter_stage_.verdict_bytes() : 0) +
-            (repair ? certs_.bytes() : 0);
+            (track_bounds ? bound.size() * sizeof(Weight) : 0) +
+            (parallel ? prefilter_stage.verdict_bytes() : 0) +
+            (repair ? certs.bytes() : 0);
         stats.handoff_peak_bytes = std::max(stats.handoff_peak_bytes, handoff_bytes);
 
         const auto cand_at = [&](std::uint32_t local) -> const GreedyCandidate& {
@@ -304,7 +345,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             repair && sharing && accept_predicted && cert_mode_live;
         const bool run_stage2 =
             parallel && !gate.calibrating && (!accept_predicted || certificate_mode);
-        if (sharing) groups_.rebuild(cands, batch, bucket.begin, n_);
+        if (sharing) groups.rebuild(cands, batch, bucket.begin, n_);
         const std::uint64_t snapshot_epoch = insert_epoch;
         const std::size_t batch_accepts_before = stats.edges_added;
         // Truncate the repair feed at the snapshot boundary: entries from
@@ -321,25 +362,25 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             ctx.candidates = cands;
             ctx.batch = batch;
             ctx.base = bucket.begin;
-            ctx.groups = sharing ? &groups_ : nullptr;
+            ctx.groups = sharing ? &groups : nullptr;
             ctx.stretch = t;
             ctx.bidirectional = options_.bidirectional;
             ctx.ball_share_min_group = options_.ball_share_min_group;
             ctx.ball_scope = batch_seq;
             ctx.snapshot_epoch = snapshot_epoch;
-            ctx.sketch = use_sketch ? &sketch_ : nullptr;
+            ctx.sketch = use_sketch ? &sketch : nullptr;
             ctx.oracle = (have_concurrent_pf && gate.live && !gate.calibrating)
                              ? &options_.concurrent_prefilter
                              : nullptr;
-            ctx.certificates = (repair && sharing) ? &certs_ : nullptr;
+            ctx.certificates = (repair && sharing) ? &certs : nullptr;
             ctx.certificate_mode = certificate_mode;
             ctx.cert_ball_fallback_work = options_.repair_ball_fallback_work;
             ctx.point_cost_hint = point_cost;
             ctx.cert_ball_cap = options_.repair_cert_cap;
             const std::size_t published_before = stats.certs_published;
             const std::size_t aborts_before = stats.cert_ball_aborts;
-            prefilter_stage_.run_batch(*pool_, ws_pool_, adapter.view(), ctx, bound_,
-                                       ball_bucket_, ball_epoch_, ball_radius_, stats);
+            prefilter_stage.run_batch(*pool_, ws_pool, adapter.view(), ctx, bound,
+                                      ball_bucket, ball_epoch, ball_radius, stats);
             if (ctx.certificate_mode &&
                 stats.cert_ball_aborts - aborts_before >
                     stats.certs_published - published_before) {
@@ -355,9 +396,9 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             const Weight threshold = t * c.weight;
             ++stats.edges_examined;
             // This candidate is decided this iteration, whichever path runs.
-            if (sharing) groups_.decrement_remaining(c.u);
+            if (sharing) groups.decrement_remaining(c.u);
 
-            if (parallel && prefilter_stage_.oracle_reject(i)) {
+            if (parallel && prefilter_stage.oracle_reject(i)) {
                 ++stats.prefilter_rejects;
                 continue;
             }
@@ -394,7 +435,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
 
             bool accept = false;
             bool decided = false;
-            if (track_bounds && bound_[li] <= threshold) {
+            if (track_bounds && bound[li] <= threshold) {
                 // A realizable witness path no heavier than the threshold
                 // is already known (harvested serially or by stage 2); the
                 // spanner only grows, so the bound can only have improved.
@@ -402,20 +443,20 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                 if (use_sketch) {
                     // Persist the witness across buckets (upper bounds are
                     // sound forever).
-                    sketch_.record_upper(c.u, c.v, bound_[li]);
-                    sketch_.record_upper(c.v, c.u, bound_[li]);
+                    sketch.record_upper(c.u, c.v, bound[li]);
+                    sketch.record_upper(c.v, c.u, bound[li]);
                 }
                 record_exact();
                 continue;
             }
-            if (use_sketch && sketch_.upper_bound(c.u, c.v) <= threshold) {
+            if (use_sketch && sketch.upper_bound(c.u, c.v) <= threshold) {
                 // Cross-bucket cache hit: an earlier bucket's exact query
                 // already certified a witness path for this pair.
                 ++stats.sketch_hits;
                 record_exact();
                 continue;
             }
-            if (parallel && prefilter_stage_.far_at_snapshot(i)) {
+            if (parallel && prefilter_stage.far_at_snapshot(i)) {
                 if (insert_epoch == snapshot_epoch) {
                     // The stage-2 probe was exact on the batch-start view
                     // and nothing has been inserted since: the certificate
@@ -424,7 +465,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                     accept = true;
                     decided = true;
                 } else if (repair &&
-                           certs_.load(c.u, batch_seq, snapshot_epoch, threshold)) {
+                           certs.load(c.u, batch_seq, snapshot_epoch, threshold)) {
                     // Phase B: certificate repair. The certificate proved
                     // d(u, v) > threshold on the batch-start snapshot via a
                     // drained ball, so any <= threshold path in the current
@@ -439,21 +480,21 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                     // high), so the probe re-decides the candidate exactly.
                     // No seeds at all means no insertion can have touched
                     // the ball: the certificate stands with zero graph work.
-                    repair_seeds_.clear();
+                    repair_seeds.clear();
                     for (const LoggedInsert& e : adapter.inserts_since(batch_log_mark)) {
-                        const Weight via_u = certs_.snapshot_distance(e.u) + e.weight;
-                        if (via_u <= threshold) repair_seeds_.push_back({e.v, via_u});
-                        const Weight via_v = certs_.snapshot_distance(e.v) + e.weight;
-                        if (via_v <= threshold) repair_seeds_.push_back({e.u, via_v});
+                        const Weight via_u = certs.snapshot_distance(e.u) + e.weight;
+                        if (via_u <= threshold) repair_seeds.push_back({e.v, via_u});
+                        const Weight via_v = certs.snapshot_distance(e.v) + e.weight;
+                        if (via_v <= threshold) repair_seeds.push_back({e.u, via_v});
                     }
                     ++stats.repairs;
-                    if (repair_seeds_.empty()) {
+                    if (repair_seeds.empty()) {
                         accept = true;
                     } else {
                         ++stats.repair_reprobes;
                         ++stats.dijkstra_runs;
-                        const Weight d = ws_.distance_seeded(adapter.view(), repair_seeds_,
-                                                             c.v, threshold);
+                        const Weight d = ws.distance_seeded(adapter.view(), repair_seeds,
+                                                            c.v, threshold);
                         // d is the exact current distance when it beats the
                         // threshold (the snapshot side already exceeded it).
                         accept = d > threshold;
@@ -469,15 +510,15 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             }
             if (decided) {
             } else if (use_sketch &&
-                       sketch_.lower_bound_at(c.u, c.v, insert_epoch) > threshold) {
+                       sketch.lower_bound_at(c.u, c.v, insert_epoch) > threshold) {
                 // Epoch-valid sketch lower bound: the pair was measured
                 // farther than the threshold and nothing was inserted
                 // since -- accept without any probe.
                 ++stats.sketch_accepts;
                 accept = true;
             } else if (sharing) {
-                const std::uint32_t peers = groups_.remaining(c.u);
-                const auto& grp = groups_.of(c.u);
+                const std::uint32_t peers = groups.remaining(c.u);
+                const auto& grp = groups.of(c.u);
                 // Ball-vs-point gate: a ball pays off iff its measured work
                 // amortizes below the point-query work of the candidates it
                 // realistically resolves (accept-heavy phases make balls
@@ -492,8 +533,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                         want_ball = 2.0 * ball_cost <= std::max(ball_value, 1.0) * point_cost;
                     }
                 }
-                if (ball_bucket_[c.u] == batch_seq && ball_epoch_[c.u] == insert_epoch &&
-                    ball_radius_[c.u] >= threshold) {
+                if (ball_bucket[c.u] == batch_seq && ball_epoch[c.u] == insert_epoch &&
+                    ball_radius[c.u] >= threshold) {
                     // Lazy revalidation pay-off: the last ball from this
                     // source (grown serially or by stage 2) is still exact
                     // -- no insertion anywhere since -- and covered this
@@ -508,29 +549,29 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                     const Weight radius = t * cand_at(grp.back()).weight;
                     ++stats.dijkstra_runs;
                     ++stats.balls_computed;
-                    const auto& settled = ws_.ball(adapter.view(), c.u, radius);
-                    update_ema(ball_cost, static_cast<double>(ws_.last_work()));
+                    const auto& settled = ws.ball(adapter.view(), c.u, radius);
+                    update_ema(ball_cost, static_cast<double>(ws.last_work()));
                     if (use_sketch) {
                         // The whole settled set is exact at this epoch:
                         // the cross-bucket harvest that recovers the n^2
                         // DistanceCache's hit rate in O(n) memory.
                         for (const auto& [x, d] : settled) {
-                            if (x != c.u) sketch_.record_exact(c.u, x, d, insert_epoch);
+                            if (x != c.u) sketch.record_exact(c.u, x, d, insert_epoch);
                         }
                     }
                     std::size_t resolved = 1;  // this candidate
                     for (std::uint32_t idx : grp) {
-                        const Weight d = ws_.settled_distance(cand_at(idx).v);
-                        if (d < bound_[idx]) {
-                            bound_[idx] = d;
+                        const Weight d = ws.settled_distance(cand_at(idx).v);
+                        if (d < bound[idx]) {
+                            bound[idx] = d;
                             if (idx > li && d <= t * cand_at(idx).weight) ++resolved;
                         }
                     }
                     update_ema(ball_value, static_cast<double>(resolved));
-                    ball_bucket_[c.u] = batch_seq;
-                    ball_epoch_[c.u] = insert_epoch;
-                    ball_radius_[c.u] = radius;
-                    accept = bound_[li] > threshold;
+                    ball_bucket[c.u] = batch_seq;
+                    ball_epoch[c.u] = insert_epoch;
+                    ball_radius[c.u] = radius;
+                    accept = bound[li] > threshold;
                 } else {
                     // Small group: an early-exit point query decides this
                     // candidate, and every label it touched is a realizable
@@ -540,25 +581,25 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                     ++stats.dijkstra_runs;
                     Weight d;
                     if (options_.bidirectional) {
-                        d = ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
-                        update_ema(point_cost, static_cast<double>(ws_.last_work()));
+                        d = ws.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
+                        update_ema(point_cost, static_cast<double>(ws.last_work()));
                         for (std::uint32_t idx : grp) {
                             if (idx <= li) continue;
-                            const Weight b = ws_.last_forward_bound(cand_at(idx).v);
-                            if (b < bound_[idx]) bound_[idx] = b;
+                            const Weight b = ws.last_forward_bound(cand_at(idx).v);
+                            if (b < bound[idx]) bound[idx] = b;
                         }
-                        for (std::uint32_t idx : groups_.of(c.v)) {
+                        for (std::uint32_t idx : groups.of(c.v)) {
                             if (idx <= li) continue;
-                            const Weight b = ws_.last_backward_bound(cand_at(idx).v);
-                            if (b < bound_[idx]) bound_[idx] = b;
+                            const Weight b = ws.last_backward_bound(cand_at(idx).v);
+                            if (b < bound[idx]) bound[idx] = b;
                         }
                     } else {
-                        d = ws_.distance(adapter.view(), c.u, c.v, threshold);
-                        update_ema(point_cost, static_cast<double>(ws_.last_work()));
+                        d = ws.distance(adapter.view(), c.u, c.v, threshold);
+                        update_ema(point_cost, static_cast<double>(ws.last_work()));
                         for (std::uint32_t idx : grp) {
                             if (idx <= li) continue;
-                            const Weight b = ws_.last_forward_bound(cand_at(idx).v);
-                            if (b < bound_[idx]) bound_[idx] = b;
+                            const Weight b = ws.last_forward_bound(cand_at(idx).v);
+                            if (b < bound[idx]) bound[idx] = b;
                         }
                     }
                     accept = d > threshold;
@@ -568,8 +609,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                 ++stats.dijkstra_runs;
                 const Weight d =
                     options_.bidirectional
-                        ? ws_.distance_bidirectional(adapter.view(), c.u, c.v, threshold)
-                        : ws_.distance(adapter.view(), c.u, c.v, threshold);
+                        ? ws.distance_bidirectional(adapter.view(), c.u, c.v, threshold)
+                        : ws.distance(adapter.view(), c.u, c.v, threshold);
                 accept = d > threshold;
                 if (!accept) sk_pair_exact(c.u, c.v, d);
             }
@@ -586,14 +627,14 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             if (sharing) {
                 // Parallel candidates of the same pair now have a one-edge
                 // witness; lower their bounds so they hit the cache.
-                for (std::uint32_t idx : groups_.of(c.u)) {
-                    if (idx > li && cand_at(idx).v == c.v && c.weight < bound_[idx]) {
-                        bound_[idx] = c.weight;
+                for (std::uint32_t idx : groups.of(c.u)) {
+                    if (idx > li && cand_at(idx).v == c.v && c.weight < bound[idx]) {
+                        bound[idx] = c.weight;
                     }
                 }
-                for (std::uint32_t idx : groups_.of(c.v)) {
-                    if (idx > li && cand_at(idx).v == c.u && c.weight < bound_[idx]) {
-                        bound_[idx] = c.weight;
+                for (std::uint32_t idx : groups.of(c.v)) {
+                    if (idx > li && cand_at(idx).v == c.u && c.weight < bound[idx]) {
+                        bound[idx] = c.weight;
                     }
                 }
             }
@@ -607,13 +648,13 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         }  // batch loop
     }
     stats.bidirectional_meets =
-        ws_.meet_events() + ws_pool_.total_meet_events() - meets_before;
+        ws.meet_events() + ws_pool.total_meet_events() - meets_before;
     stats.csr_rebuilds = adapter.rebuilds();
     stats.csr_compactions = adapter.compactions();
     return h;
 }
 
-std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g) {
+void append_sorted_graph_candidates(const Graph& g, std::vector<GreedyCandidate>& out) {
     std::vector<EdgeId> order(g.num_edges());
     for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
@@ -622,17 +663,27 @@ std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g) {
         return std::make_tuple(ea.weight, std::min(ea.u, ea.v), std::max(ea.u, ea.v), a) <
                std::make_tuple(eb.weight, std::min(eb.u, eb.v), std::max(eb.u, eb.v), b);
     });
-    std::vector<GreedyCandidate> cands;
-    cands.reserve(order.size());
+    out.reserve(out.size() + order.size());
     for (EdgeId id : order) {
         const Edge& e = g.edge(id);
-        cands.push_back(GreedyCandidate{e.u, e.v, e.weight});
+        out.push_back(GreedyCandidate{e.u, e.v, e.weight});
     }
+}
+
+std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g) {
+    std::vector<GreedyCandidate> cands;
+    append_sorted_graph_candidates(g, cands);
     return cands;
 }
 
+#ifndef GSP_NO_DEPRECATED
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
                           GreedyStats* stats) {
+    // Zero the out-param before any work: a throw below must not leave a
+    // previous run's counters behind (the additive-stats footgun).
+    if (stats != nullptr) *stats = GreedyStats{};
     const Timer timer;  // include the candidate sort, as the naive kernel did
     GreedyEngine engine(g.num_vertices(), options);
     const auto candidates = sorted_graph_candidates(g);
@@ -642,5 +693,7 @@ Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
     if (stats != nullptr) *stats = local;
     return h;
 }
+#pragma GCC diagnostic pop
+#endif  // GSP_NO_DEPRECATED
 
 }  // namespace gsp

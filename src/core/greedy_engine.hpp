@@ -1,12 +1,13 @@
 // The unified high-throughput greedy kernel.
 //
 // Every greedy entry point in the library -- greedy_spanner (graph inputs),
-// greedy_spanner_metric (all-pairs candidates), approx_greedy_spanner (the
-// Theorem-6 simulation over a base spanner) -- is the same loop: examine
-// candidate edges in non-decreasing weight order and keep an edge iff the
-// growing spanner's distance between its endpoints exceeds t * w(e).
-// GreedyEngine runs that loop once, as an explicit three-phase pipeline per
-// weight bucket (batched when parallel):
+// greedy_spanner_metric (all-pairs candidates), the approximate-greedy
+// simulation (base-spanner candidates), the WSPD-pair source -- is the same
+// loop: examine candidate edges in non-decreasing weight order and keep an
+// edge iff the growing spanner's distance between its endpoints exceeds
+// t * w(e). The api layer (src/api) turns "where the candidates come from"
+// into a CandidateSource plug-in; GreedyEngine runs the loop itself, as an
+// explicit three-phase pipeline per weight bucket (batched when parallel):
 //
 //   [1] candidate stream   (core/candidate_stream) -- materialize the
 //       bucket [w, bucket_ratio * w), group its candidates by source
@@ -37,32 +38,18 @@
 // stage 3 re-verifies every surviving accept, the edge set is
 // bit-identical to the naive kernel at every thread count.
 //
-// The stacked optimisations of the serial kernel are individually
-// toggleable (for the ablation benches) and *decision preserving*:
+// The serial kernel's stacked optimisations (bidirectional, ball_sharing,
+// csr_snapshot, bound_sketch -- see core/engine_tuning.hpp) are
+// individually toggleable for the ablation benches and *decision
+// preserving*: every configuration returns the same edge set.
 //
-//  1. `bidirectional` -- point-to-point queries use two frontiers meeting
-//     near limit/2 (DijkstraWorkspace::distance_bidirectional); on
-//     bounded-growth instances the settled ball shrinks superlinearly.
-//  2. `ball_sharing` -- candidates are grouped by source vertex; one ball()
-//     query from the source answers every candidate of that source, its
-//     exact distances are cached as upper bounds (the spanner only grows,
-//     so bounds only become stale in the *safe* direction and may reject
-//     forever), and a candidate is re-verified only when its cached bound
-//     exceeds t * w(e) *and* an insertion occurred since the ball was
-//     grown (lazy revalidation). This generalises the Farshi-Gudmundsson
-//     n^2 DistanceCache of the metric kernel to sparse candidate sets
-//     without the n^2 memory.
-//  3. `csr_snapshot` -- shortest-path queries scan the gap-buffered
-//     incremental CSR mirror of the spanner (graph/incremental_csr):
-//     contiguous per-vertex runs kept exact at O(degree) per insertion,
-//     so "re-freezing" between batches is free and only amortized arena
-//     compactions ever pay the full O(n + m) rebuild.
-//  4. `bound_sketch` -- a compact per-vertex cross-bucket distance sketch
-//     (core/bound_sketch) consulted before any Dijkstra probe: persisted
-//     witness upper bounds reject forever, epoch-tagged lower bounds
-//     accept while no insertion intervened. Recovers the n^2
-//     DistanceCache's cross-bucket hit rate on metric inputs in O(n)
-//     memory.
+// Resource model: the thread pool, the per-worker workspace pool, and the
+// sketch/certificate arenas are the expensive part of an engine. They live
+// in an EngineResources, which a GreedyEngine either owns privately (the
+// one-shot entry points) or borrows from a SpannerSession (src/api/session)
+// that keeps them warm across many build() calls -- the request-serving
+// path, where a warm build pays zero pool/workspace construction
+// (counter-verified by the session-reuse bench probe).
 //
 // Callers with scale-dependent side structures (the approximate-greedy
 // cluster oracle) hook the bucket boundary via `on_bucket` and may install
@@ -78,6 +65,7 @@
 
 #include "core/bound_sketch.hpp"
 #include "core/candidate_stream.hpp"
+#include "core/engine_tuning.hpp"
 #include "core/greedy.hpp"
 #include "core/prefilter_stage.hpp"
 #include "graph/dijkstra.hpp"
@@ -87,110 +75,12 @@
 
 namespace gsp {
 
-struct GreedyEngineOptions {
+/// Engine configuration: the shared tuning block (see engine_tuning.hpp)
+/// plus the per-run stretch and the caller hooks only this layer can
+/// express. Field access is flat (`options.bidirectional`) -- the base
+/// class is a layering device, not an indirection.
+struct GreedyEngineOptions : EngineTuning {
     double stretch = 2.0;  ///< t >= 1
-
-    bool bidirectional = true;  ///< meet-in-the-middle point queries
-    bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
-    bool csr_snapshot = true;   ///< incremental gap-buffered CSR adjacency
-    bool bound_sketch = true;   ///< cross-bucket per-vertex bound sketch
-
-    /// Worker count for the parallel prefilter stage: 1 = fully serial
-    /// (the PR-1 kernel, and the default -- parallelism is opt-in so the
-    /// serial entry points keep schedule-free stats), 0 = hardware
-    /// concurrency, k = exactly k workers. The edge set is identical at
-    /// every value.
-    std::size_t num_threads = 1;
-
-    /// Master switch for stage 2. With it off (or num_threads resolving to
-    /// 1) buckets flow straight from the candidate stream into the
-    /// serialized insertion loop.
-    bool parallel_prefilter = true;
-
-    /// Stage-2 batch width: when the parallel stage is active, buckets are
-    /// processed in sub-batches of this many candidates; the incremental
-    /// view is exact at every batch boundary for free (per-insertion
-    /// refresh), so each batch's stage-2 facts are probed against the
-    /// freshest possible spanner. A weight bucket can span the whole input
-    /// -- uniform-ish weights collapse into one geometric class -- and
-    /// without batching every stage-2 fact after the bucket's first
-    /// insertion would be computed against a hopelessly stale spanner.
-    /// Constant across thread counts, so stage-2 decisions (and stats)
-    /// depend only on the input. Ignored when serial.
-    std::size_t parallel_batch = 2048;
-
-    /// Accept-rate boundary for stage 2, keyed on the previous batch's
-    /// measured accept rate (a pure function of the greedy decisions,
-    /// hence identical at every thread count). With speculative_repair
-    /// *off*, a batch above the gate skips stage 2 entirely (the PR-2
-    /// rule: accept-heavy certificates die on the next insertion, so
-    /// probing them was wasted work). With repair *on*, the gate instead
-    /// switches stage 2 into certificate mode: accept-predicted batches
-    /// grow drained certificate balls whose facts survive insertions via
-    /// phase-B repair. 1.0 = never predict accept-heavy.
-    double parallel_accept_gate = 0.25;
-
-    /// The speculative two-phase accept path. Phase A (stage 2) records an
-    /// epoch-tagged distance certificate for every far-at-snapshot
-    /// candidate; phase B (in the insertion loop) repairs certificates
-    /// staled by the batch's insertions through a bounded probe seeded at
-    /// the inserted endpoints, instead of a full exact re-query. Decisions
-    /// are exact either way -- the edge set stays bit-identical at every
-    /// thread count. No effect on serial runs.
-    bool speculative_repair = true;
-
-    /// Largest settled frontier a phase-A certificate may store (and the
-    /// settled-count abort of a certificate-mode ball attempt). A
-    /// certificate's value is bounded -- it saves a couple of serial
-    /// queries -- while its cost scales with the frontier, so only small
-    /// balls are worth certifying; bigger ones abort at bounded cost and
-    /// fall back to the exact query when staled. Measured on the n=2^13
-    /// expander: cap 4096 lets ~1000-vertex frontiers through and
-    /// multiplies the parallel rows' wall clock by 12x; cap 128 keeps
-    /// them at parity with repair off while still resolving tens of
-    /// thousands of accepts by repair.
-    std::size_t repair_cert_cap = 128;
-
-    /// Work budget (heap pushes) of a certificate-mode ball attempt while
-    /// the serial point-query cost model is still uncalibrated; once
-    /// calibrated, the budget is a few point queries per undecided
-    /// candidate of the group instead. On bounded-growth instances the
-    /// drained ball stays far below either budget; on expander-like
-    /// instances the attempt aborts at bounded cost and the group falls
-    /// back to the non-certificate rules. When a certificate-mode batch
-    /// aborts more balls than it publishes, certificate mode switches off
-    /// for the rest of the run (the accept gate then skips stage 2 for
-    /// accept-predicted batches, the PR-2 rule). Aborts and the
-    /// switch-off are pure functions of the input -- schedule-free.
-    std::size_t repair_ball_fallback_work = 8192;
-
-    /// Insertion budget per batch for the accept-rate batch planner
-    /// (candidate_stream's BatchPlanner): accept-predicted batches shrink
-    /// so that roughly this many insertions land per batch, bounding how
-    /// stale any certificate can get before its repair. Only consulted
-    /// when speculative_repair is on; reject-predicted batches stay at
-    /// parallel_batch.
-    std::size_t parallel_target_accepts = 128;
-
-    /// Bound-sketch associativity: slots per vertex (power of two).
-    /// kWays = 4 is PR 3's first cut; bench_micro measures the hit-rate
-    /// curve at 2/4/8.
-    std::size_t sketch_ways = BoundSketch::kDefaultWays;
-
-    /// Geometric ratio of the weight buckets that pace ball sharing, CSR
-    /// rebuilds, and `on_bucket` callbacks. Must be > 1.
-    double bucket_ratio = 2.0;
-
-    /// Ball sharing decides ball-vs-point adaptively from measured work (a
-    /// ball pays off when its touched-vertex count amortizes below the
-    /// per-query cost of the group's remaining point queries -- the metric
-    /// regime, where one ball answers hundreds of pairs; on expander-like
-    /// graphs a full ball costs far more than a meet-in-the-middle query).
-    /// Until the first ball of a run calibrates the cost model, a ball is
-    /// attempted only for groups with at least this many undecided
-    /// candidates. The parallel prefilter stage uses the same threshold
-    /// (statically -- its decisions must not depend on scheduling).
-    std::size_t ball_share_min_group = 16;
 
     /// Optional sound reject-only fast path, consulted first for every
     /// candidate: return true only if a realizable witness path of length
@@ -223,44 +113,49 @@ struct GreedyEngineOptions {
     std::function<void(const Graph& h, Weight bucket_lo)> on_bucket;
 };
 
-/// The shared greedy kernel. One engine instance holds the reusable query
-/// workspaces, the worker pool, and cache scratch; `run` may be called
-/// repeatedly.
-class GreedyEngine {
+/// The heavy, reusable half of a greedy engine: thread pools (cached per
+/// worker count), the serial-loop Dijkstra workspace, the per-worker
+/// workspace pool, the sketch/certificate arenas, and every per-run
+/// scratch vector. Construction counters certify the warm path: a
+/// SpannerSession owns one EngineResources across builds, and repeat
+/// builds construct zero pools and zero workspaces.
+class EngineResources {
 public:
-    GreedyEngine(std::size_t n, GreedyEngineOptions options);
+    /// A pool with exactly `workers` workers (>= 2): the cached instance
+    /// when one of that size exists, otherwise constructed (and counted)
+    /// and kept for the lifetime of the resources. Distinct sizes coexist
+    /// so heterogeneous builds in one session each stay warm.
+    [[nodiscard]] ThreadPool& acquire_pool(std::size_t workers);
 
-    /// Run the greedy loop: candidates must be sorted by non-decreasing
-    /// weight (the caller fixes tie order -- the engine preserves it).
-    /// Decisions are appended to `h`, which carries any pre-seeded edges
-    /// (the approximate-greedy E0 set); returns the final spanner.
-    Graph run(Graph h, std::span<const GreedyCandidate> candidates,
-              GreedyStats* stats = nullptr);
+    /// Thread pools constructed through acquire_pool so far.
+    [[nodiscard]] std::size_t pools_constructed() const { return pools_constructed_; }
 
-    [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
+    /// Dijkstra workspaces constructed so far (the serial-loop workspace
+    /// plus the per-worker pool's entries).
+    [[nodiscard]] std::size_t workspaces_constructed() const {
+        return 1 + ws_pool_.created();
+    }
 
-    /// Resolved worker count (>= 1): what `concurrent_prefilter` will be
-    /// called with, and how many scratches a concurrent hook needs.
-    [[nodiscard]] std::size_t num_workers() const { return workers_; }
+    /// The serial insertion-loop workspace; also the reuse vehicle for the
+    /// audit/reroute helpers (grown to the largest build, never shrunk).
+    [[nodiscard]] DijkstraWorkspace& workspace() { return ws_; }
+
+    /// The per-worker workspace pool (analysis/audit's pool overloads
+    /// accept it directly, so audits in a session pay no allocation).
+    [[nodiscard]] DijkstraWorkspacePool& workspace_pool() { return ws_pool_; }
 
 private:
-    template <class Adapter>
-    Graph run_impl(Adapter& adapter, Graph h, std::span<const GreedyCandidate> candidates,
-                   GreedyStats& stats);
+    friend class GreedyEngine;
 
-    [[nodiscard]] bool parallel_enabled() const { return pool_ != nullptr; }
+    std::vector<std::unique_ptr<ThreadPool>> pools_;  ///< one per distinct size
+    std::size_t pools_constructed_ = 0;
 
-    GreedyEngineOptions options_;
-    std::size_t n_;
-    std::size_t workers_ = 1;
-
-    DijkstraWorkspace ws_;                ///< the insertion loop's workspace
-    std::unique_ptr<ThreadPool> pool_;    ///< stage-2 executor (workers_ > 1)
-    DijkstraWorkspacePool ws_pool_;       ///< one workspace per stage-2 worker
-    PrefilterStage prefilter_stage_;      ///< stage-2 verdict bitsets + counters
-    SourceGroups groups_;                 ///< stage-1 per-bucket grouping
-    BoundSketch sketch_;                  ///< cross-bucket bound persistence
-    CertificateStore certs_;              ///< phase-A certificates for phase-B repair
+    DijkstraWorkspace ws_;             ///< the insertion loop's workspace
+    DijkstraWorkspacePool ws_pool_;    ///< one workspace per stage-2 worker
+    PrefilterStage prefilter_stage_;   ///< stage-2 verdict bitsets + counters
+    SourceGroups groups_;              ///< stage-1 per-bucket grouping
+    BoundSketch sketch_;               ///< cross-bucket bound persistence
+    CertificateStore certs_;           ///< phase-A certificates for phase-B repair
     std::vector<RepairSeed> repair_seeds_;  ///< phase-B scratch
 
     // Ball-sharing / prefilter scratch, reused across runs. Groups are
@@ -271,14 +166,67 @@ private:
     std::vector<Weight> ball_radius_;        ///< radius of last ball
 };
 
+/// The shared greedy kernel. `run` may be called repeatedly; with the
+/// borrowed-resources constructor the engine itself is a cheap per-build
+/// object and every expensive allocation lives in the session.
+class GreedyEngine {
+public:
+    /// Owns a private EngineResources (the one-shot entry points).
+    GreedyEngine(std::size_t n, GreedyEngineOptions options);
+
+    /// Borrows `resources` (a SpannerSession's): pools and workspaces are
+    /// acquired from the shared cache, so repeat constructions are free.
+    /// `resources` must outlive the engine.
+    GreedyEngine(std::size_t n, GreedyEngineOptions options, EngineResources& resources);
+
+    /// Run the greedy loop: candidates must be sorted by non-decreasing
+    /// weight (the caller fixes tie order -- the engine preserves it).
+    /// Decisions are appended to `h`, which carries any pre-seeded edges
+    /// (the approximate-greedy E0 set); returns the final spanner.
+    /// `*stats` is overwritten with this run's counters (never additive).
+    Graph run(Graph h, std::span<const GreedyCandidate> candidates,
+              GreedyStats* stats = nullptr);
+
+    [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
+
+    /// Resolved worker count (>= 1): what `concurrent_prefilter` will be
+    /// called with, and how many scratches a concurrent hook needs.
+    [[nodiscard]] std::size_t num_workers() const { return workers_; }
+
+private:
+    void init();  ///< shared constructor tail: validation + pool acquisition
+
+    template <class Adapter>
+    Graph run_impl(Adapter& adapter, Graph h, std::span<const GreedyCandidate> candidates,
+                   GreedyStats& stats);
+
+    [[nodiscard]] bool parallel_enabled() const { return pool_ != nullptr; }
+
+    GreedyEngineOptions options_;
+    std::size_t n_;
+    std::size_t workers_ = 1;
+
+    std::unique_ptr<EngineResources> owned_;  ///< set by the owning constructor
+    EngineResources* res_;                    ///< owned or borrowed
+    ThreadPool* pool_ = nullptr;              ///< stage-2 executor (workers_ > 1)
+};
+
 /// The candidate list of a graph input: all edges of g sorted by
 /// (weight, min endpoint, max endpoint, edge id) -- the deterministic tie
-/// order the naive kernel has always used.
+/// order the naive kernel has always used. The appending form writes into
+/// the caller's buffer (the session's reused materialization buffer: no
+/// per-build allocation on the warm path); the value form allocates.
+void append_sorted_graph_candidates(const Graph& g, std::vector<GreedyCandidate>& out);
 std::vector<GreedyCandidate> sorted_graph_candidates(const Graph& g);
 
-/// greedy_spanner with explicit engine configuration (the plain
-/// greedy_spanner(g, t) overload runs the full-featured engine).
+#ifndef GSP_NO_DEPRECATED
+/// greedy_spanner with explicit engine configuration. Legacy front door:
+/// prefer a SpannerSession + BuildOptions (src/api/session.hpp), which
+/// reuses the pools and workspaces this wrapper reconstructs per call.
+/// `*stats` is zeroed before delegating.
+[[deprecated("use SpannerSession::build with BuildOptions (src/api/session.hpp)")]]
 Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
                           GreedyStats* stats = nullptr);
+#endif
 
 }  // namespace gsp

@@ -1,66 +1,51 @@
 #include "core/greedy_metric.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <vector>
-
-#include "core/greedy_engine.hpp"
-#include "util/timer.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 
 namespace gsp {
 
 namespace {
 
-std::vector<GreedyCandidate> sorted_pairs(const MetricSpace& m) {
-    const std::size_t n = m.size();
-    std::vector<GreedyCandidate> pairs;
-    pairs.reserve(n * (n - 1) / 2);
-    for (VertexId i = 0; i < n; ++i) {
-        for (VertexId j = i + 1; j < n; ++j) {
-            pairs.push_back(GreedyCandidate{i, j, m.distance(i, j)});
-        }
+Graph run_metric(const MetricSpace& m, double t, const EngineTuning& tuning,
+                 GreedyStats* stats) {
+    // Zero the out-param before any work (never additive, even on throw).
+    if (stats != nullptr) *stats = GreedyStats{};
+    SpannerSession session;
+    BuildOptions options;
+    options.stretch = t;
+    options.engine = tuning;
+    MetricCandidateSource source(m);
+    BuildReport report;
+    Graph h = session.build(source, options, &report);
+    if (stats != nullptr) {
+        *stats = report.stats;
+        // As the metric kernel always measured: pair enumeration + sort
+        // included.
+        stats->seconds = report.seconds;
     }
-    std::sort(pairs.begin(), pairs.end(),
-              [](const GreedyCandidate& a, const GreedyCandidate& b) {
-                  return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
-              });
-    return pairs;
+    return h;
 }
 
 }  // namespace
 
+Graph greedy_spanner_metric(const MetricSpace& m, double t, GreedyStats* stats) {
+    return run_metric(m, t, EngineTuning{}, stats);
+}
+
+#ifndef GSP_NO_DEPRECATED
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& options,
                             GreedyStats* stats) {
-    const double t = options.stretch;
-    if (t < 1.0) throw std::invalid_argument("greedy_spanner_metric: stretch must be >= 1");
-    const std::size_t n = m.size();
-    if (n < 2) {
-        if (stats != nullptr) *stats = GreedyStats{};
-        return Graph(n);
-    }
-
-    // The cached variant is the full engine: per-bucket shared balls play
-    // the role of the Farshi-Gudmundsson n^2 matrix (upper bounds that only
-    // ever improve), without the n^2 memory. The naive variant is the
-    // reference kernel: one one-sided distance-limited Dijkstra per pair.
-    GreedyEngineOptions engine_options;
-    engine_options.stretch = t;
-    engine_options.bidirectional = options.use_distance_cache;
-    engine_options.ball_sharing = options.use_distance_cache;
-    engine_options.csr_snapshot = options.use_distance_cache;
-    engine_options.bound_sketch = options.use_distance_cache;
-    engine_options.num_threads = options.use_distance_cache ? options.num_threads : 1;
-    engine_options.speculative_repair = options.speculative_repair;
-    engine_options.sketch_ways = options.sketch_ways;
-
-    const Timer timer;  // include pair enumeration + sort, as before
-    const auto pairs = sorted_pairs(m);
-    GreedyEngine engine(n, engine_options);
-    GreedyStats local;
-    Graph h = engine.run(Graph(n), pairs, &local);
-    local.seconds = timer.seconds();
-    if (stats != nullptr) *stats = local;
-    return h;
+    // The naive variant is the reference kernel: one one-sided
+    // distance-limited Dijkstra per pair. The cached variant is whatever
+    // the embedded engine block says (full engine by default).
+    const EngineTuning tuning =
+        options.use_distance_cache ? options.engine : EngineTuning::naive();
+    return run_metric(m, options.stretch, tuning, stats);
 }
+#pragma GCC diagnostic pop
+#endif  // GSP_NO_DEPRECATED
 
 }  // namespace gsp

@@ -5,7 +5,7 @@
 // observationally identical):
 //
 //  * the naive greedy -- one one-sided distance-limited Dijkstra per pair
-//    (every engine optimisation off);
+//    (every engine optimisation off; EngineTuning::naive());
 //  * the cached greedy -- the full engine: per-bucket shared balls cache
 //    spanner distances as upper bounds in the Farshi-Gudmundsson style (the
 //    practical variant behind the O(n^2 log n) bound the paper cites as
@@ -15,40 +15,48 @@
 //    candidate record the sorted pair list already stores) instead of a
 //    separate n x n matrix, and shares its balls only within a weight
 //    bucket.
+//
+// The candidate enumeration itself is the api layer's MetricCandidateSource
+// (src/api/candidate_source.hpp); the convenience below is a one-shot
+// session over it.
 #pragma once
 
-#include "core/bound_sketch.hpp"
+#include "core/engine_tuning.hpp"
 #include "core/greedy.hpp"
 #include "graph/graph.hpp"
 #include "metric/metric_space.hpp"
 
 namespace gsp {
 
-struct MetricGreedyOptions {
-    double stretch = 2.0;
-    /// Run the full GreedyEngine (FG-style shared-ball cache, bidirectional
-    /// queries, incremental CSR, cross-bucket bound sketch). Identical
-    /// output, faster. Off = the naive reference kernel.
-    bool use_distance_cache = true;
-    /// Stage-2 workers for the cached engine (1 = serial, 0 = hardware
-    /// concurrency). The edge set is identical at every value.
-    std::size_t num_threads = 1;
-    /// Speculative two-phase accept path for parallel runs (phase-A
-    /// certificate balls + phase-B repair); identical edge set either way.
-    bool speculative_repair = true;
-    /// Bound-sketch associativity (power of two; slots per vertex).
-    std::size_t sketch_ways = BoundSketch::kDefaultWays;
-};
-
 /// The greedy t-spanner of the metric m, as a graph over m's points whose
-/// edge weights are metric distances.
-Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& options,
+/// edge weights are metric distances. One-shot convenience (full engine,
+/// serial); for configured, parallel, or repeated builds use a
+/// SpannerSession with BuildOptions (src/api/session.hpp). `*stats` is
+/// zeroed before any work.
+Graph greedy_spanner_metric(const MetricSpace& m, double t,
                             GreedyStats* stats = nullptr);
 
-/// Convenience overload with default options.
-inline Graph greedy_spanner_metric(const MetricSpace& m, double t,
-                                   GreedyStats* stats = nullptr) {
-    return greedy_spanner_metric(m, MetricGreedyOptions{.stretch = t}, stats);
-}
+#ifndef GSP_NO_DEPRECATED
+/// Legacy option struct. The engine knobs it used to re-declare
+/// (num_threads, speculative_repair, sketch_ways) live in the embedded
+/// shared `engine` block now -- which also gives the metric path the
+/// bound_sketch on/off toggle it historically lacked.
+struct MetricGreedyOptions {
+    double stretch = 2.0;
+    /// Run the full GreedyEngine. Identical output, faster. Off = the
+    /// naive reference kernel (overrides the engine block with
+    /// EngineTuning::naive()).
+    bool use_distance_cache = true;
+    EngineTuning engine;  ///< the shared engine block
+};
+
+/// Legacy front door: prefer SpannerSession::build over a
+/// MetricCandidateSource (or the "greedy-metric" registry entry), which
+/// reuses pools and workspaces across builds. `*stats` is zeroed before
+/// delegating.
+[[deprecated("use SpannerSession::build with BuildOptions (src/api/session.hpp)")]]
+Graph greedy_spanner_metric(const MetricSpace& m, const MetricGreedyOptions& options,
+                            GreedyStats* stats = nullptr);
+#endif  // GSP_NO_DEPRECATED
 
 }  // namespace gsp

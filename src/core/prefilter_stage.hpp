@@ -139,8 +139,11 @@ public:
     }
 
     /// Current verdict-bitset footprint (for the handoff byte accounting).
+    /// Logical words, not capacities: the counter must be a pure function
+    /// of the run, independent of what earlier (larger) runs left behind
+    /// in a warm session's buffers.
     [[nodiscard]] std::size_t verdict_bytes() const {
-        return (oracle_bits_.capacity() + far_bits_.capacity()) * sizeof(std::uint64_t);
+        return (oracle_bits_.size() + far_bits_.size()) * sizeof(std::uint64_t);
     }
 
     /// Fan one batch out over the pool. `bounds` collects realizable-path

@@ -76,6 +76,7 @@ const std::vector<Weight>& DijkstraWorkspace::all_distances(const Graph& g, Vert
 void DijkstraWorkspacePool::configure(std::size_t workers, std::size_t n) {
     while (pool_.size() < workers) {
         pool_.push_back(std::make_unique<DijkstraWorkspace>());
+        ++created_;
     }
     for (auto& ws : pool_) ws->resize(n);
 }

@@ -211,8 +211,15 @@ public:
     /// Sum of meet_events() over all workspaces (stats aggregation).
     [[nodiscard]] std::size_t total_meet_events() const;
 
+    /// Workspaces constructed over this pool's lifetime. configure() only
+    /// ever grows the pool, so on a warm pool (a SpannerSession reused
+    /// across builds) this stays flat -- the counter the session-reuse
+    /// bench probe certifies.
+    [[nodiscard]] std::size_t created() const { return created_; }
+
 private:
     std::vector<std::unique_ptr<DijkstraWorkspace>> pool_;
+    std::size_t created_ = 0;
 };
 
 template <class G>

@@ -44,6 +44,11 @@ Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspace& ws) {
     return h;
 }
 
+Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspacePool& pool) {
+    pool.configure(1, h2.num_vertices());
+    return reroute_through(h1, h2, pool.at(0));
+}
+
 Graph reroute_through(const Graph& h1, const Graph& h2) {
     DijkstraWorkspace ws(h2.num_vertices());
     return reroute_through(h1, h2, ws);

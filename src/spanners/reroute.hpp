@@ -25,8 +25,12 @@ namespace gsp {
 /// Requires matching vertex counts; throws if some H1 edge's endpoints are
 /// disconnected in H2. The workspace-taking overload reuses the caller's
 /// DijkstraWorkspace (no O(n) allocation per call -- for loops that reroute
-/// repeatedly); the plain overload allocates a local one and delegates.
+/// repeatedly); the pool-taking overload borrows workspace 0 of a
+/// DijkstraWorkspacePool (pass SpannerSession::workspace_pool() so reroutes
+/// between builds share the session's arenas); the plain overload
+/// allocates a local workspace and delegates.
 Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspace& ws);
+Graph reroute_through(const Graph& h1, const Graph& h2, DijkstraWorkspacePool& pool);
 Graph reroute_through(const Graph& h1, const Graph& h2);
 
 }  // namespace gsp

@@ -6,6 +6,8 @@
 #include <tuple>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/greedy_metric.hpp"
 #include "core/self_optimality.hpp"
 #include "gen/hard_instances.hpp"
@@ -15,6 +17,18 @@
 
 namespace gsp {
 namespace {
+
+/// Configured approximate-greedy through the unified API (one-shot
+/// session).
+ApproxGreedyResult approx_with(const MetricSpace& m, const ApproxParams& params,
+                               std::size_t threads = 1, double bucket_ratio = 2.0) {
+    SpannerSession session;
+    BuildOptions options;
+    options.approx = params;
+    options.engine.num_threads = threads;
+    options.engine.bucket_ratio = bucket_ratio;
+    return approx_greedy_build(session, m, options);
+}
 
 class ApproxGreedyStretchTest
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t, double>> {};
@@ -41,10 +55,10 @@ TEST(ApproxGreedyTest, OracleOnAndOffProduceIdenticalSpanners) {
     // must be bit-identical, not merely equivalent.
     Rng rng(5);
     const EuclideanMetric pts = uniform_points(300, 2, 100.0, rng);
-    ApproxGreedyOptions with{.epsilon = 0.5, .use_cluster_oracle = true};
-    ApproxGreedyOptions without{.epsilon = 0.5, .use_cluster_oracle = false};
-    const ApproxGreedyResult a = approx_greedy_spanner(pts, with);
-    const ApproxGreedyResult b = approx_greedy_spanner(pts, without);
+    const ApproxGreedyResult a =
+        approx_with(pts, ApproxParams{.epsilon = 0.5, .use_cluster_oracle = true});
+    const ApproxGreedyResult b =
+        approx_with(pts, ApproxParams{.epsilon = 0.5, .use_cluster_oracle = false});
     EXPECT_TRUE(same_edge_set(a.spanner, b.spanner));
     EXPECT_GT(a.oracle_rejects, 0u);
     EXPECT_EQ(b.oracle_rejects, 0u);
@@ -57,14 +71,12 @@ TEST(ApproxGreedyTest, ParallelPipelineMatchesSerialWithAndWithoutOracle) {
     // bit-identical to the serial run.
     Rng rng(23);
     const EuclideanMetric pts = uniform_points(250, 2, 100.0, rng);
-    const ApproxGreedyResult serial =
-        approx_greedy_spanner(pts, ApproxGreedyOptions{.epsilon = 0.5});
+    const ApproxGreedyResult serial = approx_with(pts, ApproxParams{.epsilon = 0.5});
     for (const bool oracle : {false, true}) {
         for (const std::size_t threads : {2u, 4u}) {
-            const ApproxGreedyResult par = approx_greedy_spanner(
-                pts, ApproxGreedyOptions{.epsilon = 0.5,
-                                         .use_cluster_oracle = oracle,
-                                         .num_threads = threads});
+            const ApproxGreedyResult par = approx_with(
+                pts, ApproxParams{.epsilon = 0.5, .use_cluster_oracle = oracle},
+                threads);
             EXPECT_TRUE(same_edge_set(par.spanner, serial.spanner))
                 << "threads=" << threads << " oracle=" << oracle;
         }
@@ -113,8 +125,8 @@ TEST(ApproxGreedyTest, GenericDoublingMetricPath) {
     // Non-Euclidean input exercises the net-spanner base (the paper's
     // doubling-metric extension -- its Theorem 6).
     const MatrixMetric star = geometric_star_metric(64, 1.6);
-    const ApproxGreedyResult r = approx_greedy_spanner(
-        star, ApproxGreedyOptions{.epsilon = 0.5, .net_degree_cap = 16});
+    const ApproxGreedyResult r =
+        approx_with(star, ApproxParams{.epsilon = 0.5, .net_degree_cap = 16});
     EXPECT_LE(max_stretch_metric(star, r.spanner), 1.5 + 1e-9);
     // The greedy spanner's hub degree is n-1 = 63 here; approximate-greedy
     // inherits the base's bounded degree.
@@ -128,8 +140,9 @@ TEST(ApproxGreedyTest, InputValidation) {
     const EuclideanMetric pts = uniform_points(10, 2, 1.0, rng);
     EXPECT_THROW(approx_greedy_spanner(pts, 0.0), std::invalid_argument);
     EXPECT_THROW(approx_greedy_spanner(pts, 1.5), std::invalid_argument);
-    ApproxGreedyOptions bad{.epsilon = 0.5, .bucket_ratio = 1.0};
-    EXPECT_THROW(approx_greedy_spanner(pts, bad), std::invalid_argument);
+    // A degenerate bucket ratio now fails BuildOptions::validate.
+    EXPECT_THROW(approx_with(pts, ApproxParams{.epsilon = 0.5}, 1, /*bucket_ratio=*/1.0),
+                 std::invalid_argument);
 }
 
 TEST(ApproxGreedyTest, TrivialInputs) {

@@ -40,6 +40,15 @@ std::string mask_name(unsigned mask) {
     return s.empty() ? "naive" : s;
 }
 
+/// Run a configured engine over a graph's sorted edge candidates -- the
+/// engine-layer equivalent of the deprecated greedy_spanner_with wrapper
+/// (this suite tests the engine itself, not the front doors).
+Graph run_with(const Graph& g, const GreedyEngineOptions& options,
+               GreedyStats* stats = nullptr) {
+    GreedyEngine engine(g.num_vertices(), options);
+    return engine.run(Graph(g.num_vertices()), sorted_graph_candidates(g), stats);
+}
+
 /// The instance families named by the issue: Erdos-Renyi, grid, Euclidean
 /// (random geometric, with Euclidean edge weights).
 std::vector<std::pair<std::string, Graph>> instance_family(std::uint64_t seed) {
@@ -58,11 +67,11 @@ TEST_P(EngineEquivalenceTest, EveryConfigurationMatchesTheNaiveKernel) {
     const auto [seed, t] = GetParam();
     for (const auto& [name, g] : instance_family(seed)) {
         GreedyStats naive_stats;
-        const Graph naive = greedy_spanner_with(g, config_from_mask(t, 0), &naive_stats);
+        const Graph naive = run_with(g, config_from_mask(t, 0), &naive_stats);
         EXPECT_EQ(naive_stats.dijkstra_runs, g.num_edges()) << name;
         for (unsigned mask = 1; mask <= 15; ++mask) {
             GreedyStats stats;
-            const Graph h = greedy_spanner_with(g, config_from_mask(t, mask), &stats);
+            const Graph h = run_with(g, config_from_mask(t, mask), &stats);
             EXPECT_TRUE(same_edge_set(h, naive))
                 << name << " diverges under " << mask_name(mask) << " at t=" << t;
             EXPECT_EQ(stats.edges_examined, g.num_edges());
@@ -94,8 +103,8 @@ TEST(GreedyEngineTest, DeterministicAcrossRuns) {
     const Graph g = erdos_renyi(80, 0.2, {.lo = 0.5, .hi = 4.0}, rng);
     GreedyEngineOptions options;  // full engine
     options.stretch = 2.0;
-    const Graph a = greedy_spanner_with(g, options);
-    const Graph b = greedy_spanner_with(g, options);
+    const Graph a = run_with(g, options);
+    const Graph b = run_with(g, options);
     // Stronger than same_edge_set: identical insertion sequence.
     ASSERT_EQ(a.num_edges(), b.num_edges());
     for (EdgeId id = 0; id < a.num_edges(); ++id) {
@@ -157,7 +166,7 @@ TEST(GreedyEngineTest, PrefilterOnlyShortCircuitsNeverChangesOutput) {
         return false;
     };
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, t)));
     EXPECT_EQ(stats.prefilter_rejects, rejects);
     EXPECT_GT(rejects, 0u);
@@ -174,7 +183,7 @@ TEST(ParallelEngineTest, EdgeSetMatchesNaiveAtEveryThreadCount) {
     // workers prefilter the buckets.
     for (const std::uint64_t seed : {3u, 101u}) {
         for (const auto& [name, g] : instance_family(seed)) {
-            const Graph naive = greedy_spanner_with(g, config_from_mask(2.0, 0));
+            const Graph naive = run_with(g, config_from_mask(2.0, 0));
             for (const std::size_t threads : kThreadCounts) {
                 for (const bool sharing : {true, false}) {
                     for (const bool sketch : {true, false}) {
@@ -188,7 +197,7 @@ TEST(ParallelEngineTest, EdgeSetMatchesNaiveAtEveryThreadCount) {
                                 options.parallel_accept_gate = accept_gate;
                                 options.speculative_repair = repair;
                                 GreedyStats stats;
-                                const Graph h = greedy_spanner_with(g, options, &stats);
+                                const Graph h = run_with(g, options, &stats);
                                 EXPECT_TRUE(same_edge_set(h, naive))
                                     << name << " diverges at num_threads=" << threads
                                     << " sharing=" << sharing << " sketch=" << sketch
@@ -220,8 +229,8 @@ TEST(ParallelEngineTest, StatsAreScheduleIndependent) {
     options.num_threads = 4;
     GreedyStats a;
     GreedyStats b;
-    const Graph ha = greedy_spanner_with(g, options, &a);
-    const Graph hb = greedy_spanner_with(g, options, &b);
+    const Graph ha = run_with(g, options, &a);
+    const Graph hb = run_with(g, options, &b);
     EXPECT_TRUE(same_edge_set(ha, hb));
     EXPECT_EQ(a.dijkstra_runs, b.dijkstra_runs);
     EXPECT_EQ(a.balls_computed, b.balls_computed);
@@ -254,7 +263,7 @@ TEST(ParallelEngineTest, RepairCountersAreWorkerCountIndependent) {
         GreedyEngineOptions options;
         options.stretch = 1.5;
         options.num_threads = counts[i];
-        results[i] = greedy_spanner_with(g, options, &by_threads[i]);
+        results[i] = run_with(g, options, &by_threads[i]);
     }
     EXPECT_TRUE(same_edge_set(results[0], results[1]));
     EXPECT_EQ(by_threads[0].repairs, by_threads[1].repairs);
@@ -277,7 +286,7 @@ TEST(ParallelEngineTest, AcceptHeavyRunsResolveTentativeAcceptsByRepair) {
     options.stretch = 1.5;
     options.num_threads = 2;
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 1.5)));
     const double accept_rate =
         static_cast<double>(h.num_edges()) / static_cast<double>(g.num_edges());
@@ -302,7 +311,7 @@ TEST(ParallelEngineTest, RepairedRejectsMatchExactDistances) {
     for (const std::uint64_t seed : {5u, 23u, 77u}) {
         Rng rng(seed);
         const Graph g = erdos_renyi(80, 0.3, {.lo = 1.0, .hi = 1.0}, rng);
-        const Graph naive_h = greedy_spanner_with(g, config_from_mask(2.5, 0));
+        const Graph naive_h = run_with(g, config_from_mask(2.5, 0));
         for (const std::size_t batch : {8u, 64u}) {
             GreedyEngineOptions options;
             options.stretch = 2.5;
@@ -310,7 +319,7 @@ TEST(ParallelEngineTest, RepairedRejectsMatchExactDistances) {
             options.parallel_batch = batch;
             options.ball_share_min_group = 2;
             GreedyStats stats;
-            const Graph h = greedy_spanner_with(g, options, &stats);
+            const Graph h = run_with(g, options, &stats);
             EXPECT_TRUE(same_edge_set(h, naive_h)) << "seed " << seed
                                                    << " batch " << batch;
         }
@@ -331,7 +340,7 @@ TEST(ParallelEngineTest, AcceptHeavyBatchesForceNoFullRefreeze) {
     options.parallel_batch = 64;    // many batches per bucket
     options.parallel_accept_gate = 1.0;  // force stage 2 for every batch
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 2.0)));
     EXPECT_GT(stats.edges_added, 100u);  // genuinely accept-heavy
     EXPECT_EQ(stats.csr_rebuilds, 1u);   // one build, zero refreezes
@@ -352,7 +361,7 @@ TEST(ParallelEngineTest, SnapshotCertificatesAreConsumed) {
     options.ball_sharing = false;      // route everything through point probes
     options.parallel_accept_gate = 1.0;  // prefilter every batch
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 3.0)));
     EXPECT_GT(stats.snapshot_accepts, 0u);
 }
@@ -407,7 +416,7 @@ TEST(ParallelEngineTest, BallsNeverLeakAcrossBatchBoundaries) {
     for (const std::uint64_t seed : {4u, 42u, 99u, 7u}) {
         Rng rng(seed);
         const Graph g = erdos_renyi(80, 0.3, {.lo = 1.0, .hi = 1.0}, rng);
-        const Graph naive_h = greedy_spanner_with(g, config_from_mask(2.5, 0));
+        const Graph naive_h = run_with(g, config_from_mask(2.5, 0));
         for (const std::size_t batch : {4u, 8u, 32u}) {
             GreedyEngineOptions sweep;
             sweep.stretch = 2.5;
@@ -415,7 +424,7 @@ TEST(ParallelEngineTest, BallsNeverLeakAcrossBatchBoundaries) {
             sweep.parallel_batch = batch;
             sweep.parallel_accept_gate = 0.25;
             sweep.ball_share_min_group = 2;
-            const Graph h = greedy_spanner_with(g, sweep);
+            const Graph h = run_with(g, sweep);
             EXPECT_TRUE(same_edge_set(h, naive_h))
                 << "seed " << seed << " batch " << batch;
         }
@@ -445,12 +454,12 @@ TEST(ParallelEngineTest, ConcurrentPrefilterRejectsSoundly) {
         return (*oracle_ws)[worker].distance(*frozen, u, v, threshold) <= threshold;
     };
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, t)));
     EXPECT_GT(stats.prefilter_rejects, 0u);
 
     GreedyStats again;
-    (void)greedy_spanner_with(g, options, &again);
+    (void)run_with(g, options, &again);
     EXPECT_EQ(stats.prefilter_rejects, again.prefilter_rejects);
 }
 
@@ -471,7 +480,7 @@ TEST(ParallelEngineTest, AdaptiveGateDisablesAWastefulPrefilter) {
         return false;
     };
     GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
+    const Graph h = run_with(g, options, &stats);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 2.0)));
     EXPECT_EQ(stats.prefilter_gated_off, 1u);
     EXPECT_LT(calls, g.num_edges());  // stopped consulting it mid-run
@@ -480,7 +489,7 @@ TEST(ParallelEngineTest, AdaptiveGateDisablesAWastefulPrefilter) {
     calls = 0;
     options.prefilter_gate = GreedyEngineOptions::PrefilterGate::kAlways;
     GreedyStats always_stats;
-    (void)greedy_spanner_with(g, options, &always_stats);
+    (void)run_with(g, options, &always_stats);
     EXPECT_EQ(always_stats.prefilter_gated_off, 0u);
     EXPECT_EQ(calls, g.num_edges());
 }

@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/self_optimality.hpp"
 #include "graph/graph.hpp"
 #include "metric/euclidean.hpp"
@@ -21,6 +23,25 @@ EuclideanMetric random_points(std::size_t n, std::size_t dim, Rng& rng) {
     coords.reserve(n * dim);
     for (std::size_t i = 0; i < n * dim; ++i) coords.push_back(rng.uniform(0.0, 100.0));
     return EuclideanMetric(dim, std::move(coords));
+}
+
+/// The unified-API spelling of the old use_distance_cache switch: cached =
+/// the full engine (optionally parallel), naive = every optimisation off.
+Graph metric_spanner_with(const MetricSpace& m, double t, bool cached,
+                          std::size_t threads = 1, GreedyStats* stats = nullptr) {
+    SpannerSession session;
+    BuildOptions options;
+    options.stretch = t;
+    if (cached) {
+        options.engine.num_threads = threads;
+    } else {
+        options.engine = EngineTuning::naive();
+    }
+    MetricCandidateSource source(m);
+    BuildReport report;
+    Graph h = session.build(source, options, &report);
+    if (stats != nullptr) *stats = report.stats;
+    return h;
 }
 
 TEST(GreedyMetricTest, RejectsStretchBelowOne) {
@@ -66,10 +87,8 @@ TEST_P(CacheEquivalenceTest, CachedAndNaiveAgreeExactly) {
     const EuclideanMetric m = random_points(n, dim, rng);
     GreedyStats cached_stats;
     GreedyStats naive_stats;
-    const Graph cached = greedy_spanner_metric(
-        m, MetricGreedyOptions{.stretch = t, .use_distance_cache = true}, &cached_stats);
-    const Graph naive = greedy_spanner_metric(
-        m, MetricGreedyOptions{.stretch = t, .use_distance_cache = false}, &naive_stats);
+    const Graph cached = metric_spanner_with(m, t, /*cached=*/true, 1, &cached_stats);
+    const Graph naive = metric_spanner_with(m, t, /*cached=*/false, 1, &naive_stats);
     EXPECT_TRUE(same_edge_set(cached, naive));
     // The cache must never run *more* Dijkstras than the naive loop.
     EXPECT_LE(cached_stats.dijkstra_runs, naive_stats.dijkstra_runs);
@@ -88,12 +107,9 @@ TEST(GreedyMetricTest, ParallelCachedEngineMatchesNaiveAtEveryThreadCount) {
     for (const std::uint64_t seed : {4u, 31u}) {
         Rng rng(seed);
         const EuclideanMetric m = random_points(48, 2, rng);
-        const Graph naive = greedy_spanner_metric(
-            m, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = false});
+        const Graph naive = metric_spanner_with(m, 1.5, /*cached=*/false);
         for (const std::size_t threads : {1u, 2u, 4u, 0u}) {
-            const Graph cached = greedy_spanner_metric(
-                m, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = true,
-                                       .num_threads = threads});
+            const Graph cached = metric_spanner_with(m, 1.5, /*cached=*/true, threads);
             EXPECT_TRUE(same_edge_set(cached, naive))
                 << "seed " << seed << " num_threads=" << threads;
         }
@@ -108,8 +124,7 @@ TEST(GreedyMetricTest, SketchRecoversCrossBucketHits) {
     Rng rng(21);
     const EuclideanMetric m = random_points(60, 2, rng);
     GreedyStats stats;
-    (void)greedy_spanner_metric(
-        m, MetricGreedyOptions{.stretch = 1.5, .use_distance_cache = true}, &stats);
+    (void)metric_spanner_with(m, 1.5, /*cached=*/true, 1, &stats);
     EXPECT_GT(stats.sketch_hits + stats.sketch_accepts, 0u);
     EXPECT_GT(stats.buckets, 1u);  // the claim is *cross-bucket* reuse
 }

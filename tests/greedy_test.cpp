@@ -5,6 +5,8 @@
 #include <tuple>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/greedy_engine.hpp"
 #include "graph/girth.hpp"
 #include "graph/graph.hpp"
@@ -118,18 +120,17 @@ TEST(GreedyTest, StatsAreConsistent) {
 TEST(GreedyTest, NaiveEngineConfigurationCountsOneQueryPerEdge) {
     Rng rng(1);
     const Graph g = random_connected_graph(25, 0.4, rng);
-    GreedyEngineOptions options;  // all optimisations off = the naive kernel
+    SpannerSession session;
+    BuildOptions options;
     options.stretch = 2.0;
-    options.bidirectional = false;
-    options.ball_sharing = false;
-    options.csr_snapshot = false;
-    options.bound_sketch = false;
-    GreedyStats stats;
-    const Graph h = greedy_spanner_with(g, options, &stats);
-    EXPECT_EQ(stats.dijkstra_runs, g.num_edges());
-    EXPECT_EQ(stats.cache_hits, 0u);
-    EXPECT_EQ(stats.csr_rebuilds, 0u);
-    EXPECT_EQ(stats.balls_computed, 0u);
+    options.engine = EngineTuning::naive();  // all optimisations off
+    GraphCandidateSource source(g);
+    BuildReport report;
+    const Graph h = session.build(source, options, &report);
+    EXPECT_EQ(report.stats.dijkstra_runs, g.num_edges());
+    EXPECT_EQ(report.stats.cache_hits, 0u);
+    EXPECT_EQ(report.stats.csr_rebuilds, 0u);
+    EXPECT_EQ(report.stats.balls_computed, 0u);
     EXPECT_TRUE(same_edge_set(h, greedy_spanner(g, 2.0)));
 }
 

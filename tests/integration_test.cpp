@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "analysis/audit.hpp"
+#include "api/candidate_source.hpp"
+#include "api/session.hpp"
 #include "core/approx_greedy.hpp"
 #include "core/greedy.hpp"
 #include "core/greedy_metric.hpp"
@@ -115,8 +117,11 @@ TEST(IntegrationTest, ApproxGreedyBucketRatioInsensitivity) {
     Rng rng(29);
     const EuclideanMetric pts = uniform_points(150, 2, 80.0, rng);
     for (double mu : {1.5, 2.0, 4.0}) {
-        const ApproxGreedyResult r = approx_greedy_spanner(
-            pts, ApproxGreedyOptions{.epsilon = 0.5, .bucket_ratio = mu});
+        SpannerSession session;
+        BuildOptions options;
+        options.approx.epsilon = 0.5;
+        options.engine.bucket_ratio = mu;
+        const ApproxGreedyResult r = approx_greedy_build(session, pts, options);
         EXPECT_LE(max_stretch_metric(pts, r.spanner), 1.5 + 1e-9) << "mu=" << mu;
     }
 }
