@@ -233,10 +233,13 @@ void sketch_ways_section() {
     std::cout << "\n";
 }
 
-/// Quick kernel sweep + session-reuse probe + BENCH_greedy.json, sized for
-/// a CI smoke run. Including the session probe here means every PR's smoke
-/// job counter-verifies the warm-start contract (the validator fails on
-/// any warm pool / workspace construction).
+/// Quick kernel sweep + session-reuse probe + the reduced linear-space
+/// memory probe + BENCH_greedy.json, sized for a CI smoke run. Including
+/// the session probe here means every PR's smoke job counter-verifies the
+/// warm-start contract (the validator fails on any warm pool / workspace
+/// construction); including the n = 10^5 memory probe (GSP_MEM_PROBE_N
+/// overrides) means every PR certifies the chunked pipeline's linear RSS
+/// budget before the full 10^6 history run on main.
 void write_smoke_json() {
     Rng rng(42);
     const std::size_t n = 512;
@@ -244,16 +247,27 @@ void write_smoke_json() {
     const double t = 2.0;
     const auto runs = benchutil::run_kernel_sweep(g, t);
     const auto session_probe = benchutil::run_session_probe(n, t, 2, 4);
+    const auto mem_probe = benchutil::run_mem_probe(benchutil::mem_probe_n(100'000));
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_micro", "random_nm", n,
-                                       g.num_edges(), t, runs, &session_probe);
+                                       g.num_edges(), t, runs, mem_probe,
+                                       &session_probe);
     bool all_match = true;
     for (const auto& r : runs) all_match = all_match && r.matches_naive;
+    std::size_t mem_high_kb = 0;
+    for (const auto& inst : mem_probe.instances) {
+        mem_high_kb = std::max(mem_high_kb,
+                               inst.rss_after_kb - mem_probe.rss_before_kb);
+    }
     std::cout << "wrote " << path << " (smoke sweep, n=" << n
               << ", edge sets " << (all_match ? "identical" : "MISMATCHED")
               << ", warm session constructions "
               << session_probe.warm_pool_constructions << "/"
-              << session_probe.warm_workspace_constructions << ")\n";
+              << session_probe.warm_workspace_constructions
+              << "; mem probe n=" << mem_probe.n << " rss +" << mem_high_kb
+              << " KiB of " << mem_probe.rss_budget_kb << " KiB budget, "
+              << (mem_probe.within_budget ? "within budget" : "OVER BUDGET")
+              << ")\n";
 }
 
 }  // namespace

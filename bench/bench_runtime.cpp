@@ -215,10 +215,35 @@ void graph_kernel_section() {
     stable.add_row({"warm edge sets == cold", session_probe.matches ? "yes" : "NO"});
     stable.print(std::cout);
 
+    // The v5 linear-space probe: a t = 2 spanner over the grid-pruned
+    // streaming candidate source at n = 10^6 (GSP_MEM_PROBE_N overrides;
+    // CI's per-PR smoke runs 10^5 through bench_micro). ~100n candidates
+    // are streamed one weight window at a time -- materialized they would
+    // cost ~100n * 16 B = ~1.6 GiB at 10^6 -- so the probe's RSS delta
+    // must stay inside the fixed linear budget the validator enforces.
+    const auto mem_probe =
+        benchutil::run_mem_probe(benchutil::mem_probe_n(1'000'000));
+    std::cout << "\n== Memory probe (chunked greedy over the grid stream, n="
+              << mem_probe.n << ", t=" << mem_probe.stretch << ", s="
+              << mem_probe.separation << ") ==\n";
+    Table memtable({"instance", "gen (s)", "build (s)", "|H|", "candidates",
+                    "buffer peak (KiB)", "rss delta (KiB)"});
+    for (const auto& inst : mem_probe.instances) {
+        memtable.add_row({inst.kind, fmt(inst.gen_seconds, 2),
+                          fmt(inst.build_seconds, 2), std::to_string(inst.edges),
+                          std::to_string(inst.candidates_streamed),
+                          std::to_string(inst.candidate_buffer_peak_bytes / 1024),
+                          std::to_string(inst.rss_after_kb - inst.rss_before_kb)});
+    }
+    memtable.print(std::cout);
+    std::cout << "rss budget " << mem_probe.rss_budget_kb << " KiB: "
+              << (mem_probe.within_budget ? "within budget" : "OVER BUDGET")
+              << "\n";
+
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_runtime", "random_nm", n,
-                                       g.num_edges(), t, runs, &session_probe, &probe,
-                                       &accept_probe);
+                                       g.num_edges(), t, runs, mem_probe,
+                                       &session_probe, &probe, &accept_probe);
     std::cout << "wrote " << path << "\n\n";
 
     // Parallel-stage scaling probe at t = 3: the reject-heavy regime

@@ -3,12 +3,12 @@
 //
 // Both bench_runtime (full-size sweep, the perf-trajectory source of truth)
 // and bench_micro (CI smoke that validates the schema) emit the same JSON
-// shape, version-tagged "gsp.bench_greedy.v4", built on the library's
+// shape, version-tagged "gsp.bench_greedy.v5", built on the library's
 // shared JsonWriter + append_greedy_stats serializer (src/api/build_report)
 // instead of hand-rolled streams:
 //
 //   {
-//     "schema": "gsp.bench_greedy.v4",
+//     "schema": "gsp.bench_greedy.v5",
 //     "source": "<bench binary>",
 //     "stretch": <t>,
 //     "instance": {"kind": ..., "n": ..., "m": ...},
@@ -16,10 +16,12 @@
 //       {"name": ..., "bidirectional": ..., "ball_sharing": ...,
 //        "csr_snapshot": ..., "bound_sketch": ..., "seconds": ...,
 //        "edges": ..., "matches_naive": ..., "handoff_bytes": ...,
-//        "bytes_per_candidate": ..., "stats": {...}}, ...],
+//        "bytes_per_candidate": ..., "rss_delta_kb": ..., "stats": {...}},
+//       ...],
 //     "metric_probe": {...},        // bench_runtime only (optional)
 //     "accept_probe": {...},        // bench_runtime only (optional)
 //     "session_probe": {...},       // the session-reuse probe (v4)
+//     "mem_probe": {...},           // the linear-space probe (v5, required)
 //     "peak_rss_kb": <ru_maxrss>,
 //     "speedup_full_vs_naive": <naive seconds / full seconds>
 //   }
@@ -32,6 +34,19 @@
 // counters -- warm calls must report zero of each (enforced by
 // scripts/validate_bench_json.py), certifying the warm-start contract of
 // the request-serving path.
+//
+// v5 (chunked candidate streaming) makes the RSS accounting honest and
+// adds the memory probe. Before, a single getrusage() at JSON-write time
+// attributed the process-lifetime maximum to every row; now every config
+// row and every probe samples ru_maxrss before and after and reports the
+// delta (the high-water mark is monotone, so a zero delta means the phase
+// fit inside already-touched memory). The required "mem_probe" object
+// builds a t = 2 spanner over the grid-pruned streaming candidate source
+// on uniform and clustered 2D instances -- n = 10^6 by default in
+// bench_runtime, 10^5 in bench_micro's per-PR smoke, overridable with
+// GSP_MEM_PROBE_N -- and must stay inside a fixed linear RSS budget
+// (enforced by the validator), certifying the linear-space claim end to
+// end: candidates are streamed one window at a time, never materialized.
 //
 // The output path defaults to BENCH_greedy.json in the working directory;
 // override with the GSP_BENCH_JSON environment variable.
@@ -46,12 +61,9 @@
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "api/build_report.hpp"
 #include "api/candidate_source.hpp"
+#include "api/grid_source.hpp"
 #include "api/session.hpp"
 #include "core/greedy.hpp"
 #include "gen/graphs.hpp"
@@ -60,6 +72,8 @@
 #include "metric/euclidean.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
+#include "util/rss.hpp"
+#include "util/timer.hpp"
 
 namespace gsp::benchutil {
 
@@ -97,6 +111,12 @@ struct KernelRun {
     std::size_t edges = 0;
     bool matches_naive = false;
     GreedyStats stats;
+    /// ru_maxrss high-water mark sampled around this run. The mark is
+    /// monotone across the process, so delta = after - before is the
+    /// memory growth attributable to *this* configuration (0 when the run
+    /// fit inside memory an earlier run already touched).
+    std::size_t rss_before_kb = 0;
+    std::size_t rss_after_kb = 0;
 };
 
 inline BuildOptions options_for(const KernelConfig& config, double t) {
@@ -120,10 +140,12 @@ inline std::vector<KernelRun> run_kernel_sweep(const Graph& g, double t) {
     for (const KernelConfig& config : kKernelConfigs) {
         KernelRun run;
         run.config = config;
+        run.rss_before_kb = process_peak_rss_kb();
         SpannerSession session;
         GraphCandidateSource source(g);
         BuildReport report;
         const Graph h = session.build(source, options_for(config, t), &report);
+        run.rss_after_kb = process_peak_rss_kb();
         run.stats = report.stats;
         run.stats.seconds = report.seconds;
         run.seconds = report.seconds;
@@ -161,13 +183,16 @@ struct MetricProbeResult {
     std::size_t repairs = 0;
     std::size_t repair_fallbacks = 0;
     GreedyStats stats;  ///< serial cached-engine run
+    std::size_t rss_before_kb = 0;  ///< ru_maxrss sampled around the probe
+    std::size_t rss_after_kb = 0;
 };
 
 inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
     Rng rng(1234);
+    MetricProbeResult probe;
+    probe.rss_before_kb = process_peak_rss_kb();
     const EuclideanMetric pts =
         uniform_points(n, 2, std::sqrt(static_cast<double>(n)) * 10.0, rng);
-    MetricProbeResult probe;
     probe.n = n;
     probe.candidates = n * (n - 1) / 2;
     probe.stretch = t;
@@ -198,6 +223,7 @@ inline MetricProbeResult run_metric_probe(std::size_t n, double t) {
     probe.bytes_per_candidate =
         static_cast<double>(probe.handoff_bytes) /
         static_cast<double>(probe.candidates == 0 ? 1 : probe.candidates);
+    probe.rss_after_kb = process_peak_rss_kb();
     return probe;
 }
 
@@ -227,12 +253,15 @@ struct AcceptProbeResult {
     /// repair_fallbacks): the share of tentative accepts resolved without
     /// a full exact query.
     double repair_share = 0.0;
+    std::size_t rss_before_kb = 0;  ///< ru_maxrss sampled around the probe
+    std::size_t rss_after_kb = 0;
 };
 
 inline AcceptProbeResult run_accept_probe(std::size_t n, double t) {
     Rng rng(7);
-    const Graph g = clustered_geometric(n, 12, 60.0, 1.0, 0.6, rng);
     AcceptProbeResult probe;
+    probe.rss_before_kb = process_peak_rss_kb();
+    const Graph g = clustered_geometric(n, 12, 60.0, 1.0, 0.6, rng);
     probe.n = n;
     probe.m = g.num_edges();
     probe.stretch = t;
@@ -263,6 +292,7 @@ inline AcceptProbeResult run_accept_probe(std::size_t n, double t) {
     const double resolved = static_cast<double>(probe.snapshot_accepts + probe.repairs);
     const double tentative = resolved + static_cast<double>(probe.repair_fallbacks);
     probe.repair_share = tentative > 0.0 ? resolved / tentative : 1.0;
+    probe.rss_after_kb = process_peak_rss_kb();
     return probe;
 }
 
@@ -287,13 +317,16 @@ struct SessionProbeResult {
     std::size_t warm_pool_constructions = 0;       ///< must be 0
     std::size_t warm_workspace_constructions = 0;  ///< must be 0
     bool matches = true;  ///< every warm edge set == the cold edge set
+    std::size_t rss_before_kb = 0;  ///< ru_maxrss sampled around the probe
+    std::size_t rss_after_kb = 0;
 };
 
 inline SessionProbeResult run_session_probe(std::size_t n, double t,
                                             std::size_t threads, std::size_t builds) {
     Rng rng(99);
-    const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
     SessionProbeResult probe;
+    probe.rss_before_kb = process_peak_rss_kb();
+    const Graph g = random_graph_nm(n, 8 * n, {.lo = 1.0, .hi = 2.0}, rng);
     probe.n = n;
     probe.m = g.num_edges();
     probe.stretch = t;
@@ -331,23 +364,153 @@ inline SessionProbeResult run_session_probe(std::size_t n, double t,
         probe.warm_workspace_constructions += report.workspaces_constructed;
         probe.matches = probe.matches && same_edge_set(h, reference);
     }
+    probe.rss_after_kb = process_peak_rss_kb();
     return probe;
 }
 
-/// Process peak RSS in KiB (0 where unsupported).
-inline std::size_t peak_rss_kb() {
-#if defined(__unix__) || defined(__APPLE__)
-    struct rusage ru{};
-    if (getrusage(RUSAGE_SELF, &ru) == 0) {
-#if defined(__APPLE__)
-        return static_cast<std::size_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
-#else
-        return static_cast<std::size_t>(ru.ru_maxrss);  // KiB on Linux
-#endif
-    }
-#endif
-    return 0;
+/// One instance of the linear-space memory probe: a t = 2 greedy build
+/// over the grid-pruned streaming candidate source, with the candidate
+/// accounting and the per-instance ru_maxrss samples that certify the
+/// candidates were streamed, never materialized.
+struct MemProbeInstance {
+    std::string kind;  ///< "uniform" | "clustered"
+    double gen_seconds = 0.0;    ///< instance generation (streaming emitter)
+    double build_seconds = 0.0;  ///< session.build() wall clock
+    std::size_t edges = 0;
+    double weight = 0.0;
+    double stretch_target = 0.0;  ///< dumbbell bound t(s+4)/(s-4)
+    std::size_t candidates_streamed = 0;
+    std::size_t candidate_buffer_peak_bytes = 0;  ///< peak resident chunk
+    std::size_t rss_before_kb = 0;
+    std::size_t rss_after_kb = 0;
+};
+
+/// The v5 headline probe: can the chunked pipeline build a t = 2 spanner
+/// on n = 10^6 2D points inside a fixed *linear* RSS budget? Candidate
+/// counts are ~100n at s = 5 (near pairs enumerated exactly below the
+/// cutoff, one representative pair per ring cell pair above it), so a
+/// materialized run would need ~100n * 16 B = ~1.6 GiB at n = 10^6; the
+/// streamed run's candidate buffer peaks at one window instead, and the
+/// budget below leaves room only for the O(n) structures (points, grid
+/// levels, the spanner, workspaces).
+struct MemProbeResult {
+    std::size_t n = 0;
+    double stretch = 0.0;     ///< engine t over the candidate stream
+    double separation = 0.0;  ///< grid separation s (> 4)
+    std::size_t rss_budget_kb = 0;  ///< kMemProbeBudget* evaluated at n
+    std::size_t rss_before_kb = 0;  ///< high-water mark at probe start
+    bool within_budget = true;      ///< max(after) - before <= budget
+    std::vector<MemProbeInstance> instances;
+};
+
+/// The linear RSS budget of the memory probe: a flat base (binary, heap
+/// warmup, earlier probes' small instances) plus a per-point allowance
+/// covering coordinates (16 B), the grid hierarchy (~30 B across levels),
+/// the spanner adjacency lists (~1.44 edges/point), Dijkstra workspaces,
+/// the incremental CSR mirror, and allocator slack. Calibrated against
+/// measured high-waters of +62,680 KiB at n = 10^5 and +185,380 KiB at
+/// n = 3x10^5 (uniform + clustered, single-core Release, sketch off) --
+/// a 2.96x delta for 3x the points, confirming the linear model -- so
+/// 896 B/point gives ~1.8-2.3x headroom at those shapes and ~1.45x at
+/// 10^6 under straight extrapolation (~630 MiB) while staying far below what any
+/// materializing run needs -- the candidate array alone is 16 B x 7.9M
+/// = 121 MiB at 10^5 (vs a 149 MiB total budget) and ~2.5 GiB at 10^6
+/// (vs 918 MiB). The validator re-derives within_budget from the raw
+/// samples, so a change that starts materializing candidates fails CI.
+inline constexpr std::size_t kMemProbeBudgetBaseKb = 65536;       // 64 MiB
+inline constexpr std::size_t kMemProbeBudgetBytesPerPoint = 896;  // ~0.88 KiB
+
+inline std::size_t mem_probe_budget_kb(std::size_t n) {
+    return kMemProbeBudgetBaseKb + n * kMemProbeBudgetBytesPerPoint / 1024;
 }
+
+/// Probe size: `fallback` unless the GSP_MEM_PROBE_N environment variable
+/// overrides it (CI's per-PR smoke runs the reduced 10^5 shape; the
+/// history job on main runs the full 10^6).
+inline std::size_t mem_probe_n(std::size_t fallback) {
+    if (const char* env = std::getenv("GSP_MEM_PROBE_N")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+inline MemProbeResult run_mem_probe(std::size_t n, double t = 2.0,
+                                    double separation = 5.0) {
+    MemProbeResult probe;
+    probe.n = n;
+    probe.stretch = t;
+    probe.separation = separation;
+    probe.rss_budget_kb = mem_probe_budget_kb(n);
+    probe.rss_before_kb = process_peak_rss_kb();
+
+    SpannerSession session;  // one session: both builds share the buffer
+    BuildOptions options;
+    options.stretch = t;
+    // The cross-bucket bound sketch is O(n * sketch_ways) resident memory
+    // (~64 MiB at n = 10^6) for near-zero hits on this workload: the grid
+    // stream emits every (u, v) pair at most once, so a cached cross-bucket
+    // bound is never consulted again. Off for both footprint and speed.
+    options.engine.bound_sketch = false;
+    const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
+
+    const auto run_instance = [&](const char* kind, double gen_seconds,
+                                  std::size_t rss_before,
+                                  const EuclideanMetric& pts) {
+        MemProbeInstance inst;
+        inst.kind = kind;
+        inst.gen_seconds = gen_seconds;
+        inst.rss_before_kb = rss_before;
+        GridCandidateSource source(pts, separation);
+        BuildReport report;
+        const Graph h = session.build(source, options, &report);
+        inst.build_seconds = report.seconds;
+        inst.edges = h.num_edges();
+        inst.weight = h.total_weight();
+        inst.stretch_target = report.stretch_target;
+        inst.candidates_streamed = report.stats.candidates_streamed;
+        inst.candidate_buffer_peak_bytes = report.stats.candidate_buffer_peak_bytes;
+        inst.rss_after_kb = process_peak_rss_kb();
+        probe.within_budget =
+            probe.within_budget &&
+            inst.rss_after_kb - probe.rss_before_kb <= probe.rss_budget_kb;
+        probe.instances.push_back(std::move(inst));
+    };
+
+    {
+        Rng rng(2026);
+        std::size_t before = process_peak_rss_kb();
+        Timer timer;
+        const EuclideanMetric uniform = uniform_points(n, 2, extent, rng);
+        run_instance("uniform", timer.seconds(), before, uniform);
+    }
+    {
+        // The clustered instance goes through the streaming emitter --
+        // cluster centers resident, one point at a time into the flat
+        // coordinate array -- the n = 10^6-capable generator path.
+        Rng rng(2027);
+        std::size_t before = process_peak_rss_kb();
+        Timer timer;
+        std::vector<double> coords;
+        coords.reserve(n * 2);
+        // n/100 clusters of ~100 points with spread extent/40 keeps the local
+        // density ~2x uniform; tighter clusters (n/1000, extent/50) triple the
+        // candidate count and the probe's build time with it.
+        stream_clustered_points(n, 2, std::max<std::size_t>(n / 100, 1), extent,
+                                extent / 40.0, rng,
+                                [&](std::span<const double> p) {
+                                    coords.insert(coords.end(), p.begin(), p.end());
+                                });
+        const EuclideanMetric clustered(2, std::move(coords));
+        run_instance("clustered", timer.seconds(), before, clustered);
+    }
+    return probe;
+}
+
+/// Process peak RSS in KiB (0 where unsupported). Kept as the top-level
+/// JSON field's reader; per-row attribution uses before/after samples of
+/// the same counter (util/rss.hpp).
+inline std::size_t peak_rss_kb() { return process_peak_rss_kb(); }
 
 inline std::string bench_json_path() {
     const char* env = std::getenv("GSP_BENCH_JSON");
@@ -358,12 +521,13 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
                                     const std::string& instance_kind, std::size_t n,
                                     std::size_t m, double t,
                                     const std::vector<KernelRun>& runs,
+                                    const MemProbeResult& mem_probe,
                                     const SessionProbeResult* session_probe = nullptr,
                                     const MetricProbeResult* metric_probe = nullptr,
                                     const AcceptProbeResult* accept_probe = nullptr) {
     JsonWriter w;
     w.begin_object();
-    w.member("schema", "gsp.bench_greedy.v4");
+    w.member("schema", "gsp.bench_greedy.v5");
     w.member("source", source);
     w.member("stretch", t);
     w.key("instance").begin_object();
@@ -388,6 +552,7 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
         w.member("matches_naive", r.matches_naive);
         w.member("handoff_bytes", r.stats.handoff_peak_bytes);
         w.member("bytes_per_candidate", bpc);
+        w.member("rss_delta_kb", r.rss_after_kb - r.rss_before_kb);
         w.key("stats").begin_object();
         append_greedy_stats(w, r.stats);
         w.end_object();
@@ -413,6 +578,7 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
         w.member("repairs", p.repairs);
         w.member("repair_fallbacks", p.repair_fallbacks);
         w.member("dijkstra_runs", p.stats.dijkstra_runs);
+        w.member("rss_delta_kb", p.rss_after_kb - p.rss_before_kb);
         w.end_object();
     }
     if (accept_probe != nullptr) {
@@ -434,6 +600,7 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
         w.member("certs_published", p.certs_published);
         w.member("cert_ball_aborts", p.cert_ball_aborts);
         w.member("repair_share", p.repair_share);
+        w.member("rss_delta_kb", p.rss_after_kb - p.rss_before_kb);
         w.end_object();
     }
     if (session_probe != nullptr) {
@@ -454,6 +621,37 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
         w.member("warm_pool_constructions", p.warm_pool_constructions);
         w.member("warm_workspace_constructions", p.warm_workspace_constructions);
         w.member("matches", p.matches);
+        w.member("rss_delta_kb", p.rss_after_kb - p.rss_before_kb);
+        w.end_object();
+    }
+
+    {
+        const MemProbeResult& p = mem_probe;
+        w.key("mem_probe").begin_object();
+        w.member("kind", "grid_stream");
+        w.member("n", p.n);
+        w.member("stretch", p.stretch);
+        w.member("separation", p.separation);
+        w.member("rss_budget_kb", p.rss_budget_kb);
+        w.member("rss_before_kb", p.rss_before_kb);
+        w.member("within_budget", p.within_budget);
+        w.key("instances").begin_array();
+        for (const MemProbeInstance& inst : p.instances) {
+            w.begin_object();
+            w.member("kind", inst.kind);
+            w.member("gen_seconds", inst.gen_seconds);
+            w.member("build_seconds", inst.build_seconds);
+            w.member("edges", inst.edges);
+            w.member("weight", inst.weight);
+            w.member("stretch_target", inst.stretch_target);
+            w.member("candidates_streamed", inst.candidates_streamed);
+            w.member("candidate_buffer_peak_bytes", inst.candidate_buffer_peak_bytes);
+            w.member("rss_before_kb", inst.rss_before_kb);
+            w.member("rss_after_kb", inst.rss_after_kb);
+            w.member("rss_delta_kb", inst.rss_after_kb - inst.rss_before_kb);
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
     }
 

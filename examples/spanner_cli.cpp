@@ -10,9 +10,10 @@
 //   $ ./examples/spanner_cli all --threads 4        # every entry, one session
 //
 // Flags: --n <vertices> --t <stretch> --eps <epsilon> --cones <k>
-//        --k <baswana k> --threads <stage-2 workers> --seed <rng seed>
-//        --audit (append the exact-stretch audit, reusing the session's
-//        workspace pool -- no per-call allocation)
+//        --sep <separation> (wspd / greedy-wspd / greedy-grid; 0 derives
+//        4 + 8/eps) --k <baswana k> --threads <stage-2 workers>
+//        --seed <rng seed> --audit (append the exact-stretch audit,
+//        reusing the session's workspace pool -- no per-call allocation)
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -35,6 +36,7 @@ struct CliArgs {
     std::size_t n = 256;
     double stretch = 2.0;
     double epsilon = 0.5;
+    double separation = 0.0;  ///< 0 = derive 4 + 8/eps
     std::size_t cones = 12;
     unsigned k = 2;
     std::size_t threads = 1;
@@ -45,8 +47,8 @@ struct CliArgs {
 
 int usage() {
     std::cerr << "usage: spanner_cli (--list | <algorithm> | all) [--n N] [--t T]\n"
-                 "                   [--eps E] [--cones K] [--k K] [--threads W]\n"
-                 "                   [--seed S] [--audit]\n";
+                 "                   [--eps E] [--sep S] [--cones K] [--k K]\n"
+                 "                   [--threads W] [--seed S] [--audit]\n";
     return 2;
 }
 
@@ -72,6 +74,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
             const char* v = next();
             if (v == nullptr) return false;
             args.epsilon = std::strtod(v, nullptr);
+        } else if (arg == "--sep") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            args.separation = std::strtod(v, nullptr);
         } else if (arg == "--cones") {
             const char* v = next();
             if (v == nullptr) return false;
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
     options.engine.num_threads = args.threads;
     options.approx.epsilon = args.epsilon;
     options.geometric.epsilon = args.epsilon;
+    options.geometric.wspd_separation = args.separation;
     options.geometric.cones = args.cones;
     options.baswana_sen.k = args.k;
     options.baswana_sen.seed = args.seed;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v4)
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v5)
 and diff them against the tracked bench history.
 
 Usage:
@@ -10,10 +10,12 @@ Usage:
         slower than the previous entry are flagged, and (v2+) configs whose
         stage-2/stage-3 handoff grew more than 20% in bytes-per-candidate
         are flagged alongside. The metric-workload probe's time and
-        bytes-per-candidate, and (v3) the accept-heavy probe's time and
-        full-query-fallback share, are diffed the same way. Flags are
-        warnings by default (bench timings on shared CI runners are
-        noisy); --strict turns them into a non-zero exit.
+        bytes-per-candidate, (v3) the accept-heavy probe's time and
+        full-query-fallback share, and (v5) the memory probe's RSS
+        high-water delta and per-instance candidates-streamed counts are
+        diffed the same way. Flags are warnings by default (bench timings
+        on shared CI runners are noisy); --strict turns them into a
+        non-zero exit.
 
 Schema v2 (PR 3) adds the memory trajectory: per-config "bound_sketch",
 "handoff_bytes" and "bytes_per_candidate", the optional "metric_probe"
@@ -27,8 +29,16 @@ required "session_probe" object: the same instance built repeatedly
 through one warm SpannerSession vs a fresh session per call, whose
 "warm_pool_constructions" and "warm_workspace_constructions" must both
 be exactly 0 -- the warm-start acceptance criterion -- and whose warm
-edge sets must match the cold ones. Older entries are still accepted
-and diffed on the fields they carry.
+edge sets must match the cold ones. Schema v5 (PR 6, chunked candidate
+streaming) makes the RSS accounting per-row -- every config and probe
+carries "rss_delta_kb" sampled from ru_maxrss before/after instead of
+one process-exit read attributed to everything -- and adds the required
+"mem_probe" object: a t = 2 greedy build over the grid-pruned streaming
+candidate source on uniform and clustered 2D instances (n = 10^6 in the
+history run, 10^5 in the per-PR smoke) whose RSS high-water delta must
+stay inside the fixed linear "rss_budget_kb" and whose candidate buffer
+must peak below the full (never-materialized) candidate list. Older
+entries are still accepted and diffed on the fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -40,7 +50,7 @@ import sys
 from pathlib import Path
 
 SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
-           "gsp.bench_greedy.v4"}
+           "gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
@@ -79,6 +89,18 @@ REQUIRED_SESSION_PROBE = {"kind", "n", "m", "stretch", "threads", "builds",
                           "warm_pool_constructions",
                           "warm_workspace_constructions", "matches"}
 
+# v5 additions: per-row RSS attribution and the linear-space memory probe.
+REQUIRED_CONFIG_V5 = REQUIRED_CONFIG_V2 | {"rss_delta_kb"}
+REQUIRED_STATS_V5 = REQUIRED_STATS_V3 | {"candidates_streamed",
+                                         "candidate_buffer_peak_bytes"}
+REQUIRED_MEM_PROBE = {"kind", "n", "stretch", "separation", "rss_budget_kb",
+                      "rss_before_kb", "within_budget", "instances"}
+REQUIRED_MEM_INSTANCE = {"kind", "gen_seconds", "build_seconds", "edges",
+                         "weight", "stretch_target", "candidates_streamed",
+                         "candidate_buffer_peak_bytes", "rss_before_kb",
+                         "rss_after_kb", "rss_delta_kb"}
+CANDIDATE_BYTES = 16  # sizeof(GreedyCandidate): two u32 endpoints + f64 weight
+
 REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
 
@@ -103,12 +125,16 @@ def validate(doc: dict, path) -> None:
     if schema not in SCHEMAS:
         fail(f"{path}: unexpected schema tag {schema!r}")
     v2 = schema in {"gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
-                    "gsp.bench_greedy.v4"}
-    v3 = schema in {"gsp.bench_greedy.v3", "gsp.bench_greedy.v4"}
-    v4 = schema == "gsp.bench_greedy.v4"
+                    "gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
+    v3 = schema in {"gsp.bench_greedy.v3", "gsp.bench_greedy.v4",
+                    "gsp.bench_greedy.v5"}
+    v4 = schema in {"gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
+    v5 = schema == "gsp.bench_greedy.v5"
     required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
-    required_config = REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG
-    required_stats = (REQUIRED_STATS_V3 if v3 else
+    required_config = (REQUIRED_CONFIG_V5 if v5 else
+                       REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG)
+    required_stats = (REQUIRED_STATS_V5 if v5 else
+                      REQUIRED_STATS_V3 if v3 else
                       REQUIRED_STATS_V2 if v2 else REQUIRED_STATS)
     if missing := required_top - doc.keys():
         fail(f"{path}: missing top-level keys: {sorted(missing)}")
@@ -174,6 +200,46 @@ def validate(doc: dict, path) -> None:
             fail(f"{path}: session_probe cold arm constructed no pools -- "
                  f"the probe is not measuring what it claims")
 
+    mem_probe = doc.get("mem_probe")
+    if v5 and mem_probe is None:
+        fail(f"{path}: schema v5 requires the mem_probe object")
+    if mem_probe is not None:
+        if missing := REQUIRED_MEM_PROBE - mem_probe.keys():
+            fail(f"{path}: mem_probe missing keys: {sorted(missing)}")
+        if not mem_probe["instances"]:
+            fail(f"{path}: mem_probe ran no instances")
+        kinds = set()
+        high_water = 0
+        for inst in mem_probe["instances"]:
+            if missing := REQUIRED_MEM_INSTANCE - inst.keys():
+                fail(f"{path}: mem_probe instance {inst.get('kind', '?')} "
+                     f"missing keys: {sorted(missing)}")
+            kinds.add(inst["kind"])
+            high_water = max(high_water,
+                             inst["rss_after_kb"] - mem_probe["rss_before_kb"])
+            if inst["candidates_streamed"] <= 0:
+                fail(f"{path}: mem_probe {inst['kind']} streamed no candidates")
+            if inst["edges"] < mem_probe["n"] - 1:
+                fail(f"{path}: mem_probe {inst['kind']} spanner does not span "
+                     f"({inst['edges']} edges for n={mem_probe['n']})")
+            # The linear-space contract: the resident candidate chunk must
+            # peak strictly below the full (never-materialized) list.
+            full_bytes = inst["candidates_streamed"] * CANDIDATE_BYTES
+            if inst["candidate_buffer_peak_bytes"] >= full_bytes:
+                fail(f"{path}: mem_probe {inst['kind']} candidate buffer "
+                     f"peaked at {inst['candidate_buffer_peak_bytes']} B -- "
+                     f"the full list is {full_bytes} B; nothing was streamed")
+        if kinds != {"uniform", "clustered"}:
+            fail(f"{path}: mem_probe must cover uniform and clustered "
+                 f"instances, got {sorted(kinds)}")
+        # The budget is a hard acceptance criterion, recomputed here so a
+        # harness that mis-reports within_budget still fails.
+        if high_water > mem_probe["rss_budget_kb"]:
+            fail(f"{path}: mem_probe RSS high-water delta {high_water} KiB "
+                 f"exceeds the {mem_probe['rss_budget_kb']} KiB budget")
+        if not mem_probe["within_budget"]:
+            fail(f"{path}: mem_probe reports within_budget=false")
+
     accept_probe = doc.get("accept_probe")
     if accept_probe is not None:
         if missing := REQUIRED_ACCEPT_PROBE - accept_probe.keys():
@@ -202,6 +268,13 @@ def validate(doc: dict, path) -> None:
             f"session probe warm/cold {session_probe['warm_seconds']:.3f}s/"
             f"{session_probe['cold_seconds']:.3f}s over "
             f"{session_probe['builds']} builds, warm constructions 0/0")
+    if mem_probe is not None:
+        high = max(i["rss_after_kb"] - mem_probe["rss_before_kb"]
+                   for i in mem_probe["instances"])
+        streamed = sum(i["candidates_streamed"] for i in mem_probe["instances"])
+        extras.append(f"mem probe n={mem_probe['n']} rss +{high} KiB "
+                      f"(budget {mem_probe['rss_budget_kb']}), "
+                      f"{streamed} candidates streamed")
     if v2:
         extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
     suffix = f"; {', '.join(extras)}" if extras else ""
@@ -297,6 +370,33 @@ def diff_history(history_dir: Path, strict: bool) -> int:
         report(diff_metric("session_probe warm build",
                            per_build(old_session, "warm_seconds"),
                            per_build(cur_session, "warm_seconds"), "s"))
+
+    def mem_high_water(probe):
+        """RSS high-water delta of the memory probe in KiB (smaller is
+        better); None when absent or the probe shapes are not comparable."""
+        if probe is None or not probe.get("instances"):
+            return None
+        return max(i["rss_after_kb"] - probe["rss_before_kb"]
+                   for i in probe["instances"])
+
+    old_mem = prev_doc.get("mem_probe")
+    cur_mem = cur_doc.get("mem_probe")
+    # Only diff same-n entries: the per-PR 10^5 smoke and the 10^6 history
+    # run are different shapes, not a regression.
+    if cur_mem is not None and old_mem is not None and old_mem["n"] == cur_mem["n"]:
+        report(diff_metric("mem_probe rss high-water", mem_high_water(old_mem),
+                           mem_high_water(cur_mem), " KiB"))
+        old_insts = {i["kind"]: i for i in old_mem["instances"]}
+        for inst in cur_mem["instances"]:
+            old_inst = old_insts.get(inst["kind"])
+            if old_inst is None:
+                continue
+            report(diff_metric(f"mem_probe {inst['kind']} candidates",
+                               old_inst["candidates_streamed"],
+                               inst["candidates_streamed"], " cands"))
+            report(diff_metric(f"mem_probe {inst['kind']} build",
+                               old_inst["build_seconds"],
+                               inst["build_seconds"], "s"))
 
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "

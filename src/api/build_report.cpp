@@ -23,6 +23,8 @@ void append_greedy_stats(JsonWriter& w, const GreedyStats& stats) {
     w.member("cert_ball_aborts", stats.cert_ball_aborts);
     w.member("buckets", stats.buckets);
     w.member("handoff_peak_bytes", stats.handoff_peak_bytes);
+    w.member("candidates_streamed", stats.candidates_streamed);
+    w.member("candidate_buffer_peak_bytes", stats.candidate_buffer_peak_bytes);
 }
 
 void fill_audit_fields(BuildReport& report, const Graph& h) {
@@ -46,6 +48,7 @@ std::string BuildReport::to_json() const {
     w.member("setup_seconds", setup_seconds);
     w.member("pools_constructed", pools_constructed);
     w.member("workspaces_constructed", workspaces_constructed);
+    w.member("peak_rss_kb", peak_rss_kb);
     w.key("stats").begin_object();
     append_greedy_stats(w, stats);
     w.end_object();

@@ -40,6 +40,12 @@ struct BuildReport {
     std::size_t pools_constructed = 0;       ///< thread pools built by this call
     std::size_t workspaces_constructed = 0;  ///< Dijkstra workspaces built by this call
 
+    /// Process peak RSS (KiB) sampled when the build finished. The OS
+    /// counter is a process-lifetime high-water mark, so this is "peak so
+    /// far", monotone across builds of one process; the memory probes pair
+    /// it with a before-sample to attribute growth to a single build.
+    std::size_t peak_rss_kb = 0;
+
     GreedyStats stats;  ///< engine counters of this run (zero for non-engine baselines)
 
     /// Serialize the whole report as one JSON object.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "api/session.hpp"
@@ -22,6 +24,43 @@ void CandidateSource::configure_engine(GreedyEngineOptions&, SpannerSession&) {}
 
 double CandidateSource::stretch_target(double engine_stretch) const {
     return engine_stretch;
+}
+
+namespace {
+
+/// The universal chunk adapter: materialize the full sorted list once,
+/// serve soft_cap-sized slices. Makes every source chunk-capable (the
+/// ordering contract holds trivially) at the cost of the same peak memory
+/// as the materializing path -- hence ChunkSupport::kFallback.
+class MaterializedChunkSource final : public CandidateChunkSource {
+public:
+    explicit MaterializedChunkSource(CandidateSource& source) { source.materialize(all_); }
+
+    bool next_chunk(std::size_t soft_cap, std::vector<GreedyCandidate>& out) override {
+        if (cursor_ >= all_.size()) return false;
+        const std::size_t take =
+            std::min(std::max<std::size_t>(soft_cap, 1), all_.size() - cursor_);
+        const std::size_t end = cursor_ + take;
+        out.insert(out.end(),
+                   all_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                   all_.begin() + static_cast<std::ptrdiff_t>(end));
+        cursor_ = end;
+        return true;
+    }
+
+private:
+    std::vector<GreedyCandidate> all_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateChunkSource> CandidateSource::chunks() {
+    if (chunk_support() == ChunkSupport::kNone) {
+        throw std::logic_error(std::string("CandidateSource: source '") + kind() +
+                               "' does not support chunked generation");
+    }
+    return std::make_unique<MaterializedChunkSource>(*this);
 }
 
 void GraphCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
@@ -81,6 +120,130 @@ void WspdCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
               [](const GreedyCandidate& a, const GreedyCandidate& b) {
                   return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
               });
+}
+
+namespace {
+
+/// The linear-space WSPD generator. Construction keeps only the dumbbell
+/// representative pairs as two u32 arrays plus a u32 class-order
+/// permutation (12 bytes per pair -- half the materialized candidate), and
+/// partitions the pairs into geometric weight classes [wpos * 2^(c-1),
+/// wpos * 2^c) by recomputing each weight on the fly (two counting
+/// passes). Serving materializes one class at a time into a scratch
+/// vector, sorts it by the source's (weight, u, v) tie rule, and hands out
+/// soft_cap-sized slices. Because the class of a candidate is a monotone
+/// function of its weight and equal weights always share a class, the
+/// concatenation of per-class sorts is exactly the global sort --
+/// bit-identical to materialize().
+class WspdChunkSource final : public CandidateChunkSource {
+public:
+    WspdChunkSource(const EuclideanMetric& m, double separation) : m_(m) {
+        if (m_.size() < 2) return;
+        {
+            const QuadTree tree(m_);
+            const auto pairs = well_separated_pairs(tree, separation);
+            us_.reserve(pairs.size());
+            vs_.reserve(pairs.size());
+            for (const WspdPair& p : pairs) {
+                const VertexId a = tree.node(p.a).representative;
+                const VertexId b = tree.node(p.b).representative;
+                us_.push_back(std::min(a, b));
+                vs_.push_back(std::max(a, b));
+            }
+        }  // tree + raw pair list released before any candidate memory exists
+        const std::size_t p = us_.size();
+        if (p == 0) return;
+
+        // Pass 1: weight range (smallest positive weight anchors class 1;
+        // exact zeros -- duplicate points -- form class 0).
+        wpos_ = std::numeric_limits<double>::infinity();
+        double wmax = 0.0;
+        for (std::size_t i = 0; i < p; ++i) {
+            const double w = m_.distance(us_[i], vs_[i]);
+            if (w > 0.0 && w < wpos_) wpos_ = w;
+            if (w > wmax) wmax = w;
+        }
+        std::size_t num_classes = 1;
+        if (std::isfinite(wpos_)) {
+            num_classes = 2 + static_cast<std::size_t>(std::max(
+                                  0.0, std::floor(std::log2(wmax / wpos_))));
+        }
+
+        // Pass 2: histogram, prefix-sum, stable scatter of pair indices.
+        std::vector<std::uint32_t> counts(num_classes + 1, 0);
+        for (std::size_t i = 0; i < p; ++i) {
+            ++counts[class_of(m_.distance(us_[i], vs_[i]), num_classes)];
+        }
+        class_start_.assign(num_classes + 1, 0);
+        std::uint32_t acc = 0;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            class_start_[c] = acc;
+            acc += counts[c];
+        }
+        class_start_[num_classes] = acc;
+        std::vector<std::uint32_t> cursor(class_start_.begin(), class_start_.end() - 1);
+        order_.resize(p);
+        for (std::size_t i = 0; i < p; ++i) {
+            const std::size_t c = class_of(m_.distance(us_[i], vs_[i]), num_classes);
+            order_[cursor[c]++] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    bool next_chunk(std::size_t soft_cap, std::vector<GreedyCandidate>& out) override {
+        while (served_ >= scratch_.size()) {
+            if (class_start_.empty() || next_class_ + 1 >= class_start_.size()) return false;
+            scratch_.clear();
+            served_ = 0;
+            const std::uint32_t begin = class_start_[next_class_];
+            const std::uint32_t end = class_start_[next_class_ + 1];
+            ++next_class_;
+            scratch_.reserve(end - begin);
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const VertexId u = us_[order_[k]];
+                const VertexId v = vs_[order_[k]];
+                scratch_.push_back(GreedyCandidate{u, v, m_.distance(u, v)});
+            }
+            std::sort(scratch_.begin(), scratch_.end(),
+                      [](const GreedyCandidate& a, const GreedyCandidate& b) {
+                          return std::tie(a.weight, a.u, a.v) <
+                                 std::tie(b.weight, b.u, b.v);
+                      });
+        }
+        const std::size_t take =
+            std::min(std::max<std::size_t>(soft_cap, 1), scratch_.size() - served_);
+        const std::size_t end = served_ + take;
+        out.insert(out.end(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(served_),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(end));
+        served_ = end;
+        return true;
+    }
+
+private:
+    /// Geometric class index: 0 for w == 0, else 1 + floor(log2(w / wpos)).
+    /// Monotone in w, and a pure function of w (equal weights share a
+    /// class) -- the two properties the ordering proof needs.
+    [[nodiscard]] std::size_t class_of(double w, std::size_t num_classes) const {
+        if (!(w > 0.0) || !std::isfinite(wpos_)) return 0;
+        const double c = 1.0 + std::floor(std::log2(w / wpos_));
+        if (c <= 1.0) return 1;
+        return std::min(num_classes - 1, static_cast<std::size_t>(c));
+    }
+
+    const EuclideanMetric& m_;
+    std::vector<VertexId> us_, vs_;        ///< representative pairs (u < v)
+    std::vector<std::uint32_t> order_;     ///< pair indices in class order
+    std::vector<std::uint32_t> class_start_;  ///< prefix offsets into order_
+    double wpos_ = std::numeric_limits<double>::infinity();
+    std::size_t next_class_ = 0;
+    std::vector<GreedyCandidate> scratch_;  ///< the one resident class
+    std::size_t served_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateChunkSource> WspdCandidateSource::chunks() {
+    return std::make_unique<WspdChunkSource>(m_, separation_);
 }
 
 double wspd_greedy_stretch_bound(double engine_stretch, double separation) {

@@ -44,6 +44,14 @@ namespace gsp {
 
 class SpannerSession;
 
+/// How a source participates in the pull-based chunk protocol
+/// (CandidateChunkSource, core/candidate_stream.hpp).
+enum class ChunkSupport {
+    kNone,      ///< chunks() unavailable; only materialize() works
+    kFallback,  ///< chunks() works by materializing internally (no memory win)
+    kStreaming  ///< chunks() generates incrementally with sub-full-list peak memory
+};
+
 class CandidateSource {
 public:
     virtual ~CandidateSource() = default;
@@ -58,6 +66,21 @@ public:
     /// order with a deterministic tie rule. Called once per build; the
     /// buffer is session-owned and reused across builds.
     virtual void materialize(std::vector<GreedyCandidate>& out) = 0;
+
+    /// Whether chunks() streams, materializes internally, or refuses.
+    /// kStreaming is the signal SpannerSession's kAuto chunking keys on:
+    /// only a genuinely linear-space generator is worth routing through
+    /// the chunked engine path by default.
+    [[nodiscard]] virtual ChunkSupport chunk_support() const { return ChunkSupport::kFallback; }
+
+    /// A fresh chunk generator over exactly the candidate sequence
+    /// materialize() would produce (same order, same tie rule -- the
+    /// chunked and materializing builds are bit-identical). The default
+    /// materializes the full list internally and serves soft_cap-sized
+    /// slices: correct everywhere, but no memory win (kFallback).
+    /// Sources reporting kNone throw. The generator is single-use and
+    /// must not outlive the source.
+    [[nodiscard]] virtual std::unique_ptr<CandidateChunkSource> chunks();
 
     /// Edges inserted into the spanner before the greedy loop runs (the
     /// approximate-greedy E0 set). Default: none.
@@ -130,6 +153,14 @@ public:
     [[nodiscard]] double stretch_target(double engine_stretch) const override {
         return wspd_greedy_stretch_bound(engine_stretch, separation_);
     }
+
+    /// Linear-space chunk generation: the dumbbell representative pairs are
+    /// kept as two u32 arrays (12 bytes/pair with the class-order permutation,
+    /// vs 24 for materialized candidates), partitioned into geometric weight
+    /// classes by a counting pass that recomputes each weight on the fly, and
+    /// served class by class -- only one class's candidates are ever resident.
+    [[nodiscard]] ChunkSupport chunk_support() const override { return ChunkSupport::kStreaming; }
+    [[nodiscard]] std::unique_ptr<CandidateChunkSource> chunks() override;
 
     [[nodiscard]] double separation() const { return separation_; }
 

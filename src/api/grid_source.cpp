@@ -1,0 +1,32 @@
+#include "api/grid_source.hpp"
+
+#include <stdexcept>
+
+namespace gsp {
+
+double GridCandidateSource::resolve_separation(double separation, double epsilon) {
+    if (separation <= 0.0) {
+        if (!(epsilon > 0.0)) {
+            throw std::invalid_argument(
+                "GridCandidateSource: epsilon must be > 0 to derive a separation");
+        }
+        return 4.0 + 8.0 / epsilon;
+    }
+    return separation;  // UniformGrid2D enforces > 4
+}
+
+GridCandidateSource::GridCandidateSource(const EuclideanMetric& m, double separation,
+                                         double epsilon)
+    : m_(m), grid_(m, resolve_separation(separation, epsilon)) {}
+
+void GridCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
+    GridChunkSource source(grid_);
+    while (source.next_chunk(static_cast<std::size_t>(-1), out)) {
+    }
+}
+
+std::unique_ptr<CandidateChunkSource> GridCandidateSource::chunks() {
+    return std::make_unique<GridChunkSource>(grid_);
+}
+
+}  // namespace gsp

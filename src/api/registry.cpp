@@ -4,6 +4,7 @@
 #include <string>
 
 #include "api/candidate_source.hpp"
+#include "api/grid_source.hpp"
 #include "metric/euclidean.hpp"
 #include "spanners/baswana_sen.hpp"
 #include "spanners/net_spanner.hpp"
@@ -104,6 +105,16 @@ AlgorithmRegistry::AlgorithmRegistry() {
         [](SpannerSession& session, const BuildInput& input, const BuildOptions& options,
            BuildReport* report) {
             WspdCandidateSource source(require_euclidean(input, "greedy-wspd", false),
+                                       options.geometric.wspd_separation,
+                                       options.geometric.epsilon);
+            return session.build(source, options, report);
+        });
+
+    add({"greedy-grid", InputKind::kEuclidean2D, true, false,
+         "greedy over grid-pruned candidates (streaming window sweep, linear space)"},
+        [](SpannerSession& session, const BuildInput& input, const BuildOptions& options,
+           BuildReport* report) {
+            GridCandidateSource source(require_euclidean(input, "greedy-grid", true),
                                        options.geometric.wspd_separation,
                                        options.geometric.epsilon);
             return session.build(source, options, report);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/candidate_source.hpp"
+#include "util/rss.hpp"
 #include "util/timer.hpp"
 
 namespace gsp {
@@ -28,20 +29,36 @@ Graph SpannerSession::build(CandidateSource& source, const BuildOptions& options
     GreedyEngine engine(n, std::move(engine_options), resources_);
     const double setup_seconds = setup_timer.seconds();
 
-    candidates_.clear();
-    source.materialize(candidates_);
+    // Candidate delivery: kAuto routes through the chunked engine path
+    // exactly when the source generates incrementally (kStreaming) -- the
+    // only case where chunking buys memory. Both paths produce the same
+    // candidate sequence, so the edge set and decision stats are
+    // bit-identical either way.
+    const bool chunked =
+        options.chunking == BuildOptions::Chunking::kChunked ||
+        (options.chunking == BuildOptions::Chunking::kAuto &&
+         source.chunk_support() == ChunkSupport::kStreaming);
+
     Graph h(n);
     source.seed(h);
 
     GreedyStats stats;
-    h = engine.run(std::move(h), candidates_, &stats);
+    if (chunked) {
+        const auto chunk_source = source.chunks();  // throws on kNone
+        candidates_.clear();
+        h = engine.run(std::move(h), *chunk_source, candidates_, &stats);
+    } else {
+        candidates_.clear();
+        source.materialize(candidates_);
+        h = engine.run(std::move(h), candidates_, &stats);
+    }
     ++builds_;
 
     if (report != nullptr) {
         report->algorithm = source.kind();
         report->source = source.kind();
         report->vertices = n;
-        report->candidates = candidates_.size();
+        report->candidates = stats.candidates_streamed;
         report->stretch_target = source.stretch_target(engine.options().stretch);
         fill_audit_fields(*report, h);
         report->seconds = timer.seconds();
@@ -51,6 +68,7 @@ Graph SpannerSession::build(CandidateSource& source, const BuildOptions& options
         report->pools_constructed = resources_.pools_constructed() - pools_before;
         report->workspaces_constructed =
             resources_.workspaces_constructed() - workspaces_before;
+        report->peak_rss_kb = process_peak_rss_kb();
         report->stats = stats;
     }
     return h;

@@ -1,5 +1,7 @@
 #include "core/candidate_stream.hpp"
 
+#include <stdexcept>
+
 namespace gsp {
 
 bool CandidateStream::next(CandidateBucket& out) {
@@ -11,6 +13,49 @@ bool CandidateStream::next(CandidateBucket& out) {
     while (end < candidates_.size() && candidates_[end].weight <= out.hi) ++end;
     out.end = end;
     cursor_ = end;
+    return true;
+}
+
+bool ChunkedCandidateStream::refill() {
+    if (exhausted_) return false;
+    base_ = cursor_;
+    buffer_->clear();
+    if (!source_->next_chunk(soft_cap_, *buffer_) || buffer_->empty()) {
+        exhausted_ = true;
+        return false;
+    }
+    Weight prev = last_weight_;
+    bool have_prev = have_last_;
+    for (const GreedyCandidate& c : *buffer_) {
+        if (have_prev && c.weight < prev) {
+            throw std::invalid_argument(
+                "ChunkedCandidateStream: chunk source emitted candidates out of "
+                "non-decreasing weight order");
+        }
+        prev = c.weight;
+        have_prev = true;
+    }
+    last_weight_ = prev;
+    have_last_ = true;
+    streamed_ += buffer_->size();
+    const std::size_t bytes = buffer_->size() * sizeof(GreedyCandidate);
+    if (bytes > peak_bytes_) peak_bytes_ = bytes;
+    return true;
+}
+
+bool ChunkedCandidateStream::next(CandidateBucket& out) {
+    if (cursor_ - base_ >= buffer_->size() && !refill()) return false;
+    const std::vector<GreedyCandidate>& buf = *buffer_;
+    std::size_t local = cursor_ - base_;
+    out.begin = cursor_;
+    out.lo = buf[local].weight;
+    out.hi = out.lo * bucket_ratio_;
+    // A bucket never outlives the resident chunk: a weight class cut by
+    // the chunk boundary becomes two buckets, which the engine's
+    // decision-preserving bucketing makes harmless.
+    while (local < buf.size() && buf[local].weight <= out.hi) ++local;
+    out.end = base_ + local;
+    cursor_ = out.end;
     return true;
 }
 

@@ -4,10 +4,14 @@
 // classes [lo, bucket_ratio * lo], the same boundary rule the
 // approximate-greedy simulation has always used. CandidateStream walks the
 // sorted candidate span and materializes one bucket at a time;
-// SourceGroups indexes a bucket's candidates by source vertex, which is
-// both the unit of ball sharing (one ball answers a whole group) and the
-// unit of work handed to the parallel prefilter stage (groups touch
-// disjoint candidate slots, so workers never race on bounds).
+// ChunkedCandidateStream does the same over a pull-based chunk source, so
+// the full sorted array never has to exist (the linear-space greedy of
+// Alewijnse et al.: candidates are generated one weight window at a time
+// into a reusable buffer). SourceGroups indexes a bucket's candidates by
+// source vertex, which is both the unit of ball sharing (one ball answers
+// a whole group) and the unit of work handed to the parallel prefilter
+// stage (groups touch disjoint candidate slots, so workers never race on
+// bounds).
 #pragma once
 
 #include <cstddef>
@@ -49,6 +53,84 @@ private:
     std::span<const GreedyCandidate> candidates_;
     double bucket_ratio_;
     std::size_t cursor_ = 0;
+};
+
+/// The pull-based chunk protocol: a source that generates its candidates
+/// incrementally instead of materializing the full sorted array.
+///
+/// Contract (what ChunkedCandidateStream validates and the engine's
+/// bit-identity guarantee rests on):
+///  * each call appends candidates in non-decreasing weight order, every
+///    weight >= every weight of every earlier chunk -- concatenating all
+///    chunks yields exactly the sequence materialize() would have
+///    produced, with the source's own deterministic tie rule;
+///  * `soft_cap` is advisory: a source should stop appending once the
+///    chunk reaches it, but may overshoot to finish an atomic unit of
+///    generation (a weight window it cannot split, a run of equal
+///    weights it has already sorted);
+///  * the buffer is owned by the caller (the session's reusable
+///    materialization buffer): the source only ever appends, and must not
+///    keep references into it across calls;
+///  * returns true after appending at least one candidate; false --
+///    appending nothing -- once the stream is exhausted (and on every
+///    call thereafter).
+class CandidateChunkSource {
+public:
+    virtual ~CandidateChunkSource() = default;
+
+    virtual bool next_chunk(std::size_t soft_cap, std::vector<GreedyCandidate>& out) = 0;
+};
+
+/// Drives the engine's bucket loop from a CandidateChunkSource: one chunk
+/// at a time lives in the caller-owned buffer, and buckets are carved out
+/// of the resident chunk. A weight class that straddles a chunk boundary
+/// is simply split into two buckets -- bucket boundaries are decision
+/// preserving (bucket_ratio is an EngineTuning knob), so the edge set is
+/// bit-identical to the materializing path at every chunk size.
+class ChunkedCandidateStream {
+public:
+    /// `buffer` must outlive the stream; it is cleared and refilled on
+    /// every chunk pull. Requires bucket_ratio > 1 and soft_cap >= 1.
+    ChunkedCandidateStream(CandidateChunkSource& source,
+                           std::vector<GreedyCandidate>& buffer, double bucket_ratio,
+                           std::size_t soft_cap)
+        : source_(&source), buffer_(&buffer), bucket_ratio_(bucket_ratio),
+          soft_cap_(soft_cap) {}
+
+    /// Produce the next bucket (global candidate indices, like
+    /// CandidateStream); false at end of stream. Throws
+    /// std::invalid_argument if the source violates the ordering contract.
+    bool next(CandidateBucket& out);
+
+    /// The resident candidates of `bucket` (which must be the bucket most
+    /// recently produced by next()).
+    [[nodiscard]] std::span<const GreedyCandidate> window(const CandidateBucket& bucket) const {
+        return std::span<const GreedyCandidate>(*buffer_).subspan(bucket.begin - base_,
+                                                                  bucket.size());
+    }
+
+    /// Total candidates pulled from the source so far.
+    [[nodiscard]] std::size_t streamed() const { return streamed_; }
+
+    /// Peak logical bytes resident in the chunk buffer (size, not
+    /// capacity: a pure function of the stream, not of what earlier
+    /// builds left in a warm session's buffer).
+    [[nodiscard]] std::size_t peak_buffer_bytes() const { return peak_bytes_; }
+
+private:
+    bool refill();
+
+    CandidateChunkSource* source_;
+    std::vector<GreedyCandidate>* buffer_;
+    double bucket_ratio_;
+    std::size_t soft_cap_;
+    std::size_t base_ = 0;    ///< global index of buffer_[0]
+    std::size_t cursor_ = 0;  ///< global index of the next unconsumed candidate
+    bool exhausted_ = false;
+    Weight last_weight_ = 0.0;  ///< cross-chunk ordering validation
+    bool have_last_ = false;
+    std::size_t streamed_ = 0;
+    std::size_t peak_bytes_ = 0;
 };
 
 /// Chooses stage-2 batch widths from the *predicted* accept rate (the

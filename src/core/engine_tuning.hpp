@@ -81,6 +81,13 @@ struct EngineTuning {
     /// this many undecided candidates.
     std::size_t ball_share_min_group = 16;
 
+    /// Advisory chunk size (candidates) of the streaming candidate path:
+    /// how many candidates a CandidateChunkSource is asked to append per
+    /// pull. Sources may overshoot to finish an atomic generation unit.
+    /// Must be >= 1. Chunk boundaries only ever split weight buckets,
+    /// which is decision preserving like every other field here.
+    std::size_t chunk_soft_cap = 1 << 16;
+
     /// The naive reference kernel: every optimisation off, one one-sided
     /// distance-limited Dijkstra per candidate. What old-vs-new
     /// equivalence suites compare everything against.

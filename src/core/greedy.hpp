@@ -70,6 +70,13 @@ struct GreedyStats {
     /// bound array + packed verdict bitsets); the bytes-per-candidate
     /// numerator tracked in BENCH_greedy.json.
     std::size_t handoff_peak_bytes = 0;
+
+    // Candidate-memory counters (the linear-space streaming path). On the
+    // materializing path candidates_streamed is the full candidate count
+    // and the buffer peak is the whole sorted array -- the honest
+    // comparison baseline for the chunked mode.
+    std::size_t candidates_streamed = 0;  ///< candidates pulled through stage 1
+    std::size_t candidate_buffer_peak_bytes = 0;  ///< peak resident candidate bytes
 };
 
 /// The greedy t-spanner of g. Requires t >= 1. Works on disconnected

@@ -93,6 +93,26 @@ struct PrefilterGateState {
     }
 };
 
+/// Stage-1 feed over a fully materialized candidate span: the classic
+/// path. streamed()/peak_buffer_bytes() report the whole array -- the
+/// honest baseline the chunked feed's counters are compared against.
+struct SpanCandidateFeed {
+    CandidateStream stream;
+    std::span<const GreedyCandidate> all;
+
+    SpanCandidateFeed(std::span<const GreedyCandidate> candidates, double bucket_ratio)
+        : stream(candidates, bucket_ratio), all(candidates) {}
+
+    bool next(CandidateBucket& out) { return stream.next(out); }
+    [[nodiscard]] std::span<const GreedyCandidate> window(const CandidateBucket& b) const {
+        return all.subspan(b.begin, b.size());
+    }
+    [[nodiscard]] std::size_t streamed() const { return all.size(); }
+    [[nodiscard]] std::size_t peak_buffer_bytes() const {
+        return all.size() * sizeof(GreedyCandidate);
+    }
+};
+
 }  // namespace
 
 ThreadPool& EngineResources::acquire_pool(std::size_t workers) {
@@ -131,6 +151,9 @@ void GreedyEngine::init() {
         throw std::invalid_argument(
             "GreedyEngine: sketch_ways must be a power of two >= 1");
     }
+    if (options_.chunk_soft_cap == 0) {
+        throw std::invalid_argument("GreedyEngine: chunk_soft_cap must be >= 1");
+    }
     workers_ = options_.parallel_prefilter
                    ? ThreadPool::resolve_workers(options_.num_threads)
                    : 1;
@@ -153,22 +176,46 @@ Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
         }
     }
     GreedyStats local;
+    SpanCandidateFeed feed(candidates, options_.bucket_ratio);
     Graph out(0);
     if (options_.csr_snapshot) {
         IncrementalAdapter adapter;
-        out = run_impl(adapter, std::move(h), candidates, local);
+        out = run_impl(adapter, std::move(h), feed, local);
     } else {
         LiveAdapter adapter;
-        out = run_impl(adapter, std::move(h), candidates, local);
+        out = run_impl(adapter, std::move(h), feed, local);
     }
     local.seconds = timer.seconds();
     if (stats != nullptr) *stats = local;
     return out;
 }
 
-template <class Adapter>
-Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
-                             std::span<const GreedyCandidate> cands, GreedyStats& stats) {
+Graph GreedyEngine::run(Graph h, CandidateChunkSource& source,
+                        std::vector<GreedyCandidate>& buffer, GreedyStats* stats) {
+    const Timer timer;
+    if (h.num_vertices() != n_) {
+        throw std::invalid_argument("GreedyEngine::run: vertex count mismatch");
+    }
+    // Sortedness is validated incrementally as chunks arrive (the stream
+    // throws on a contract violation), including across chunk boundaries.
+    GreedyStats local;
+    ChunkedCandidateStream feed(source, buffer, options_.bucket_ratio,
+                                options_.chunk_soft_cap);
+    Graph out(0);
+    if (options_.csr_snapshot) {
+        IncrementalAdapter adapter;
+        out = run_impl(adapter, std::move(h), feed, local);
+    } else {
+        LiveAdapter adapter;
+        out = run_impl(adapter, std::move(h), feed, local);
+    }
+    local.seconds = timer.seconds();
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+template <class Adapter, class Feed>
+Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats& stats) {
     // Every expensive array below lives in the (possibly session-shared)
     // resources; a warm build reuses them all. Per-run state is reset
     // explicitly here, so a run's decisions *and stats* are a pure
@@ -272,10 +319,11 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         ema = ema == 0.0 ? sample : 0.75 * ema + 0.25 * sample;
     };
 
-    // --- Stage 1: the candidate stream paces the bucket loop. ---
-    CandidateStream stream(cands, options_.bucket_ratio);
+    // --- Stage 1: the candidate feed paces the bucket loop (a sorted
+    // span or a chunk-driven stream -- the loop below only ever touches
+    // the current bucket's window, addressed bucket-locally). ---
     CandidateBucket bucket;
-    while (stream.next(bucket)) {
+    while (feed.next(bucket)) {
         ++stats.buckets;
         if (bucket.size() > std::numeric_limits<std::uint32_t>::max()) {
             // Bucket-local indices (bounds, verdict bits, groups) are u32.
@@ -283,6 +331,12 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
                 "GreedyEngine: a single weight bucket exceeds 2^32 candidates; "
                 "lower bucket_ratio to split it");
         }
+        // The bucket's candidates, addressed from zero: everything below
+        // (groups, bounds, verdict bits, the insertion loop) runs in
+        // bucket-local coordinates, so it is indifferent to whether the
+        // window is a slice of a full array or of a resident chunk.
+        const std::span<const GreedyCandidate> bw = feed.window(bucket);
+        const CandidateBucket lbucket{0, bucket.size(), bucket.lo, bucket.hi};
 
         // Synchronize the adjacency view. With the incremental store this
         // is a full build exactly once per run (then a free no-op: the
@@ -295,7 +349,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // the bucket by design -- cross-bucket persistence is the
         // sketch's job, in O(n) instead of O(m).
         if (track_bounds) bound.assign(bucket.size(), kInfiniteWeight);
-        if (parallel) prefilter_stage.begin_bucket(bucket);
+        if (parallel) prefilter_stage.begin_bucket(lbucket);
         // Logical footprint, not vector capacities: capacities depend on
         // what earlier (possibly larger) runs left in a warm session, and
         // the handoff counter must be a pure function of this run.
@@ -306,20 +360,21 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         stats.handoff_peak_bytes = std::max(stats.handoff_peak_bytes, handoff_bytes);
 
         const auto cand_at = [&](std::uint32_t local) -> const GreedyCandidate& {
-            return cands[bucket.begin + local];
+            return bw[local];
         };
 
         // When stage 2 is active, a bucket is consumed in fixed-width
         // batches (uniform-ish weights collapse the whole input into one
         // geometric class, and stage-2 facts probed against a spanner that
         // is thousands of insertions stale are worthless). Serial runs
-        // keep the PR-1 shape: one batch == the bucket.
-        std::size_t batch_begin = bucket.begin;
-        while (batch_begin < bucket.end) {
+        // keep the PR-1 shape: one batch == the bucket. Batch boundaries
+        // are bucket-local, like every other index from here on.
+        std::size_t batch_begin = 0;
+        while (batch_begin < lbucket.end) {
         const std::size_t batch_width =
             repair ? planner.next_width(last_accept_rate) : options_.parallel_batch;
         const std::size_t batch_end =
-            parallel ? std::min(batch_begin + batch_width, bucket.end) : bucket.end;
+            parallel ? std::min(batch_begin + batch_width, lbucket.end) : lbucket.end;
         const CandidateBucket batch{batch_begin, batch_end, bucket.lo, bucket.hi};
         ++batch_seq;
 
@@ -345,7 +400,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
             repair && sharing && accept_predicted && cert_mode_live;
         const bool run_stage2 =
             parallel && !gate.calibrating && (!accept_predicted || certificate_mode);
-        if (sharing) groups.rebuild(cands, batch, bucket.begin, n_);
+        if (sharing) groups.rebuild(bw, batch, 0, n_);
         const std::uint64_t snapshot_epoch = insert_epoch;
         const std::size_t batch_accepts_before = stats.edges_added;
         // Truncate the repair feed at the snapshot boundary: entries from
@@ -359,9 +414,9 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // inserts later. ---
         if (run_stage2) {
             PrefilterContext ctx;
-            ctx.candidates = cands;
+            ctx.candidates = bw;
             ctx.batch = batch;
-            ctx.base = bucket.begin;
+            ctx.base = 0;
             ctx.groups = sharing ? &groups : nullptr;
             ctx.stretch = t;
             ctx.bidirectional = options_.bidirectional;
@@ -391,8 +446,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         // --- Stage 3: the serialized insertion loop re-walks the batch in
         // deterministic tie order and re-verifies every surviving accept. ---
         for (std::size_t i = batch.begin; i < batch.end; ++i) {
-            const GreedyCandidate& c = cands[i];
-            const auto li = static_cast<std::uint32_t>(i - bucket.begin);
+            const GreedyCandidate& c = bw[i];
+            const auto li = static_cast<std::uint32_t>(i);
             const Weight threshold = t * c.weight;
             ++stats.edges_examined;
             // This candidate is decided this iteration, whichever path runs.
@@ -651,6 +706,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h,
         ws.meet_events() + ws_pool.total_meet_events() - meets_before;
     stats.csr_rebuilds = adapter.rebuilds();
     stats.csr_compactions = adapter.compactions();
+    stats.candidates_streamed = feed.streamed();
+    stats.candidate_buffer_peak_bytes = feed.peak_buffer_bytes();
     return h;
 }
 

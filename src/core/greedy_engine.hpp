@@ -187,6 +187,16 @@ public:
     Graph run(Graph h, std::span<const GreedyCandidate> candidates,
               GreedyStats* stats = nullptr);
 
+    /// The linear-space entry point: drain `source` chunk by chunk through
+    /// `buffer` (the caller-owned reusable chunk buffer -- a session passes
+    /// its materialization buffer) instead of requiring the full sorted
+    /// array. The source must honor the CandidateChunkSource ordering
+    /// contract (validated as chunks arrive; violations throw). The edge
+    /// set is bit-identical to the materializing overload for the same
+    /// candidate sequence, at every chunk size and thread count.
+    Graph run(Graph h, CandidateChunkSource& source, std::vector<GreedyCandidate>& buffer,
+              GreedyStats* stats = nullptr);
+
     [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
 
     /// Resolved worker count (>= 1): what `concurrent_prefilter` will be
@@ -196,9 +206,8 @@ public:
 private:
     void init();  ///< shared constructor tail: validation + pool acquisition
 
-    template <class Adapter>
-    Graph run_impl(Adapter& adapter, Graph h, std::span<const GreedyCandidate> candidates,
-                   GreedyStats& stats);
+    template <class Adapter, class Feed>
+    Graph run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats& stats);
 
     [[nodiscard]] bool parallel_enabled() const { return pool_ != nullptr; }
 

@@ -13,22 +13,35 @@ EuclideanMetric uniform_points(std::size_t n, std::size_t dim, double extent, Rn
     return EuclideanMetric(dim, std::move(coords));
 }
 
-EuclideanMetric clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
-                                 double extent, double spread, Rng& rng) {
-    if (clusters == 0) throw std::invalid_argument("clustered_points: clusters must be >= 1");
+void stream_clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
+                             double extent, double spread, Rng& rng,
+                             const std::function<void(std::span<const double>)>& sink) {
+    if (clusters == 0) {
+        throw std::invalid_argument("clustered_points: clusters must be >= 1");
+    }
     std::vector<double> centers;
     centers.reserve(clusters * dim);
     for (std::size_t i = 0; i < clusters * dim; ++i) {
         centers.push_back(rng.uniform(0.0, extent));
     }
-    std::vector<double> coords;
-    coords.reserve(n * dim);
+    std::vector<double> point(dim);
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t c = rng.index(clusters);
         for (std::size_t k = 0; k < dim; ++k) {
-            coords.push_back(rng.normal(centers[c * dim + k], spread));
+            point[k] = rng.normal(centers[c * dim + k], spread);
         }
+        sink(point);
     }
+}
+
+EuclideanMetric clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
+                                 double extent, double spread, Rng& rng) {
+    std::vector<double> coords;
+    coords.reserve(n * dim);
+    stream_clustered_points(n, dim, clusters, extent, spread, rng,
+                            [&](std::span<const double> p) {
+                                coords.insert(coords.end(), p.begin(), p.end());
+                            });
     return EuclideanMetric(dim, std::move(coords));
 }
 

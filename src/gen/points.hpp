@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <span>
 
 #include "metric/euclidean.hpp"
 #include "util/random.hpp"
@@ -15,6 +17,16 @@ EuclideanMetric uniform_points(std::size_t n, std::size_t dim, double extent, Rn
 /// cube [0, extent]^dim; blob standard deviation `spread`.
 EuclideanMetric clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
                                  double extent, double spread, Rng& rng);
+
+/// Streaming form of clustered_points: invoke `sink` once per point with
+/// that point's `dim` coordinates, holding only the cluster centers --
+/// the n = 10^6-capable generator of the memory probe, which appends
+/// straight into one flat coordinate array. Identical RNG consumption to
+/// clustered_points (which delegates here), so the same seed yields the
+/// same point set through either form.
+void stream_clustered_points(std::size_t n, std::size_t dim, std::size_t clusters,
+                             double extent, double spread, Rng& rng,
+                             const std::function<void(std::span<const double>)>& sink);
 
 /// n points evenly spaced on a circle of the given radius (2D). A classic
 /// bad case for cone spanners and a good case for the greedy.

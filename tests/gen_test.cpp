@@ -171,5 +171,24 @@ TEST(GraphGenTest, RandomGeometricConnected) {
     EXPECT_TRUE(is_connected(g));
 }
 
+TEST(PointGenTest, StreamedClusteredPointsMatchMaterialized) {
+    // The streaming emitter and clustered_points consume the RNG
+    // identically: same seed, same point set, coordinate for coordinate.
+    Rng rng_a(41);
+    const EuclideanMetric pts = clustered_points(500, 2, 6, 90.0, 1.25, rng_a);
+    Rng rng_b(41);
+    std::vector<double> streamed;
+    streamed.reserve(500 * 2);
+    stream_clustered_points(500, 2, 6, 90.0, 1.25, rng_b,
+                            [&](std::span<const double> p) {
+                                streamed.insert(streamed.end(), p.begin(), p.end());
+                            });
+    ASSERT_EQ(streamed.size(), 1000u);
+    for (std::size_t i = 0; i < 500; ++i) {
+        EXPECT_EQ(pts.point(i)[0], streamed[2 * i]) << i;
+        EXPECT_EQ(pts.point(i)[1], streamed[2 * i + 1]) << i;
+    }
+}
+
 }  // namespace
 }  // namespace gsp
