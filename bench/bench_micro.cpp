@@ -248,9 +248,10 @@ void write_smoke_json() {
     const auto runs = benchutil::run_kernel_sweep(g, t);
     const auto session_probe = benchutil::run_session_probe(n, t, 2, 4);
     const auto mem_probe = benchutil::run_mem_probe(benchutil::mem_probe_n(100'000));
+    const auto time_probe = benchutil::run_time_probe(benchutil::time_probe_n(100'000));
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_micro", "random_nm", n,
-                                       g.num_edges(), t, runs, mem_probe,
+                                       g.num_edges(), t, runs, mem_probe, time_probe,
                                        &session_probe);
     bool all_match = true;
     for (const auto& r : runs) all_match = all_match && r.matches_naive;
@@ -267,7 +268,9 @@ void write_smoke_json() {
               << "; mem probe n=" << mem_probe.n << " rss +" << mem_high_kb
               << " KiB of " << mem_probe.rss_budget_kb << " KiB budget, "
               << (mem_probe.within_budget ? "within budget" : "OVER BUDGET")
-              << ")\n";
+              << "; time probe n=" << time_probe.n << " "
+              << time_probe.us_per_candidate << " us/candidate, cell-ball share "
+              << time_probe.cell_ball_share << ")\n";
 }
 
 }  // namespace

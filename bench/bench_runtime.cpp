@@ -240,9 +240,30 @@ void graph_kernel_section() {
               << (mem_probe.within_budget ? "within budget" : "OVER BUDGET")
               << "\n";
 
+    // The v6 wall-clock probe: the same grid-streamed shape timed with the
+    // cell-batched rejection path on (GSP_TIME_PROBE_N overrides; CI's
+    // per-PR smoke runs 10^5 through bench_micro, the history job on main
+    // runs the full 10^6 and asserts the 15-minute single-core ceiling).
+    const auto time_probe =
+        benchutil::run_time_probe(benchutil::time_probe_n(1'000'000));
+    std::cout << "\n== Time probe (cell-batched greedy over the grid stream, n="
+              << time_probe.n << ", t=" << time_probe.stretch << ", s="
+              << time_probe.separation << ") ==\n";
+    Table ttable({"gen (s)", "grid (s)", "build (s)", "|H|", "candidates",
+                  "us/candidate", "cell balls", "cell-ball share",
+                  "coarse rejects"});
+    ttable.add_row({fmt(time_probe.gen_seconds, 2), fmt(time_probe.grid_seconds, 2),
+                    fmt(time_probe.build_seconds, 2), std::to_string(time_probe.edges),
+                    std::to_string(time_probe.candidates),
+                    fmt(time_probe.us_per_candidate, 2),
+                    std::to_string(time_probe.cell_balls),
+                    fmt(time_probe.cell_ball_share, 3),
+                    std::to_string(time_probe.coarse_rejects)});
+    ttable.print(std::cout);
+
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_runtime", "random_nm", n,
-                                       g.num_edges(), t, runs, mem_probe,
+                                       g.num_edges(), t, runs, mem_probe, time_probe,
                                        &session_probe, &probe, &accept_probe);
     std::cout << "wrote " << path << "\n\n";
 

@@ -448,9 +448,11 @@ inline MemProbeResult run_mem_probe(std::size_t n, double t = 2.0,
     BuildOptions options;
     options.stretch = t;
     // The cross-bucket bound sketch is O(n * sketch_ways) resident memory
-    // (~64 MiB at n = 10^6) for near-zero hits on this workload: the grid
-    // stream emits every (u, v) pair at most once, so a cached cross-bucket
-    // bound is never consulted again. Off for both footprint and speed.
+    // (~64 MiB at n = 10^6). Since the cell-batched path it *does* earn
+    // its keep on grid streams (via-landmark coarse rejects), but this
+    // probe certifies the RSS floor, not wall clock -- the time probe
+    // below measures the sketch-on build -- so it stays off here to keep
+    // the budget tight.
     options.engine.bound_sketch = false;
     const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
 
@@ -507,6 +509,88 @@ inline MemProbeResult run_mem_probe(std::size_t n, double t = 2.0,
     return probe;
 }
 
+/// The v6 headline probe: wall-clock of the grid-streamed t = 2 build
+/// with the cell-batched rejection path on (the grid source's default),
+/// reported as microseconds per streamed candidate so runs at different
+/// n remain comparable. The cell-ball share (batched decisions over all
+/// candidates) and the coarse-reject count attribute where the
+/// amortization came from; the validator enforces the us/candidate
+/// ceiling at the reduced CI shape and the end-to-end build ceiling at
+/// the full n = 10^6 history shape.
+struct TimeProbeResult {
+    std::size_t n = 0;
+    double stretch = 0.0;
+    double separation = 0.0;
+    double gen_seconds = 0.0;    ///< uniform point generation
+    double grid_seconds = 0.0;   ///< grid hierarchy construction (source ctor)
+    double build_seconds = 0.0;  ///< session.build() wall clock
+    std::size_t edges = 0;
+    std::size_t candidates = 0;
+    double us_per_candidate = 0.0;
+    std::size_t cell_balls = 0;
+    std::size_t cell_ball_decisions = 0;
+    std::size_t coarse_rejects = 0;
+    double cell_ball_share = 0.0;  ///< cell_ball_decisions / candidates
+    std::size_t dijkstra_runs = 0;
+};
+
+/// Probe size: `fallback` unless GSP_TIME_PROBE_N overrides it (CI's
+/// per-PR smoke runs the reduced 10^5 shape; the history job on main
+/// runs the full 10^6 with the 15-minute single-core assertion).
+inline std::size_t time_probe_n(std::size_t fallback) {
+    if (const char* env = std::getenv("GSP_TIME_PROBE_N")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+inline TimeProbeResult run_time_probe(std::size_t n, double t = 2.0,
+                                      double separation = 5.0) {
+    TimeProbeResult probe;
+    probe.n = n;
+    probe.stretch = t;
+    probe.separation = separation;
+    const double extent = std::sqrt(static_cast<double>(n)) * 10.0;
+
+    Rng rng(2026);
+    Timer gen_timer;
+    const EuclideanMetric pts = uniform_points(n, 2, extent, rng);
+    probe.gen_seconds = gen_timer.seconds();
+
+    Timer grid_timer;
+    GridCandidateSource source(pts, separation);
+    probe.grid_seconds = grid_timer.seconds();
+
+    // Default engine tuning: the grid source flips cell batching on, and
+    // the bound sketch stays on -- the batched path's drained cell balls
+    // are what feed it (direct and via-landmark coarse rejects), unlike
+    // the per-candidate path the mem probe's comment describes.
+    SpannerSession session;
+    BuildOptions options;
+    options.stretch = t;
+    BuildReport report;
+    const Graph h = session.build(source, options, &report);
+
+    probe.build_seconds = report.seconds;
+    probe.edges = h.num_edges();
+    probe.candidates = report.stats.candidates_streamed;
+    probe.us_per_candidate =
+        probe.candidates > 0
+            ? probe.build_seconds * 1e6 / static_cast<double>(probe.candidates)
+            : 0.0;
+    probe.cell_balls = report.stats.cell_balls;
+    probe.cell_ball_decisions = report.stats.cell_ball_decisions;
+    probe.coarse_rejects = report.stats.coarse_rejects;
+    probe.cell_ball_share =
+        probe.candidates > 0
+            ? static_cast<double>(probe.cell_ball_decisions) /
+                  static_cast<double>(probe.candidates)
+            : 0.0;
+    probe.dijkstra_runs = report.stats.dijkstra_runs;
+    return probe;
+}
+
 /// Process peak RSS in KiB (0 where unsupported). Kept as the top-level
 /// JSON field's reader; per-row attribution uses before/after samples of
 /// the same counter (util/rss.hpp).
@@ -522,12 +606,13 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
                                     std::size_t m, double t,
                                     const std::vector<KernelRun>& runs,
                                     const MemProbeResult& mem_probe,
+                                    const TimeProbeResult& time_probe,
                                     const SessionProbeResult* session_probe = nullptr,
                                     const MetricProbeResult* metric_probe = nullptr,
                                     const AcceptProbeResult* accept_probe = nullptr) {
     JsonWriter w;
     w.begin_object();
-    w.member("schema", "gsp.bench_greedy.v5");
+    w.member("schema", "gsp.bench_greedy.v6");
     w.member("source", source);
     w.member("stretch", t);
     w.key("instance").begin_object();
@@ -652,6 +737,27 @@ inline void write_bench_greedy_json(const std::string& path, const std::string& 
             w.end_object();
         }
         w.end_array();
+        w.end_object();
+    }
+
+    {
+        const TimeProbeResult& p = time_probe;
+        w.key("time_probe").begin_object();
+        w.member("kind", "grid_stream_uniform");
+        w.member("n", p.n);
+        w.member("stretch", p.stretch);
+        w.member("separation", p.separation);
+        w.member("gen_seconds", p.gen_seconds);
+        w.member("grid_seconds", p.grid_seconds);
+        w.member("build_seconds", p.build_seconds);
+        w.member("edges", p.edges);
+        w.member("candidates", p.candidates);
+        w.member("us_per_candidate", p.us_per_candidate);
+        w.member("cell_balls", p.cell_balls);
+        w.member("cell_ball_decisions", p.cell_ball_decisions);
+        w.member("coarse_rejects", p.coarse_rejects);
+        w.member("cell_ball_share", p.cell_ball_share);
+        w.member("dijkstra_runs", p.dijkstra_runs);
         w.end_object();
     }
 

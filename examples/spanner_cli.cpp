@@ -165,6 +165,20 @@ int main(int argc, char** argv) {
             BuildReport report;
             const Graph h = registry.build(name, session, input, options, &report);
             std::cout << report.to_json() << "\n";
+            // Per-phase timing breakdown: where the wall clock went and
+            // what the cell-batched reject path amortized away.
+            {
+                const double us =
+                    report.candidates > 0
+                        ? report.seconds * 1e6 / static_cast<double>(report.candidates)
+                        : 0.0;
+                std::cout << "  timing: setup " << report.setup_seconds << " s, build "
+                          << report.seconds << " s (" << us << " us/candidate); "
+                          << report.stats.cell_balls << " cell balls / "
+                          << report.stats.cell_ball_decisions << " batched decisions, "
+                          << report.stats.coarse_rejects << " coarse rejects, "
+                          << report.stats.dijkstra_runs << " dijkstra runs\n";
+            }
             if (args.audit) {
                 const double stretch =
                     info->input == InputKind::kGraph

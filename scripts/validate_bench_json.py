@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v5)
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v6)
 and diff them against the tracked bench history.
 
 Usage:
@@ -37,8 +37,16 @@ one process-exit read attributed to everything -- and adds the required
 candidate source on uniform and clustered 2D instances (n = 10^6 in the
 history run, 10^5 in the per-PR smoke) whose RSS high-water delta must
 stay inside the fixed linear "rss_budget_kb" and whose candidate buffer
-must peak below the full (never-materialized) candidate list. Older
-entries are still accepted and diffed on the fields they carry.
+must peak below the full (never-materialized) candidate list. Schema v6
+(PR 7, cell-batched rejection) adds the required "time_probe" object: the
+wall clock of the grid-streamed t = 2 build with cell batching on,
+normalized to microseconds per streamed candidate. At the reduced per-PR
+shape (n < 10^6) the probe must beat the 49 us/candidate per-candidate
+baseline by at least 3x; at the full n = 10^6 history shape the
+end-to-end build must finish inside 15 minutes single-core. The
+us/candidate trajectory is history-diffed like the other metrics
+(same-n entries only). Older entries are still accepted and diffed on
+the fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -50,7 +58,7 @@ import sys
 from pathlib import Path
 
 SCHEMAS = {"gsp.bench_greedy.v1", "gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
-           "gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
+           "gsp.bench_greedy.v4", "gsp.bench_greedy.v5", "gsp.bench_greedy.v6"}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
@@ -101,6 +109,23 @@ REQUIRED_MEM_INSTANCE = {"kind", "gen_seconds", "build_seconds", "edges",
                          "rss_after_kb", "rss_delta_kb"}
 CANDIDATE_BYTES = 16  # sizeof(GreedyCandidate): two u32 endpoints + f64 weight
 
+# v6 additions: the wall-clock probe of the cell-batched grid build and
+# the per-candidate decision counters that attribute its amortization.
+REQUIRED_TIME_PROBE = {"kind", "n", "stretch", "separation", "gen_seconds",
+                       "grid_seconds", "build_seconds", "edges", "candidates",
+                       "us_per_candidate", "cell_balls", "cell_ball_decisions",
+                       "coarse_rejects", "cell_ball_share", "dijkstra_runs"}
+REQUIRED_STATS_V6 = REQUIRED_STATS_V5 | {"cell_balls", "cell_ball_decisions",
+                                         "coarse_rejects"}
+# The tentpole's acceptance criterion: the per-candidate path measured
+# 49 us/candidate on the n = 10^5 grid shape; the cell-batched path must
+# beat it by at least 3x at the reduced CI shapes, and the full 10^6
+# history run must finish inside 15 minutes single-core.
+TIME_PROBE_BASELINE_US = 49.0
+TIME_PROBE_MIN_SPEEDUP = 3.0
+TIME_PROBE_FULL_N = 1_000_000
+TIME_PROBE_FULL_BUILD_CEILING_S = 900.0
+
 REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
 
@@ -125,15 +150,19 @@ def validate(doc: dict, path) -> None:
     if schema not in SCHEMAS:
         fail(f"{path}: unexpected schema tag {schema!r}")
     v2 = schema in {"gsp.bench_greedy.v2", "gsp.bench_greedy.v3",
-                    "gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
+                    "gsp.bench_greedy.v4", "gsp.bench_greedy.v5",
+                    "gsp.bench_greedy.v6"}
     v3 = schema in {"gsp.bench_greedy.v3", "gsp.bench_greedy.v4",
-                    "gsp.bench_greedy.v5"}
-    v4 = schema in {"gsp.bench_greedy.v4", "gsp.bench_greedy.v5"}
-    v5 = schema == "gsp.bench_greedy.v5"
+                    "gsp.bench_greedy.v5", "gsp.bench_greedy.v6"}
+    v4 = schema in {"gsp.bench_greedy.v4", "gsp.bench_greedy.v5",
+                    "gsp.bench_greedy.v6"}
+    v5 = schema in {"gsp.bench_greedy.v5", "gsp.bench_greedy.v6"}
+    v6 = schema == "gsp.bench_greedy.v6"
     required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
     required_config = (REQUIRED_CONFIG_V5 if v5 else
                        REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG)
-    required_stats = (REQUIRED_STATS_V5 if v5 else
+    required_stats = (REQUIRED_STATS_V6 if v6 else
+                      REQUIRED_STATS_V5 if v5 else
                       REQUIRED_STATS_V3 if v3 else
                       REQUIRED_STATS_V2 if v2 else REQUIRED_STATS)
     if missing := required_top - doc.keys():
@@ -240,6 +269,38 @@ def validate(doc: dict, path) -> None:
         if not mem_probe["within_budget"]:
             fail(f"{path}: mem_probe reports within_budget=false")
 
+    time_probe = doc.get("time_probe")
+    if v6 and time_probe is None:
+        fail(f"{path}: schema v6 requires the time_probe object")
+    if time_probe is not None:
+        if missing := REQUIRED_TIME_PROBE - time_probe.keys():
+            fail(f"{path}: time_probe missing keys: {sorted(missing)}")
+        if time_probe["candidates"] <= 0:
+            fail(f"{path}: time_probe streamed no candidates")
+        if time_probe["edges"] < time_probe["n"] - 1:
+            fail(f"{path}: time_probe spanner does not span "
+                 f"({time_probe['edges']} edges for n={time_probe['n']})")
+        if time_probe["cell_balls"] <= 0:
+            fail(f"{path}: time_probe grew no cell balls -- the batched "
+                 f"rejection path did not engage")
+        # The tentpole acceptance criterion, recomputed from the raw
+        # fields so a harness that mis-reports us_per_candidate still
+        # fails. Reduced shapes assert the per-candidate speedup; the
+        # full history shape asserts the end-to-end single-core ceiling.
+        us = time_probe["build_seconds"] * 1e6 / time_probe["candidates"]
+        if time_probe["n"] < TIME_PROBE_FULL_N:
+            ceiling = TIME_PROBE_BASELINE_US / TIME_PROBE_MIN_SPEEDUP
+            if us > ceiling:
+                fail(f"{path}: time_probe {us:.2f} us/candidate exceeds the "
+                     f"{ceiling:.2f} us ceiling ({TIME_PROBE_MIN_SPEEDUP:.0f}x "
+                     f"over the {TIME_PROBE_BASELINE_US:.0f} us per-candidate "
+                     f"baseline)")
+        elif time_probe["build_seconds"] > TIME_PROBE_FULL_BUILD_CEILING_S:
+            fail(f"{path}: time_probe build took "
+                 f"{time_probe['build_seconds']:.0f}s at n={time_probe['n']} -- "
+                 f"over the {TIME_PROBE_FULL_BUILD_CEILING_S:.0f}s "
+                 f"single-core ceiling")
+
     accept_probe = doc.get("accept_probe")
     if accept_probe is not None:
         if missing := REQUIRED_ACCEPT_PROBE - accept_probe.keys():
@@ -275,6 +336,11 @@ def validate(doc: dict, path) -> None:
         extras.append(f"mem probe n={mem_probe['n']} rss +{high} KiB "
                       f"(budget {mem_probe['rss_budget_kb']}), "
                       f"{streamed} candidates streamed")
+    if time_probe is not None:
+        extras.append(f"time probe n={time_probe['n']} "
+                      f"{time_probe['us_per_candidate']:.2f} us/cand "
+                      f"(cell-ball share {time_probe['cell_ball_share']:.2f}, "
+                      f"{time_probe['coarse_rejects']} coarse rejects)")
     if v2:
         extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
     suffix = f"; {', '.join(extras)}" if extras else ""
@@ -397,6 +463,18 @@ def diff_history(history_dir: Path, strict: bool) -> int:
             report(diff_metric(f"mem_probe {inst['kind']} build",
                                old_inst["build_seconds"],
                                inst["build_seconds"], "s"))
+
+    old_time = prev_doc.get("time_probe")
+    cur_time = cur_doc.get("time_probe")
+    # Same-n entries only, like the mem probe: the per-PR 10^5 smoke and
+    # the 10^6 history run are different shapes, not a regression.
+    if (cur_time is not None and old_time is not None
+            and old_time["n"] == cur_time["n"]):
+        report(diff_metric("time_probe us/candidate",
+                           old_time["us_per_candidate"],
+                           cur_time["us_per_candidate"], " us"))
+        report(diff_metric("time_probe build", old_time["build_seconds"],
+                           cur_time["build_seconds"], "s"))
 
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "

@@ -12,6 +12,9 @@ void append_greedy_stats(JsonWriter& w, const GreedyStats& stats) {
     w.member("csr_compactions", stats.csr_compactions);
     w.member("sketch_hits", stats.sketch_hits);
     w.member("sketch_accepts", stats.sketch_accepts);
+    w.member("cell_balls", stats.cell_balls);
+    w.member("cell_ball_decisions", stats.cell_ball_decisions);
+    w.member("coarse_rejects", stats.coarse_rejects);
     w.member("bidirectional_meets", stats.bidirectional_meets);
     w.member("prefilter_rejects", stats.prefilter_rejects);
     w.member("prefilter_gated_off", stats.prefilter_gated_off);
@@ -45,6 +48,8 @@ std::string BuildReport::to_json() const {
     w.member("weight", weight);
     w.member("max_degree", max_degree);
     w.member("seconds", seconds);
+    w.member("us_per_candidate",
+             candidates > 0 ? seconds * 1e6 / static_cast<double>(candidates) : 0.0);
     w.member("setup_seconds", setup_seconds);
     w.member("pools_constructed", pools_constructed);
     w.member("workspaces_constructed", workspaces_constructed);

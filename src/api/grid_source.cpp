@@ -29,4 +29,40 @@ std::unique_ptr<CandidateChunkSource> GridCandidateSource::chunks() {
     return std::make_unique<GridChunkSource>(grid_);
 }
 
+void GridCandidateSource::configure_engine(GreedyEngineOptions& options, SpannerSession&) {
+    if (options.cell_batching == EngineTuning::CellBatching::kAuto) {
+        options.cell_batching = EngineTuning::CellBatching::kOn;
+    }
+    // Cell balls amortize across a whole weight class, but the engine's
+    // serial batches are clipped to the resident chunk: the default cap
+    // slices a level into many pieces and every slice re-drains each
+    // anchor's ball from scratch. Widen the chunks (still a fixed-size
+    // buffer -- 16 MiB of candidates -- far below the materialized list
+    // the linear-space budget guards against) so a level's cell groups
+    // arrive whole. Only the untouched default is widened: an explicit
+    // user cap wins, as with cell_batching above.
+    if (options.chunk_soft_cap == EngineTuning{}.chunk_soft_cap) {
+        options.chunk_soft_cap = std::size_t{1} << 21;
+    }
+    // The via-landmark coarse reject needs both endpoints of a pair to
+    // remember a common nearby anchor, and every level's anchors compete
+    // for the same few source-keyed slots: at the default associativity
+    // most facts a cell ball harvests are evicted before the neighbor
+    // cells' candidates consult them. Twice the ways keeps them alive
+    // for O(n) extra memory and an O(ways) consult.
+    if (options.sketch_ways == EngineTuning{}.sketch_ways) {
+        options.sketch_ways = 8;
+    }
+    // Spanner edge weights are exactly the metric distances of their
+    // endpoints, so the metric lower-bounds every graph distance: hand it
+    // to the engine as the A* goal oracle and the residual point queries
+    // (small groups, members a reject-radius ball left unsettled) explore
+    // the pair's ellipse instead of a disc around one endpoint. The
+    // source borrows the metric from the caller, who must keep it alive
+    // through the build anyway -- the grid holds the same reference.
+    if (options.goal_bound == nullptr) {
+        options.goal_bound = &m_;
+    }
+}
+
 }  // namespace gsp

@@ -59,6 +59,23 @@ Weight BoundSketch::upper_bound(VertexId u, VertexId v) const {
     return best;
 }
 
+Weight BoundSketch::via_upper_bound(VertexId u, VertexId v) const {
+    Weight best = kInfiniteWeight;
+    // u's ways each name one landmark src with ub(src, u); the matching
+    // way of v (same low bits of src) holds v's record of the same
+    // landmark iff the sources agree.
+    const std::size_t ubase = static_cast<std::size_t>(u) * ways_;
+    const std::size_t vbase = static_cast<std::size_t>(v) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const Entry& eu = slots_[ubase + w];
+        if (eu.src == kNoVertex || eu.ub == kInfiniteWeight) continue;
+        const Entry& ev = slots_[vbase + w];
+        if (ev.src != eu.src || ev.ub == kInfiniteWeight) continue;
+        best = std::min(best, eu.ub + ev.ub);
+    }
+    return best;
+}
+
 Weight BoundSketch::lower_bound_at(VertexId u, VertexId v,
                                    std::uint64_t epoch) const {
     Weight best = 0.0;

@@ -88,6 +88,16 @@ public:
     /// +infinity when neither vertex remembers the other.
     [[nodiscard]] Weight upper_bound(VertexId u, VertexId v) const;
 
+    /// Smallest *via-landmark* upper bound on d(u, v): min over common
+    /// sources x remembered by both endpoints of ub(x, u) + ub(x, v) --
+    /// two realizable witness paths concatenated through x, sound by the
+    /// triangle inequality. The coarse-reject consult for streams that
+    /// emit each pair exactly once (a direct (u, v) record never exists,
+    /// but both endpoints usually remember a nearby cell anchor whose
+    /// drained ball settled them). O(ways); +infinity when u and v share
+    /// no landmark.
+    [[nodiscard]] Weight via_upper_bound(VertexId u, VertexId v) const;
+
     /// Largest lower bound on d(u, v) still valid at `epoch` (0 when no
     /// tagged entry matches). d(u, v) > threshold is certified iff the
     /// returned value exceeds threshold.

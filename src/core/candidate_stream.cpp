@@ -1,5 +1,6 @@
 #include "core/candidate_stream.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gsp {
@@ -61,21 +62,59 @@ bool ChunkedCandidateStream::next(CandidateBucket& out) {
 
 void SourceGroups::rebuild(std::span<const GreedyCandidate> candidates,
                            const CandidateBucket& range, std::size_t base,
-                           std::size_t num_vertices) {
+                           std::size_t num_vertices, bool anchored) {
     if (groups_.size() < num_vertices) {
         groups_.resize(num_vertices);
         remaining_.resize(num_vertices, 0);
+        degree_.resize(num_vertices, 0);
+        is_hub_.resize(num_vertices, 0);
     }
     for (VertexId s : sources_) {
         groups_[s].clear();
         remaining_[s] = 0;
     }
     sources_.clear();
+    max_group_size_ = 0;
+    if (anchor_.size() < range.end - base) anchor_.resize(range.end - base);
+
+    if (anchored) {
+        // Pass 1: endpoint incidences over the range (lazily cleared
+        // through touched_, so the rebuild stays O(range), never O(n)).
+        for (VertexId x : touched_) {
+            degree_[x] = 0;
+            is_hub_[x] = 0;
+        }
+        touched_.clear();
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            const GreedyCandidate& c = candidates[i];
+            if (degree_[c.u]++ == 0) touched_.push_back(c.u);
+            if (degree_[c.v]++ == 0) touched_.push_back(c.v);
+        }
+    }
+
     for (std::size_t i = range.begin; i < range.end; ++i) {
-        const VertexId u = candidates[i].u;
-        if (groups_[u].empty()) sources_.push_back(u);
-        groups_[u].push_back(static_cast<std::uint32_t>(i - base));
-        ++remaining_[u];
+        const GreedyCandidate& c = candidates[i];
+        VertexId a = c.u;
+        if (anchored) {
+            // Pass 2: stick to an existing hub when exactly one endpoint
+            // is one; otherwise elect the higher-incidence endpoint
+            // (tie: min id) and mark it. The stickiness is what re-merges
+            // a grid rep's u-side and v-side candidates into one group.
+            const bool hu = is_hub_[c.u] != 0;
+            const bool hv = is_hub_[c.v] != 0;
+            if (hu != hv) {
+                a = hu ? c.u : c.v;
+            } else {
+                a = degree_[c.v] > degree_[c.u] ? c.v : c.u;
+                is_hub_[a] = 1;
+            }
+        }
+        const auto local = static_cast<std::uint32_t>(i - base);
+        anchor_[local] = a;
+        if (groups_[a].empty()) sources_.push_back(a);
+        groups_[a].push_back(local);
+        ++remaining_[a];
+        max_group_size_ = std::max<std::size_t>(max_group_size_, groups_[a].size());
     }
 }
 

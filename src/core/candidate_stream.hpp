@@ -179,34 +179,68 @@ private:
     std::size_t min_width_;
 };
 
-/// A bucket's candidates grouped by source vertex, with lazy O(bucket)
-/// clearing (a bucket costs O(its candidates), never O(n)). Groups list
-/// *bucket-local* candidate indices (global index minus the bucket's
-/// `begin` -- the same u32 currency the stage-2/stage-3 handoff uses for
-/// its bound array and verdict bitsets; a run's candidate span may exceed
-/// 2^32 as long as each individual bucket stays below it, which the
-/// engine enforces) in ascending order, which the prefilter and
+/// A bucket's candidates grouped by a per-candidate *anchor* endpoint,
+/// with lazy O(bucket) clearing (a bucket costs O(its candidates), never
+/// O(n)). Groups list *bucket-local* candidate indices (global index minus
+/// the bucket's `begin` -- the same u32 currency the stage-2/stage-3
+/// handoff uses for its bound array and verdict bitsets; a run's candidate
+/// span may exceed 2^32 as long as each individual bucket stays below it,
+/// which the engine enforces) in ascending order, which the prefilter and
 /// insertion stages both rely on (bounds harvested by an earlier
 /// candidate's query may only be consumed by later ones).
+///
+/// Two grouping modes, selected per rebuild:
+///
+///  * classic (anchored = false): the anchor is the candidate's `u` (the
+///    source vertex) -- the PR-1 rule. Natural for graph edges, where the
+///    min-id endpoint concentrates a vertex's candidates.
+///  * anchored (anchored = true): the cell-batched rule. A grid-pruned
+///    stream emits one representative candidate per cell pair, so a cell
+///    rep's ~s^2 window pairs split about evenly between its u side and
+///    its v side -- u-keyed groups are half the size the geometry offers,
+///    which starves ball sharing. The anchored rebuild assigns each
+///    candidate to ONE of its endpoints by a two-pass hub heuristic: pass
+///    1 counts endpoint incidences over the range; pass 2, in candidate
+///    order, anchors a candidate to an endpoint already serving as a hub
+///    when exactly one is (stickiness -- this is what re-merges a cell
+///    rep's two sides), otherwise to the higher-incidence endpoint
+///    (tie: min id), marking it a hub. O(range), deterministic, and a
+///    pure function of the range's contents -- identical for the serial
+///    and parallel paths at any thread count. Distances are symmetric, so
+///    a ball seeded at either endpoint decides the candidate; everything
+///    downstream asks anchor_of()/other_of() instead of assuming `u`.
 class SourceGroups {
 public:
     /// Rebuild the grouping for the candidate range `range` (a stage-2
     /// batch, or the whole bucket when serial); indices are recorded
     /// relative to `base` (the owning bucket's begin).
     void rebuild(std::span<const GreedyCandidate> candidates, const CandidateBucket& range,
-                 std::size_t base, std::size_t num_vertices);
+                 std::size_t base, std::size_t num_vertices, bool anchored = false);
 
-    /// Sources that have at least one candidate in the current range, in
+    /// Anchors that have at least one candidate in the current range, in
     /// first-appearance order.
     [[nodiscard]] const std::vector<VertexId>& sources() const { return sources_; }
 
-    /// Bucket-local candidate indices of source s (ascending). Empty for
-    /// sources outside the current range.
+    /// Bucket-local candidate indices anchored at s (ascending). Empty for
+    /// vertices that anchor nothing in the current range.
     [[nodiscard]] const std::vector<std::uint32_t>& of(VertexId s) const {
         return groups_[s];
     }
 
-    /// Undecided-candidate counter of source s; the insertion stage
+    /// The anchor endpoint of bucket-local candidate `local` (valid for
+    /// the range of the last rebuild). Classic mode: the candidate's u.
+    [[nodiscard]] VertexId anchor_of(std::uint32_t local) const { return anchor_[local]; }
+
+    /// The non-anchor endpoint of candidate c, given its anchor.
+    [[nodiscard]] static VertexId other_of(const GreedyCandidate& c, VertexId anchor) {
+        return c.u == anchor ? c.v : c.u;
+    }
+
+    /// Largest group size of the last rebuild (the group-size-aware
+    /// bootstrap of the engine's ball-vs-point gate keys on it).
+    [[nodiscard]] std::size_t max_group_size() const { return max_group_size_; }
+
+    /// Undecided-candidate counter of anchor s; the insertion stage
     /// decrements it as candidates are decided (feeds the ball-vs-point
     /// gate's "remaining peers" signal).
     [[nodiscard]] std::uint32_t remaining(VertexId s) const { return remaining_[s]; }
@@ -216,6 +250,11 @@ private:
     std::vector<std::vector<std::uint32_t>> groups_;
     std::vector<std::uint32_t> remaining_;
     std::vector<VertexId> sources_;
+    std::vector<VertexId> anchor_;       ///< bucket-local index -> anchor endpoint
+    std::vector<std::uint32_t> degree_;  ///< pass-1 incidence counts (lazily cleared)
+    std::vector<std::uint8_t> is_hub_;   ///< pass-2 hub marks (lazily cleared)
+    std::vector<VertexId> touched_;      ///< vertices with nonzero degree_/is_hub_
+    std::size_t max_group_size_ = 0;
 };
 
 }  // namespace gsp

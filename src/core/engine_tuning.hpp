@@ -19,6 +19,8 @@
 
 namespace gsp {
 
+class MetricSpace;
+
 struct EngineTuning {
     bool bidirectional = true;  ///< meet-in-the-middle point queries
     bool ball_sharing = true;   ///< per-bucket shared balls + lazy revalidation
@@ -78,8 +80,41 @@ struct EngineTuning {
 
     /// Until the first ball of a run calibrates the ball-vs-point cost
     /// model, a shared ball is attempted only for groups with at least
-    /// this many undecided candidates.
+    /// this many undecided candidates. The effective bootstrap threshold
+    /// is min(this, the batch's largest group): a stream whose groups all
+    /// sit below the knob (grid-pruned rep windows are ~s^2 wide) still
+    /// seeds the cost model from its first full-size ball instead of
+    /// never calibrating.
     std::size_t ball_share_min_group = 16;
+
+    /// Cell-batched candidate grouping (the grid-streamed reject
+    /// amortizer). kOff groups a batch's candidates by their min-id
+    /// endpoint (the PR-1 rule); kOn groups them by a deterministic
+    /// two-sided *anchor* endpoint (SourceGroups' hub heuristic), so one
+    /// drained ball per grid cell decides every rep candidate the cell
+    /// emits into the window -- roughly doubling group sizes on streams
+    /// that emit each pair once. kAuto lets the candidate source decide:
+    /// GridCandidateSource turns it on (its reps are exactly the hubs the
+    /// heuristic elects), everything else keeps the classic rule.
+    /// Decision preserving like every other field: anchors only change
+    /// which endpoint seeds a probe, and distances are symmetric.
+    enum class CellBatching { kAuto, kOn, kOff };
+    CellBatching cell_batching = CellBatching::kAuto;
+
+    /// Optional goal-direction oracle for the engine's single-target point
+    /// probes: when set, they run A* keyed by g + metric(v, target)
+    /// instead of a blind (bi)directional sweep, so a probe explores the
+    /// ellipse that can still contain a <= threshold path rather than a
+    /// disc around each endpoint. Sound whenever every graph edge's
+    /// weight dominates the metric distance of its endpoints -- true for
+    /// every candidate source here, whose weights *are* metric distances
+    /// -- because then any graph path from v to the target is at least
+    /// metric(v, target) long (and the heuristic is consistent, so the
+    /// distance returned for a reject is exact). The oracle must outlive
+    /// the build. Decision preserving in the same sense as
+    /// `bidirectional`: only the float-addition order of the pruning test
+    /// differs from the one-sided sweep (last-ulp class).
+    const MetricSpace* goal_bound = nullptr;
 
     /// Advisory chunk size (candidates) of the streaming candidate path:
     /// how many candidates a CandidateChunkSource is asked to append per

@@ -57,6 +57,17 @@ struct GreedyStats {
     std::size_t cert_ball_aborts = 0;   ///< certificate balls that blew the cap
                                         ///< (expander-like neighborhoods)
 
+    // Cell-batched rejection counters (zero unless cell_batching resolved
+    // to kOn -- the grid-streamed path). cell_ball_decisions counts the
+    // candidates a cell ball decided without a probe of their own: the
+    // members its harvest resolved at ball time plus the later
+    // lazy-revalidation accepts it backed. coarse_rejects counts
+    // via-landmark sketch rejects (two witness paths through a common
+    // landmark concatenated within the threshold -- zero graph work).
+    std::size_t cell_balls = 0;          ///< balls grown for anchored (cell) groups
+    std::size_t cell_ball_decisions = 0; ///< candidates decided by those balls
+    std::size_t coarse_rejects = 0;      ///< via-landmark sketch upper-bound rejects
+
     // Bound-sketch counters (zero when bound_sketch is off). Not a
     // partition of edges_examined: a stage-2 sketch far certificate counts
     // here *and* as a snapshot_accept when stage 3 consumes its bit.

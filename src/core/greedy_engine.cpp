@@ -8,11 +8,23 @@
 #include <utility>
 
 #include "graph/incremental_csr.hpp"
+#include "metric/metric_space.hpp"
 #include "util/timer.hpp"
 
 namespace gsp {
 
 namespace {
+
+/// Reject radius of the anchored (cell-batched) shared ball, as a factor
+/// of the group's heaviest candidate weight. A reject's witness path in
+/// the dense grid regime has stretch barely above 1, so draining ~1.3x
+/// the heaviest weight settles nearly every reject at a fraction of the
+/// area the classic full-threshold radius (stretch * w) pays for; the
+/// members it leaves unsettled (accepts, high-stretch rejects) fall
+/// through to their own goal-directed point probes. Measured optimum on
+/// uniform instances: below ~1.2 the fall-through probes dominate, above
+/// ~1.4 the extra drained area buys no further decisions.
+constexpr double kCellRejectRadiusFactor = 1.3;
 
 /// Queries run directly on the growing Graph (csr_snapshot off). The
 /// adapter still keeps the insertion log phase-B repair iterates (the
@@ -238,6 +250,12 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
     const bool sharing = options_.ball_sharing;
     const bool parallel = parallel_enabled();
     const bool use_sketch = options_.bound_sketch;
+    // Cell-batched grouping: anchor each candidate at one endpoint by the
+    // two-sided hub heuristic instead of always at u. kAuto means no
+    // source opted in (GridCandidateSource flips it to kOn), so it
+    // resolves to the classic rule here.
+    const bool anchored =
+        sharing && options_.cell_batching == EngineTuning::CellBatching::kOn;
     // Bounds are the currency of both ball sharing and the parallel stage.
     const bool track_bounds = sharing || parallel;
     const std::size_t meets_before = ws.meet_events() + ws_pool.total_meet_events();
@@ -400,7 +418,17 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
             repair && sharing && accept_predicted && cert_mode_live;
         const bool run_stage2 =
             parallel && !gate.calibrating && (!accept_predicted || certificate_mode);
-        if (sharing) groups.rebuild(bw, batch, 0, n_);
+        if (sharing) groups.rebuild(bw, batch, 0, n_, anchored);
+        // Group-size-aware bootstrap threshold for the ball-vs-point gate:
+        // a stream whose groups never reach ball_share_min_group (grid rep
+        // windows are ~s^2 wide) still calibrates the cost model from its
+        // first full-size group, instead of staying on point queries for
+        // the whole run. The floor of 2 keeps degenerate all-singleton
+        // batches from bootstrapping a ball that can amortize nothing.
+        const std::size_t bootstrap_min_group =
+            sharing ? std::min(options_.ball_share_min_group,
+                               std::max<std::size_t>(groups.max_group_size(), 2))
+                    : options_.ball_share_min_group;
         const std::uint64_t snapshot_epoch = insert_epoch;
         const std::size_t batch_accepts_before = stats.edges_added;
         // Truncate the repair feed at the snapshot boundary: entries from
@@ -420,7 +448,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
             ctx.groups = sharing ? &groups : nullptr;
             ctx.stretch = t;
             ctx.bidirectional = options_.bidirectional;
-            ctx.ball_share_min_group = options_.ball_share_min_group;
+            ctx.ball_share_min_group = bootstrap_min_group;
+            ctx.anchored = anchored;
             ctx.ball_scope = batch_seq;
             ctx.snapshot_epoch = snapshot_epoch;
             ctx.sketch = use_sketch ? &sketch : nullptr;
@@ -450,8 +479,14 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
             const auto li = static_cast<std::uint32_t>(i);
             const Weight threshold = t * c.weight;
             ++stats.edges_examined;
+            // The probe endpoint pair: the group anchor (u in classic
+            // mode, the hub endpoint in cell-batched mode) and the other
+            // endpoint. Distances are symmetric, so every exact path
+            // below may run anchor -> target instead of u -> v.
+            const VertexId anchor = sharing ? groups.anchor_of(li) : c.u;
+            const VertexId target = SourceGroups::other_of(c, anchor);
             // This candidate is decided this iteration, whichever path runs.
-            if (sharing) groups.decrement_remaining(c.u);
+            if (sharing) groups.decrement_remaining(anchor);
 
             if (parallel && prefilter_stage.oracle_reject(i)) {
                 ++stats.prefilter_rejects;
@@ -511,6 +546,26 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                 record_exact();
                 continue;
             }
+            if (use_sketch) {
+                // Coarse-bound fast reject: even when neither endpoint
+                // remembers the other (a grid stream emits each pair
+                // exactly once, so the direct consult above never hits),
+                // both may remember a common landmark -- typically a cell
+                // anchor whose drained ball settled them. Concatenating
+                // the two witness paths through the landmark is a sound
+                // upper bound; within the threshold it rejects with zero
+                // graph work, spending the stretch slack the grid banks
+                // (t >= the emitted weight's slack keeps such two-leg
+                // witnesses plentiful for far reps).
+                const Weight via = sketch.via_upper_bound(c.u, c.v);
+                if (via <= threshold) {
+                    ++stats.coarse_rejects;
+                    sketch.record_upper(c.u, c.v, via);
+                    sketch.record_upper(c.v, c.u, via);
+                    record_exact();
+                    continue;
+                }
+            }
             if (parallel && prefilter_stage.far_at_snapshot(i)) {
                 if (insert_epoch == snapshot_epoch) {
                     // The stage-2 probe was exact on the batch-start view
@@ -520,7 +575,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                     accept = true;
                     decided = true;
                 } else if (repair &&
-                           certs.load(c.u, batch_seq, snapshot_epoch, threshold)) {
+                           certs.load(anchor, batch_seq, snapshot_epoch, threshold)) {
                     // Phase B: certificate repair. The certificate proved
                     // d(u, v) > threshold on the batch-start snapshot via a
                     // drained ball, so any <= threshold path in the current
@@ -549,7 +604,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                         ++stats.repair_reprobes;
                         ++stats.dijkstra_runs;
                         const Weight d = ws.distance_seeded(adapter.view(), repair_seeds,
-                                                            c.v, threshold);
+                                                            target, threshold);
                         // d is the exact current distance when it beats the
                         // threshold (the snapshot side already exceeded it).
                         accept = d > threshold;
@@ -572,100 +627,195 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                 ++stats.sketch_accepts;
                 accept = true;
             } else if (sharing) {
-                const std::uint32_t peers = groups.remaining(c.u);
-                const auto& grp = groups.of(c.u);
+                const std::uint32_t peers = groups.remaining(anchor);
+                const auto& grp = groups.of(anchor);
                 // Ball-vs-point gate: a ball pays off iff its measured work
                 // amortizes below the point-query work of the candidates it
                 // realistically resolves (accept-heavy phases make balls
                 // near-worthless -- harvested bounds reject nothing).
-                // Bootstrap: one ball for a large group calibrates the ball
-                // side, then one point query calibrates the other.
+                // Bootstrap: one ball for the batch's largest group class
+                // calibrates the ball side, then one point query
+                // calibrates the other.
                 bool want_ball = false;
                 if (peers > 0) {
-                    if (ball_cost == 0.0) {
-                        want_ball = grp.size() >= options_.ball_share_min_group;
+                    if (anchored) {
+                        // Cell-batched rule: one drained ball per cell per
+                        // window, structurally. Its value is mostly
+                        // *outside* the group -- the settled frontier
+                        // persists in the sketch, so the anchor's later
+                        // batches hit the direct consult and neighboring
+                        // cells' candidates hit the via-landmark reject --
+                        // which per-group cost accounting cannot see. The
+                        // previous batch's accept rate vetoes accept-heavy
+                        // phases instead (the stage-2 gate's signal, kept
+                        // fresh for serial runs too): there, harvests
+                        // resolve nearly nothing and every insertion
+                        // stales the sketch facts the ball just paid for.
+                        // At most one drained ball per anchor per batch:
+                        // its harvested bounds are upper bounds -- sound
+                        // forever -- so the group's rejects stay decided
+                        // across the batch's insertions, and the few
+                        // members an insertion un-certifies (the accept
+                        // side needs the epoch) are exactly the ones a
+                        // cheap early-exit point query handles best.
+                        // Re-draining after every accept is what epoch
+                        // invalidation would otherwise cost.
+                        want_ball = grp.size() >= std::min<std::size_t>(
+                                                      bootstrap_min_group, 4) &&
+                                    last_accept_rate <= options_.parallel_accept_gate &&
+                                    ball_bucket[anchor] != batch_seq;
+                    } else if (ball_cost == 0.0) {
+                        want_ball = grp.size() >= bootstrap_min_group;
                     } else if (point_cost != 0.0) {
                         want_ball = 2.0 * ball_cost <= std::max(ball_value, 1.0) * point_cost;
                     }
                 }
-                if (ball_bucket[c.u] == batch_seq && ball_epoch[c.u] == insert_epoch &&
-                    ball_radius[c.u] >= threshold) {
+                if (ball_bucket[anchor] == batch_seq && ball_epoch[anchor] == insert_epoch &&
+                    ball_radius[anchor] >= threshold) {
                     // Lazy revalidation pay-off: the last ball from this
-                    // source (grown serially or by stage 2) is still exact
+                    // anchor (grown serially or by stage 2) is still exact
                     // -- no insertion anywhere since -- and covered this
                     // radius, so bound > threshold means the true distance
                     // exceeds the threshold.
                     ++stats.cache_hits;
+                    if (anchored) ++stats.cell_ball_decisions;
                     accept = true;
-                } else if (want_ball) {
-                    // Shared ball: one query answers every candidate of
-                    // this source in the batch (radius covers the
-                    // heaviest of them).
-                    const Weight radius = t * cand_at(grp.back()).weight;
-                    ++stats.dijkstra_runs;
-                    ++stats.balls_computed;
-                    const auto& settled = ws.ball(adapter.view(), c.u, radius);
-                    update_ema(ball_cost, static_cast<double>(ws.last_work()));
-                    if (use_sketch) {
-                        // The whole settled set is exact at this epoch:
-                        // the cross-bucket harvest that recovers the n^2
-                        // DistanceCache's hit rate in O(n) memory.
-                        for (const auto& [x, d] : settled) {
-                            if (x != c.u) sketch.record_exact(c.u, x, d, insert_epoch);
-                        }
-                    }
-                    std::size_t resolved = 1;  // this candidate
-                    for (std::uint32_t idx : grp) {
-                        const Weight d = ws.settled_distance(cand_at(idx).v);
-                        if (d < bound[idx]) {
-                            bound[idx] = d;
-                            if (idx > li && d <= t * cand_at(idx).weight) ++resolved;
-                        }
-                    }
-                    update_ema(ball_value, static_cast<double>(resolved));
-                    ball_bucket[c.u] = batch_seq;
-                    ball_epoch[c.u] = insert_epoch;
-                    ball_radius[c.u] = radius;
-                    accept = bound[li] > threshold;
                 } else {
-                    // Small group: an early-exit point query decides this
-                    // candidate, and every label it touched is a realizable
-                    // path length -- harvest them as upper bounds for the
-                    // source's (and, bidirectionally, the target's) other
-                    // candidates in the bucket.
-                    ++stats.dijkstra_runs;
-                    Weight d;
-                    if (options_.bidirectional) {
-                        d = ws.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
-                        update_ema(point_cost, static_cast<double>(ws.last_work()));
-                        for (std::uint32_t idx : grp) {
-                            if (idx <= li) continue;
-                            const Weight b = ws.last_forward_bound(cand_at(idx).v);
-                            if (b < bound[idx]) bound[idx] = b;
+                    bool need_point = !want_ball;
+                    if (want_ball) {
+                        // Shared ball: one query answers every candidate of
+                        // this anchor in the batch. The classic radius covers
+                        // the heaviest member's threshold, so unsettled means
+                        // far for the whole group -- but Dijkstra cost grows
+                        // with radius^2, and in the reject-heavy regime a
+                        // reject's witness path barely exceeds its weight. The
+                        // anchored (cell-batched) ball therefore drains only a
+                        // *reject radius*: enough to settle the typical
+                        // witness for every member, with no clamp up to the
+                        // current candidate's threshold -- when the shave
+                        // leaves li itself unsettled below its threshold, li
+                        // is simply undecided and falls through to its own
+                        // goal-directed probe below. Cost, never correctness:
+                        // a settled bound is an exact witness either way.
+                        const Weight w_top = cand_at(grp.back()).weight;
+                        const Weight radius =
+                            anchored ? kCellRejectRadiusFactor * w_top : t * w_top;
+                        ++stats.dijkstra_runs;
+                        ++stats.balls_computed;
+                        if (anchored) ++stats.cell_balls;
+                        const auto& settled = ws.ball(adapter.view(), anchor, radius);
+                        update_ema(ball_cost, static_cast<double>(ws.last_work()));
+                        if (use_sketch) {
+                            // The settled set is exact at this epoch: the
+                            // cross-bucket harvest that recovers the n^2
+                            // DistanceCache's hit rate in O(n) memory (and, on
+                            // streams that emit each pair once, feeds the
+                            // via-landmark coarse reject -- the anchor is the
+                            // landmark). Each record is a random write into
+                            // the O(n)-sized slot table, so the harvest is
+                            // DRAM-bound: in anchored mode only the near half
+                            // of the frontier is recorded -- a via reject
+                            // concatenates two *short* legs through a shared
+                            // anchor, so the far half buys almost no rejects
+                            // at the same per-record cost. Settle order is
+                            // nondecreasing distance: the cap is a prefix.
+                            const Weight record_cap =
+                                anchored ? 0.5 * radius : kInfiniteWeight;
+                            for (const auto& [x, d] : settled) {
+                                if (d > record_cap) break;
+                                if (x != anchor) sketch.record_exact(anchor, x, d, insert_epoch);
+                            }
                         }
-                        for (std::uint32_t idx : groups.of(c.v)) {
-                            if (idx <= li) continue;
-                            const Weight b = ws.last_backward_bound(cand_at(idx).v);
-                            if (b < bound[idx]) bound[idx] = b;
-                        }
-                    } else {
-                        d = ws.distance(adapter.view(), c.u, c.v, threshold);
-                        update_ema(point_cost, static_cast<double>(ws.last_work()));
+                        std::size_t resolved = 1;  // this candidate
                         for (std::uint32_t idx : grp) {
-                            if (idx <= li) continue;
-                            const Weight b = ws.last_forward_bound(cand_at(idx).v);
-                            if (b < bound[idx]) bound[idx] = b;
+                            const Weight d =
+                                ws.settled_distance(SourceGroups::other_of(cand_at(idx), anchor));
+                            if (d < bound[idx]) {
+                                bound[idx] = d;
+                                if (idx > li && d <= t * cand_at(idx).weight) ++resolved;
+                            }
+                        }
+                        update_ema(ball_value, static_cast<double>(resolved));
+                        if (anchored) stats.cell_ball_decisions += resolved;
+                        ball_bucket[anchor] = batch_seq;
+                        ball_epoch[anchor] = insert_epoch;
+                        ball_radius[anchor] = radius;
+                        if (bound[li] <= threshold) {
+                            accept = false;  // exact witness settled by a ball
+                        } else if (radius >= threshold) {
+                            accept = true;  // unsettled at a covering radius: far
+                        } else {
+                            // The reject-radius shave left li unsettled below
+                            // its own threshold: undecided, probe it directly.
+                            need_point = true;
                         }
                     }
-                    accept = d > threshold;
-                    if (!accept) sk_pair_exact(c.u, c.v, d);
+                    if (need_point) {
+                        // Small group (or a ball-undecided member): an
+                        // early-exit point query decides this candidate, and
+                        // every label it touched is a realizable path length --
+                        // harvest them as upper bounds for the anchor's (and,
+                        // bidirectionally, the target's) other candidates in
+                        // the bucket.
+                        ++stats.dijkstra_runs;
+                        Weight d;
+                        if (options_.goal_bound != nullptr) {
+                            // Goal-directed probe: the metric oracle focuses the
+                            // sweep into the pair's ellipse. One-sided, so only
+                            // the forward labels are harvestable.
+                            const MetricSpace& lb = *options_.goal_bound;
+                            d = ws.distance_goal_directed(
+                                adapter.view(), anchor, target, threshold,
+                                [&lb, target](VertexId x) { return lb.distance(x, target); });
+                            update_ema(point_cost, static_cast<double>(ws.last_work()));
+                            for (std::uint32_t idx : grp) {
+                                if (idx <= li) continue;
+                                const Weight b = ws.last_forward_bound(
+                                    SourceGroups::other_of(cand_at(idx), anchor));
+                                if (b < bound[idx]) bound[idx] = b;
+                            }
+                        } else if (options_.bidirectional) {
+                            d = ws.distance_bidirectional(adapter.view(), anchor, target, threshold);
+                            update_ema(point_cost, static_cast<double>(ws.last_work()));
+                            for (std::uint32_t idx : grp) {
+                                if (idx <= li) continue;
+                                const Weight b = ws.last_forward_bound(
+                                    SourceGroups::other_of(cand_at(idx), anchor));
+                                if (b < bound[idx]) bound[idx] = b;
+                            }
+                            for (std::uint32_t idx : groups.of(target)) {
+                                if (idx <= li) continue;
+                                const Weight b = ws.last_backward_bound(
+                                    SourceGroups::other_of(cand_at(idx), target));
+                                if (b < bound[idx]) bound[idx] = b;
+                            }
+                        } else {
+                            d = ws.distance(adapter.view(), anchor, target, threshold);
+                            update_ema(point_cost, static_cast<double>(ws.last_work()));
+                            for (std::uint32_t idx : grp) {
+                                if (idx <= li) continue;
+                                const Weight b = ws.last_forward_bound(
+                                    SourceGroups::other_of(cand_at(idx), anchor));
+                                if (b < bound[idx]) bound[idx] = b;
+                            }
+                        }
+                        accept = d > threshold;
+                        if (!accept) sk_pair_exact(c.u, c.v, d);
+                    }
                 }
             } else {
                 ++stats.dijkstra_runs;
-                const Weight d =
-                    options_.bidirectional
-                        ? ws.distance_bidirectional(adapter.view(), c.u, c.v, threshold)
-                        : ws.distance(adapter.view(), c.u, c.v, threshold);
+                Weight d;
+                if (options_.goal_bound != nullptr) {
+                    const MetricSpace& lb = *options_.goal_bound;
+                    d = ws.distance_goal_directed(
+                        adapter.view(), c.u, c.v, threshold,
+                        [&lb, v = c.v](VertexId x) { return lb.distance(x, v); });
+                } else if (options_.bidirectional) {
+                    d = ws.distance_bidirectional(adapter.view(), c.u, c.v, threshold);
+                } else {
+                    d = ws.distance(adapter.view(), c.u, c.v, threshold);
+                }
                 accept = d > threshold;
                 if (!accept) sk_pair_exact(c.u, c.v, d);
             }
@@ -681,20 +831,26 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
             sk_pair_exact(c.u, c.v, c.weight);
             if (sharing) {
                 // Parallel candidates of the same pair now have a one-edge
-                // witness; lower their bounds so they hit the cache.
+                // witness; lower their bounds so they hit the cache. A
+                // duplicate is always anchored at one of its own
+                // endpoints, so the two groups below cover every copy.
                 for (std::uint32_t idx : groups.of(c.u)) {
-                    if (idx > li && cand_at(idx).v == c.v && c.weight < bound[idx]) {
+                    if (idx > li && SourceGroups::other_of(cand_at(idx), c.u) == c.v &&
+                        c.weight < bound[idx]) {
                         bound[idx] = c.weight;
                     }
                 }
                 for (std::uint32_t idx : groups.of(c.v)) {
-                    if (idx > li && cand_at(idx).v == c.u && c.weight < bound[idx]) {
+                    if (idx > li && SourceGroups::other_of(cand_at(idx), c.v) == c.u &&
+                        c.weight < bound[idx]) {
                         bound[idx] = c.weight;
                     }
                 }
             }
         }
-        if (parallel && batch.size() > 0) {
+        // Tracked for serial runs too since the cell-batched ball rule
+        // reads it; parallel behavior is unchanged (same value as before).
+        if (batch.size() > 0) {
             last_accept_rate =
                 static_cast<double>(stats.edges_added - batch_accepts_before) /
                 static_cast<double>(batch.size());

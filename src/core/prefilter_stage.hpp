@@ -67,6 +67,10 @@ struct PrefilterContext {
     double stretch = 1.0;
     bool bidirectional = true;
     std::size_t ball_share_min_group = 16;
+    /// Cell-batched grouping is active: groups key on two-sided anchors
+    /// (a member's probe target is its non-anchor endpoint, not always
+    /// `.v`), and ball work is attributed to the cell_ball counters.
+    bool anchored = false;
     /// Ball-reuse scope (the engine's batch sequence number): a published
     /// ball may only be revalidated by candidates of the same batch, whose
     /// bounds its harvest wrote.
@@ -173,6 +177,9 @@ private:
         std::size_t sketch_hits = 0;
         std::size_t certs_published = 0;
         std::size_t cert_aborts = 0;
+        std::size_t cell_balls = 0;
+        std::size_t cell_ball_decisions = 0;
+        std::size_t coarse_rejects = 0;
     };
 
     /// Set a bucket-local verdict bit. Words are shared across tasks, so
@@ -218,6 +225,16 @@ private:
         if (ub <= threshold) {
             if (ub < bounds[local]) bounds[local] = ub;
             ++wc.sketch_hits;
+            return true;
+        }
+        // Via-landmark coarse reject (mirrors the serial loop): two
+        // witness paths through a common landmark concatenate into a
+        // sound upper bound -- the hit path on streams that emit each
+        // pair exactly once, where the direct consult above cannot hit.
+        const Weight via = ctx.sketch->via_upper_bound(c.u, c.v);
+        if (via <= threshold) {
+            if (via < bounds[local]) bounds[local] = via;
+            ++wc.coarse_rejects;
             return true;
         }
         // In certificate mode the epoch-tagged shortcut is a bad trade:
@@ -271,6 +288,9 @@ void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
         stats.sketch_hits += wc.sketch_hits;
         stats.certs_published += wc.certs_published;
         stats.cert_ball_aborts += wc.cert_aborts;
+        stats.cell_balls += wc.cell_balls;
+        stats.cell_ball_decisions += wc.cell_ball_decisions;
+        stats.coarse_rejects += wc.coarse_rejects;
         wc = WorkerCounters{};
     }
 }
@@ -316,12 +336,17 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
     const Weight radius = ctx.stretch * cand_at(grp.back()).weight;
     const auto harvest_ball = [&](std::span<const std::pair<VertexId, Weight>> settled) {
         ++wc.balls_computed;
+        if (ctx.anchored) ++wc.cell_balls;
         for (std::uint32_t local : grp) {
             if (oracle_reject(ctx.base + local)) continue;
             const GreedyCandidate& c = cand_at(local);
-            const Weight d = ws.settled_distance(c.v);
+            // The drained ball decides every member at the snapshot:
+            // settled targets get their exact distance as a bound,
+            // unsettled ones are certified further than the radius.
+            const Weight d = ws.settled_distance(SourceGroups::other_of(c, source));
             if (d < bounds[local]) bounds[local] = d;
             if (d > ctx.stretch * c.weight) set_bit(far_bits_, local);
+            if (ctx.anchored) ++wc.cell_ball_decisions;
         }
         if (ctx.certificates != nullptr &&
             ctx.certificates->publish(source, ctx.ball_scope, ctx.snapshot_epoch, radius,
@@ -369,23 +394,24 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
         const std::uint32_t local = grp[g];
         if (oracle_reject(ctx.base + local) || far_at_snapshot(ctx.base + local)) continue;
         const GreedyCandidate& c = cand_at(local);
+        const VertexId other = SourceGroups::other_of(c, source);
         const Weight threshold = ctx.stretch * c.weight;
         if (bounds[local] <= threshold) continue;  // harvested by an earlier probe
         ++wc.dijkstra_runs;
         const Weight d = ctx.bidirectional
-                             ? ws.distance_bidirectional(view, c.u, c.v, threshold)
-                             : ws.distance(view, c.u, c.v, threshold);
+                             ? ws.distance_bidirectional(view, source, other, threshold)
+                             : ws.distance(view, source, other, threshold);
         if (d <= threshold) {
             if (d < bounds[local]) bounds[local] = d;
         } else {
             set_bit(far_bits_, local);
         }
         // Forward labels are realizable path lengths from the shared
-        // source; harvest them as bounds for the group's later candidates
+        // anchor; harvest them as bounds for the group's later candidates
         // (all writes stay inside this group's candidate slots).
         for (std::size_t g2 = g + 1; g2 < grp.size(); ++g2) {
             const std::uint32_t local2 = grp[g2];
-            const Weight b = ws.last_forward_bound(cand_at(local2).v);
+            const Weight b = ws.last_forward_bound(SourceGroups::other_of(cand_at(local2), source));
             if (b < bounds[local2]) bounds[local2] = b;
         }
     }

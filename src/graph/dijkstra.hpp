@@ -66,6 +66,23 @@ public:
     template <class G>
     Weight distance_bidirectional(const G& g, VertexId s, VertexId target, Weight limit);
 
+    /// As `distance`, but goal-directed (A*): the heap is keyed by
+    /// g(v) + h(v) where `h(v)` must lower-bound the graph distance from v
+    /// to `target` and satisfy h(target) == 0. When h is additionally
+    /// consistent (|h(x) - h(y)| <= w(x, y) for every edge -- automatic
+    /// when h is a metric distance and edge weights dominate the metric),
+    /// the returned distance is exact, computed by the same path-order
+    /// additions as the one-sided sweep. The search only labels vertices
+    /// whose f-key fits under `limit`, so on geometric instances it
+    /// explores the (s, target)-ellipse instead of the full disc.
+    /// Caveat: the f-key prune adds h in floating point, so a witness
+    /// path within an ulp of `limit` may be pruned where the blind sweep
+    /// would keep it (the same last-ulp class as the bidirectional
+    /// reassociation caveat above).
+    template <class G, class H>
+    Weight distance_goal_directed(const G& g, VertexId s, VertexId target, Weight limit,
+                                  H&& h);
+
     /// The repair-scoped bounded probe of the speculative accept path: a
     /// one-sided limited Dijkstra whose frontier starts from `seeds`
     /// instead of one source. Each seed's key must be the length of a
@@ -343,6 +360,53 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
         }
     }
     return best <= limit ? best : kInfiniteWeight;
+}
+
+template <class G, class H>
+Weight DijkstraWorkspace::distance_goal_directed(const G& g, VertexId s, VertexId target,
+                                                 Weight limit, H&& h) {
+    resize(g.num_vertices());
+    if (s >= g.num_vertices() || target >= g.num_vertices()) {
+        throw std::out_of_range(
+            "DijkstraWorkspace::distance_goal_directed: vertex out of range");
+    }
+    if (s == target) return 0.0;
+    begin_query();
+
+    dist_[s] = 0.0;
+    stamp_[s] = current_;
+    push_fwd(h(s), s);
+
+    // dist_ holds g (exact-so-far path lengths, so last_forward_bound
+    // stays sound); heap keys hold f = g + h. A popped item is stale iff
+    // its g component was improved after the push; h is fixed per vertex,
+    // so comparing f-keys detects that without storing g in the item.
+    while (!heap_.empty()) {
+        const QueueItem top = heap_.pop_min();
+        const VertexId v = top.vertex;
+        if (v == target) {
+            // h(target) == 0: the key *is* g, exact under a consistent h.
+            if (top.dist > dist_[v]) continue;  // stale
+            return dist_[v];
+        }
+        if (top.dist > dist_[v] + h(v)) continue;  // stale
+        const Weight gd = dist_[v];
+        for (const HalfEdge& e : g.neighbors(v)) {
+            const Weight nd = gd + e.weight;
+            if (nd > limit) continue;
+            const bool fresh = !seen(e.to);
+            if (fresh || nd < dist_[e.to]) {
+                const Weight f = nd + h(e.to);
+                if (f > limit) continue;  // no <= limit path through e.to
+                if (fresh) {
+                    stamp_[e.to] = current_;
+                }
+                dist_[e.to] = nd;
+                push_fwd(f, e.to);
+            }
+        }
+    }
+    return kInfiniteWeight;
 }
 
 template <class G>
