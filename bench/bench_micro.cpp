@@ -25,8 +25,11 @@
 #include "graph/mst.hpp"
 #include "nets/net_hierarchy.hpp"
 #include "spanners/theta_graph.hpp"
+#include "util/bucket_queue.hpp"
+#include "util/dary_heap.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 #include "wspd/quadtree.hpp"
 #include "wspd/wspd.hpp"
 
@@ -233,6 +236,130 @@ void sketch_ways_section() {
     std::cout << "\n";
 }
 
+/// Priority-queue policies for the bounded-probe ablation below: the same
+/// radius-limited Dijkstra loop parameterized only by the queue, so the
+/// measured delta is purely the queue swap.
+struct BucketQueuePolicy {
+    static constexpr const char* kName = "bucket queue (BatchedProbe)";
+    BucketQueue q;
+    void start(Weight limit) { q.reset(limit, 256); }
+    void push(Weight key, VertexId v) { q.push(key, v); }
+    [[nodiscard]] bool empty() const { return q.empty(); }
+    std::pair<Weight, VertexId> pop() {
+        const BucketQueue::Item item = q.pop_min();
+        return {item.key, item.vertex};
+    }
+};
+
+template <std::size_t Arity>
+struct DaryHeapPolicy {
+    static constexpr const char* kName = Arity == 2   ? "2-ary heap"
+                                         : Arity == 4 ? "4-ary heap (DijkstraWorkspace)"
+                                                      : "8-ary heap";
+    struct Item {
+        Weight key;
+        VertexId v;
+        friend bool operator>(const Item& a, const Item& b) { return a.key > b.key; }
+    };
+    DaryHeap<Item, Arity> q;
+    void start(Weight) { q.clear(); }
+    void push(Weight key, VertexId v) { q.push({key, v}); }
+    [[nodiscard]] bool empty() const { return q.empty(); }
+    std::pair<Weight, VertexId> pop() {
+        const Item item = q.pop_min();
+        return {item.key, item.v};
+    }
+};
+
+struct QueueProbeRun {
+    double seconds = 0.0;
+    std::size_t settled = 0;  ///< non-stale pops: identical across queues
+};
+
+/// One bounded Dijkstra probe per source over the whole graph -- the
+/// group probe's traversal shape (nonnegative keys capped by the radius,
+/// monotone pops, no decrease-key).
+template <class QueuePolicy>
+QueueProbeRun run_bounded_probes(const Graph& g, Weight radius) {
+    const std::size_t n = g.num_vertices();
+    std::vector<Weight> dist(n, 0.0);
+    std::vector<std::uint64_t> stamp(n, 0);
+    std::uint64_t epoch = 0;
+    QueuePolicy queue;
+    QueueProbeRun out;
+    const Timer timer;
+    for (VertexId s = 0; s < n; ++s) {
+        ++epoch;
+        queue.start(radius);
+        dist[s] = 0.0;
+        stamp[s] = epoch;
+        queue.push(0.0, s);
+        while (!queue.empty()) {
+            const auto [d, v] = queue.pop();
+            if (d > dist[v]) continue;  // stale entry
+            ++out.settled;
+            for (const auto& h : g.neighbors(v)) {
+                const Weight nd = d + h.weight;
+                if (nd > radius) continue;
+                if (stamp[h.to] != epoch || nd < dist[h.to]) {
+                    stamp[h.to] = epoch;
+                    dist[h.to] = nd;
+                    queue.push(nd, h.to);
+                }
+            }
+        }
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+/// The BatchedProbe queue ablation: the kernel asserts that bounded,
+/// monotone, decrease-key-free probes want a calendar queue rather than
+/// the D-ary heap DijkstraWorkspace runs; this section measures the swap
+/// instead of asserting it. Two radii bracket the kernel's workload: the
+/// tight point-query shape and the wider group-probe shape (a group's
+/// largest undecided radius bounds its traversal).
+void queue_ablation_section() {
+    const std::size_t n = 4096;
+    const Graph g = make_graph(n);
+    const Weight kTight = 3.0;
+    const Weight kWide = 6.0;
+    std::cout << "== Priority-queue ablation: bounded probes, one per source (n=" << n
+              << ") ==\n";
+    gsp::Table table({"queue", "r=3 (s)", "speedup", "r=6 (s)", "speedup", "settled"});
+    double base_tight = 0.0;
+    double base_wide = 0.0;
+    std::size_t settled_reference = 0;
+    bool settled_agree = true;
+    bool first_row = true;
+    const auto row = [&](auto policy_tag) {
+        using Policy = decltype(policy_tag);
+        const QueueProbeRun tight = run_bounded_probes<Policy>(g, kTight);
+        const QueueProbeRun wide = run_bounded_probes<Policy>(g, kWide);
+        if (first_row) {
+            first_row = false;
+            base_tight = tight.seconds;
+            base_wide = wide.seconds;
+            settled_reference = tight.settled + wide.settled;
+        }
+        settled_agree =
+            settled_agree && tight.settled + wide.settled == settled_reference;
+        table.add_row({Policy::kName, gsp::fmt(tight.seconds, 3),
+                       gsp::fmt_ratio(base_tight / tight.seconds),
+                       gsp::fmt(wide.seconds, 3),
+                       gsp::fmt_ratio(base_wide / wide.seconds),
+                       std::to_string(tight.settled + wide.settled)});
+    };
+    row(DaryHeapPolicy<2>{});
+    row(DaryHeapPolicy<4>{});
+    row(DaryHeapPolicy<8>{});
+    row(BucketQueuePolicy{});
+    table.print(std::cout);
+    std::cout << (settled_agree ? "(settled counts identical across queues)"
+                                : "(SETTLED COUNT MISMATCH -- queue bug!)")
+              << "\n\n";
+}
+
 /// Quick kernel sweep + session-reuse probe + the reduced linear-space
 /// memory probe + BENCH_greedy.json, sized for a CI smoke run. Including
 /// the session probe here means every PR's smoke job counter-verifies the
@@ -249,10 +376,15 @@ void write_smoke_json() {
     const auto session_probe = benchutil::run_session_probe(n, t, 2, 4);
     const auto mem_probe = benchutil::run_mem_probe(benchutil::mem_probe_n(100'000));
     const auto time_probe = benchutil::run_time_probe(benchutil::time_probe_n(100'000));
+    // The v7 group-probe ablation at the reduced CI shape: the validator
+    // enforces the metric arm's 1.5x us/candidate floor over the kOff
+    // (PR-7 per-candidate) baseline measured in the same process.
+    const auto group_probe = benchutil::run_group_probe(
+        benchutil::group_probe_n(512), 1.5, 1024, 2.0);
     const std::string path = benchutil::bench_json_path();
     benchutil::write_bench_greedy_json(path, "bench_micro", "random_nm", n,
                                        g.num_edges(), t, runs, mem_probe, time_probe,
-                                       &session_probe);
+                                       group_probe, &session_probe);
     bool all_match = true;
     for (const auto& r : runs) all_match = all_match && r.matches_naive;
     std::size_t mem_high_kb = 0;
@@ -270,7 +402,13 @@ void write_smoke_json() {
               << (mem_probe.within_budget ? "within budget" : "OVER BUDGET")
               << "; time probe n=" << time_probe.n << " "
               << time_probe.us_per_candidate << " us/candidate, cell-ball share "
-              << time_probe.cell_ball_share << ")\n";
+              << time_probe.cell_ball_share << "; group probe metric "
+              << group_probe.metric.speedup << "x / graph "
+              << group_probe.graph.speedup << "x, edge sets "
+              << (group_probe.metric.matches_off && group_probe.graph.matches_off
+                      ? "identical"
+                      : "MISMATCHED")
+              << ")\n";
 }
 
 }  // namespace
@@ -278,6 +416,7 @@ void write_smoke_json() {
 int main(int argc, char** argv) {
     write_smoke_json();
     sketch_ways_section();
+    queue_ablation_section();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,10 @@
 //        4 + 8/eps) --k <baswana k> --threads <stage-2 workers>
 //        --seed <rng seed> --audit (append the exact-stretch audit,
 //        reusing the session's workspace pool -- no per-call allocation)
+//        --repeat <N> (build N times through the warm session and report
+//        min/median build seconds, so single-run timing noise stops
+//        polluting manual comparisons; the JSON report is the first run's)
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -41,6 +45,7 @@ struct CliArgs {
     unsigned k = 2;
     std::size_t threads = 1;
     std::uint64_t seed = 7;
+    std::size_t repeat = 1;
     bool list = false;
     bool audit = false;
 };
@@ -48,7 +53,7 @@ struct CliArgs {
 int usage() {
     std::cerr << "usage: spanner_cli (--list | <algorithm> | all) [--n N] [--t T]\n"
                  "                   [--eps E] [--sep S] [--cones K] [--k K]\n"
-                 "                   [--threads W] [--seed S] [--audit]\n";
+                 "                   [--threads W] [--seed S] [--repeat N] [--audit]\n";
     return 2;
 }
 
@@ -94,6 +99,11 @@ bool parse(int argc, char** argv, CliArgs& args) {
             const char* v = next();
             if (v == nullptr) return false;
             args.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--repeat") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            args.repeat = std::strtoull(v, nullptr, 10);
+            if (args.repeat == 0) return false;
         } else if (!arg.starts_with("--") && args.algorithm.empty()) {
             args.algorithm = std::string(arg);
         } else {
@@ -178,6 +188,30 @@ int main(int argc, char** argv) {
                           << report.stats.cell_ball_decisions << " batched decisions, "
                           << report.stats.coarse_rejects << " coarse rejects, "
                           << report.stats.dijkstra_runs << " dijkstra runs\n";
+            }
+            if (args.repeat > 1) {
+                // Warm re-builds through the same session: the first call
+                // above primed pools and workspaces, so these isolate the
+                // build itself. Min is the least-perturbed run; median is
+                // the robust central tendency single runs lack.
+                std::vector<double> seconds;
+                seconds.reserve(args.repeat);
+                seconds.push_back(report.seconds);
+                for (std::size_t r = 1; r < args.repeat; ++r) {
+                    BuildReport repeat_report;
+                    (void)registry.build(name, session, input, options,
+                                         &repeat_report);
+                    seconds.push_back(repeat_report.seconds);
+                }
+                std::sort(seconds.begin(), seconds.end());
+                const std::size_t mid = seconds.size() / 2;
+                const double median =
+                    seconds.size() % 2 == 1
+                        ? seconds[mid]
+                        : 0.5 * (seconds[mid - 1] + seconds[mid]);
+                std::cout << "  repeat: " << args.repeat << " warm builds, min "
+                          << seconds.front() << " s, median " << median
+                          << " s, max " << seconds.back() << " s\n";
             }
             if (args.audit) {
                 const double stretch =

@@ -24,6 +24,10 @@ void append_greedy_stats(JsonWriter& w, const GreedyStats& stats) {
     w.member("repair_fallbacks", stats.repair_fallbacks);
     w.member("certs_published", stats.certs_published);
     w.member("cert_ball_aborts", stats.cert_ball_aborts);
+    w.member("certs_two_sided", stats.certs_two_sided);
+    w.member("group_probes", stats.group_probes);
+    w.member("group_probe_decisions", stats.group_probe_decisions);
+    w.member("group_probe_early_exits", stats.group_probe_early_exits);
     w.member("buckets", stats.buckets);
     w.member("handoff_peak_bytes", stats.handoff_peak_bytes);
     w.member("candidates_streamed", stats.candidates_streamed);

@@ -110,6 +110,7 @@ public:
     [[nodiscard]] const char* kind() const override { return "graph-edges"; }
     [[nodiscard]] std::size_t num_vertices() const override { return g_.num_vertices(); }
     void materialize(std::vector<GreedyCandidate>& out) override;
+    void configure_engine(GreedyEngineOptions& options, SpannerSession& session) override;
 
 private:
     const Graph& g_;
@@ -124,6 +125,7 @@ public:
     [[nodiscard]] const char* kind() const override { return "metric-pairs"; }
     [[nodiscard]] std::size_t num_vertices() const override { return m_.size(); }
     void materialize(std::vector<GreedyCandidate>& out) override;
+    void configure_engine(GreedyEngineOptions& options, SpannerSession& session) override;
 
 private:
     const MetricSpace& m_;
@@ -150,6 +152,7 @@ public:
     [[nodiscard]] const char* kind() const override { return "wspd-pairs"; }
     [[nodiscard]] std::size_t num_vertices() const override { return m_.size(); }
     void materialize(std::vector<GreedyCandidate>& out) override;
+    void configure_engine(GreedyEngineOptions& options, SpannerSession& session) override;
     [[nodiscard]] double stretch_target(double engine_stretch) const override {
         return wspd_greedy_stretch_bound(engine_stretch, separation_);
     }

@@ -106,10 +106,19 @@ bool CertificateStore::publish(VertexId source, std::uint64_t scope, std::uint64
                                Weight radius,
                                std::span<const std::pair<VertexId, Weight>> settled) {
     Cert& c = certs_[source];
+    if (c.scope == scope && c.epoch == epoch && c.radius >= radius) {
+        // Keep-larger: an already-stored same-scope certificate with at
+        // least this radius answers every query this one could. Also what
+        // makes the serial flush of worker-buffered frontier publishes
+        // independent of flush order.
+        return false;
+    }
     if (settled.size() > cap_) {
         // Too big to be worth keeping (reject-heavy regime): leave the
-        // slot invalid so phase B falls back to the exact query.
-        c.scope = 0;
+        // slot invalid so phase B falls back to the exact query -- unless
+        // it already holds a live same-scope certificate, which an
+        // oversized publish must not clobber.
+        if (c.scope != scope || c.epoch != epoch) c.scope = 0;
         return false;
     }
     c.scope = scope;

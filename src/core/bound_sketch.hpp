@@ -140,10 +140,24 @@ public:
     /// `epoch`, scoped to the engine's batch sequence number `scope`
     /// (lazy invalidation -- stale scopes are simply never matched).
     /// Called from stage-2 workers; each source is owned by exactly one
-    /// task, so writes are race-free. Returns false (and stores nothing)
-    /// when the frontier exceeds the cap.
+    /// task, so writes are race-free (frontiers keyed by a *target* vertex
+    /// are instead buffered per worker and flushed serially after the
+    /// join). Returns false (and stores nothing) when the frontier exceeds
+    /// the cap, or when a same-scope certificate with radius >= `radius`
+    /// is already stored -- keep-larger makes the flushed state
+    /// independent of flush order, and a wider certificate serves every
+    /// query a narrower one could.
     bool publish(VertexId source, std::uint64_t scope, std::uint64_t epoch, Weight radius,
                  std::span<const std::pair<VertexId, Weight>> settled);
+
+    /// Radius of the certificate stored for `source` under (scope, epoch),
+    /// or a negative value when none is. The peek the two-sided repair
+    /// combine uses to test rf + rb >= threshold before paying two loads.
+    [[nodiscard]] Weight published_radius(VertexId source, std::uint64_t scope,
+                                          std::uint64_t epoch) const {
+        const Cert& c = certs_[source];
+        return (c.scope == scope && c.epoch == epoch) ? c.radius : -1.0;
+    }
 
     /// Activate the certificate of `source` for snapshot-distance queries,
     /// iff one was published under `scope` at `epoch` with radius >=

@@ -189,6 +189,13 @@ private:
 /// insertion stages both rely on (bounds harvested by an earlier
 /// candidate's query may only be consumed by later ones).
 ///
+/// Because the candidate range is sorted by non-decreasing weight and
+/// group members are listed in ascending index order, a group's member
+/// *weights* -- and therefore its decision radii (stretch * weight) -- are
+/// nondecreasing along the list. BatchedProbe's contiguous far-sweep is
+/// built on exactly this invariant (it validates and throws on violation),
+/// so any future regrouping must preserve index order.
+///
 /// Two grouping modes, selected per rebuild:
 ///
 ///  * classic (anchored = false): the anchor is the candidate's `u` (the

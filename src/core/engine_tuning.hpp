@@ -101,6 +101,20 @@ struct EngineTuning {
     enum class CellBatching { kAuto, kOn, kOff };
     CellBatching cell_batching = CellBatching::kAuto;
 
+    /// Multi-target group probes (the batched-relaxation kernel): one
+    /// bounded traversal from a group's shared source carries every
+    /// member's target and decision radius, settles targets as it reaches
+    /// them, and stops once all are decided or the frontier passes the
+    /// largest undecided bound -- replacing up to |group| point queries
+    /// (or one full-radius drained ball) with one early-terminating probe.
+    /// kAuto lets the candidate source decide: graph, metric, and WSPD
+    /// sources turn it on (their classic groups pay one probe per member),
+    /// the grid source keeps its cell-batched reject balls. Decision
+    /// preserving like every other field: the kernel's verdicts are exact
+    /// distances on the same view the point queries probe.
+    enum class GroupProbing { kAuto, kOn, kOff };
+    GroupProbing group_probing = GroupProbing::kAuto;
+
     /// Optional goal-direction oracle for the engine's single-target point
     /// probes: when set, they run A* keyed by g + metric(v, target)
     /// instead of a blind (bi)directional sweep, so a probe explores the
@@ -115,6 +129,17 @@ struct EngineTuning {
     /// `bidirectional`: only the float-addition order of the pruning test
     /// differs from the one-sided sweep (last-ulp class).
     const MetricSpace* goal_bound = nullptr;
+
+    /// Optional goal-direction oracle for the *group probe* only: enables
+    /// BatchedProbe's goal-directed tail pruning without rerouting the
+    /// single-target point probes through `goal_bound` (on all-pairs
+    /// metric streams the bidirectional point query's two-sided harvest
+    /// beats the one-sided A* sweep, so switching both together trades
+    /// one win for a bigger loss). Same soundness condition as
+    /// `goal_bound`; when both are set the probe uses this one. Decision
+    /// preserving: the pruning never changes a verdict, only traversal
+    /// work (see BatchedProbe's header note).
+    const MetricSpace* probe_goal_bound = nullptr;
 
     /// Advisory chunk size (candidates) of the streaming candidate path:
     /// how many candidates a CandidateChunkSource is asked to append per

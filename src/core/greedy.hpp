@@ -56,6 +56,20 @@ struct GreedyStats {
     std::size_t certs_published = 0;    ///< phase-A certificates recorded
     std::size_t cert_ball_aborts = 0;   ///< certificate balls that blew the cap
                                         ///< (expander-like neighborhoods)
+    std::size_t certs_two_sided = 0;    ///< stale tentative accepts resolved by the
+                                        ///< two-sided combine (forward + backward
+                                        ///< frontier certificates whose radii sum
+                                        ///< past the threshold) -- candidates that
+                                        ///< were repair_fallbacks before two-sided
+                                        ///< frontier publishing
+
+    // Group-probe counters (zero unless group_probing resolved to kOn).
+    // All three are per-group facts of deterministic probes, so they are
+    // invariant across worker counts (the equivalence suite checks this).
+    std::size_t group_probes = 0;           ///< batched multi-target probes run
+    std::size_t group_probe_decisions = 0;  ///< candidates those probes decided
+    std::size_t group_probe_early_exits = 0;  ///< probes that stopped with frontier
+                                              ///< pending (every target decided)
 
     // Cell-batched rejection counters (zero unless cell_batching resolved
     // to kOn -- the grid-streamed path). cell_ball_decisions counts the

@@ -1,6 +1,7 @@
 #include "core/greedy_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -241,7 +242,9 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
     BoundSketch& sketch = res.sketch_;
     CertificateStore& certs = res.certs_;
     std::vector<RepairSeed>& repair_seeds = res.repair_seeds_;
+    std::vector<RepairSeed>& repair_seeds_b = res.repair_seeds_b_;
     std::vector<Weight>& bound = res.bound_;
+    std::vector<std::uint64_t>& far_mark = res.far_mark_;
     std::vector<std::uint64_t>& ball_bucket = res.ball_bucket_;
     std::vector<std::uint64_t>& ball_epoch = res.ball_epoch_;
     std::vector<Weight>& ball_radius = res.ball_radius_;
@@ -256,6 +259,12 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
     // resolves to the classic rule here.
     const bool anchored =
         sharing && options_.cell_batching == EngineTuning::CellBatching::kOn;
+    // Multi-target group probes: one bounded traversal per source group
+    // carries every member's target and radius (kAuto resolves here like
+    // cell_batching -- graph/metric/WSPD sources flip it to kOn). Rides on
+    // the group machinery, so sharing is a prerequisite.
+    const bool group_probe =
+        sharing && options_.group_probing == EngineTuning::GroupProbing::kOn;
     // Bounds are the currency of both ball sharing and the parallel stage.
     const bool track_bounds = sharing || parallel;
     const std::size_t meets_before = ws.meet_events() + ws_pool.total_meet_events();
@@ -367,6 +376,11 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
         // the bucket by design -- cross-bucket persistence is the
         // sketch's job, in O(n) instead of O(m).
         if (track_bounds) bound.assign(bucket.size(), kInfiniteWeight);
+        // Per-member far certificates from group probes: the epoch at
+        // which a probe certified this member far (0 = never). Unlike the
+        // shared ball slot, these survive the probe's early exit shrinking
+        // the certified radius below a heavy member's threshold.
+        if (group_probe) far_mark.assign(bucket.size(), 0);
         if (parallel) prefilter_stage.begin_bucket(lbucket);
         // Logical footprint, not vector capacities: capacities depend on
         // what earlier (possibly larger) runs left in a warm session, and
@@ -450,6 +464,7 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
             ctx.bidirectional = options_.bidirectional;
             ctx.ball_share_min_group = bootstrap_min_group;
             ctx.anchored = anchored;
+            ctx.group_probe = group_probe;
             ctx.ball_scope = batch_seq;
             ctx.snapshot_epoch = snapshot_epoch;
             ctx.sketch = use_sketch ? &sketch : nullptr;
@@ -611,14 +626,110 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                         if (!accept) sk_pair_exact(c.u, c.v, d);
                     }
                     decided = true;
+                } else if (repair &&
+                           certs.load(target, batch_seq, snapshot_epoch, threshold)) {
+                    // Mirror image: the *target's* certificate covers the
+                    // threshold (published when the target anchored another
+                    // group of the batch). Distances are symmetric, so the
+                    // same first-inserted-edge decomposition applies with
+                    // the roles swapped: seed at the certified snapshot
+                    // distances from the target and probe toward the anchor.
+                    repair_seeds.clear();
+                    for (const LoggedInsert& e : adapter.inserts_since(batch_log_mark)) {
+                        const Weight via_u = certs.snapshot_distance(e.u) + e.weight;
+                        if (via_u <= threshold) repair_seeds.push_back({e.v, via_u});
+                        const Weight via_v = certs.snapshot_distance(e.v) + e.weight;
+                        if (via_v <= threshold) repair_seeds.push_back({e.u, via_v});
+                    }
+                    ++stats.repairs;
+                    if (repair_seeds.empty()) {
+                        accept = true;
+                    } else {
+                        ++stats.repair_reprobes;
+                        ++stats.dijkstra_runs;
+                        const Weight d = ws.distance_seeded(adapter.view(), repair_seeds,
+                                                            anchor, threshold);
+                        accept = d > threshold;
+                        if (!accept) sk_pair_exact(c.u, c.v, d);
+                    }
+                    decided = true;
                 } else if (repair) {
-                    // Tentative accept with no usable certificate (point
-                    // probe, sketch-decided, or over-cap frontier): the
-                    // exact machinery below re-decides it.
-                    ++stats.repair_fallbacks;
+                    const Weight rf =
+                        certs.published_radius(anchor, batch_seq, snapshot_epoch);
+                    const Weight rb =
+                        certs.published_radius(target, batch_seq, snapshot_epoch);
+                    if (rf >= 0.0 && rb >= 0.0 &&
+                        threshold <= std::nextafter(rf + rb, 0.0)) {
+                        // Two-sided combine: neither frontier alone covers
+                        // the threshold, but together they do (strictly --
+                        // the one-ulp guard makes the float sum safe). Any
+                        // current improving path either *enters* its first
+                        // inserted edge within rf of the anchor (the
+                        // forward-seeded probe re-measures it) or *exits*
+                        // its last inserted edge within rb of the target
+                        // (the backward-seeded probe does) -- otherwise its
+                        // pure-snapshot prefix and suffix alone sum past
+                        // rf + rb > threshold. Each probe result is a
+                        // realizable current path length, so the min
+                        // re-decides the candidate exactly; two empty seed
+                        // sets mean no insertion touched either frontier
+                        // and the certificate stands with zero graph work.
+                        repair_seeds.clear();
+                        certs.load(anchor, batch_seq, snapshot_epoch, 0.0);
+                        for (const LoggedInsert& e :
+                             adapter.inserts_since(batch_log_mark)) {
+                            const Weight via_u = certs.snapshot_distance(e.u) + e.weight;
+                            if (via_u <= threshold) repair_seeds.push_back({e.v, via_u});
+                            const Weight via_v = certs.snapshot_distance(e.v) + e.weight;
+                            if (via_v <= threshold) repair_seeds.push_back({e.u, via_v});
+                        }
+                        repair_seeds_b.clear();
+                        certs.load(target, batch_seq, snapshot_epoch, 0.0);
+                        for (const LoggedInsert& e :
+                             adapter.inserts_since(batch_log_mark)) {
+                            const Weight via_u = certs.snapshot_distance(e.u) + e.weight;
+                            if (via_u <= threshold) repair_seeds_b.push_back({e.v, via_u});
+                            const Weight via_v = certs.snapshot_distance(e.v) + e.weight;
+                            if (via_v <= threshold) repair_seeds_b.push_back({e.u, via_v});
+                        }
+                        ++stats.repairs;
+                        ++stats.certs_two_sided;
+                        Weight d = kInfiniteWeight;
+                        if (!repair_seeds.empty() || !repair_seeds_b.empty()) {
+                            ++stats.repair_reprobes;
+                            if (!repair_seeds.empty()) {
+                                ++stats.dijkstra_runs;
+                                d = ws.distance_seeded(adapter.view(), repair_seeds,
+                                                       target, threshold);
+                            }
+                            if (!repair_seeds_b.empty()) {
+                                ++stats.dijkstra_runs;
+                                d = std::min(
+                                    d, ws.distance_seeded(adapter.view(), repair_seeds_b,
+                                                          anchor, threshold));
+                            }
+                        }
+                        accept = d > threshold;
+                        if (!accept) sk_pair_exact(c.u, c.v, d);
+                        decided = true;
+                    } else {
+                        // Tentative accept with no usable certificate (point
+                        // probe, sketch-decided, or over-cap frontier): the
+                        // exact machinery below re-decides it.
+                        ++stats.repair_fallbacks;
+                    }
                 }
             }
             if (decided) {
+            } else if (group_probe && far_mark[li] == insert_epoch) {
+                // A group probe certified this member far on the current
+                // view and nothing was inserted since: d(u, v) > threshold
+                // stands. The per-member twin of the shared-ball lazy
+                // revalidation below -- and immune to an early exit having
+                // shrunk the probe's certified radius under this member's
+                // threshold.
+                ++stats.cache_hits;
+                accept = true;
             } else if (use_sketch &&
                        sketch.lower_bound_at(c.u, c.v, insert_epoch) > threshold) {
                 // Epoch-valid sketch lower bound: the pair was measured
@@ -682,7 +793,113 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
                     accept = true;
                 } else {
                     bool need_point = !want_ball;
-                    if (want_ball) {
+                    if (want_ball && group_probe && !anchored &&
+                        last_accept_rate <= options_.parallel_accept_gate) {
+                        // Multi-target group probe: one bounded traversal
+                        // carries every undecided member's target and
+                        // decision radius, settles targets as the frontier
+                        // reaches them, and stops the moment the last is
+                        // decided or the frontier passes the largest
+                        // undecided bound -- the serial twin of the
+                        // stage-2 kernel path, replacing the classic
+                        // full-radius drained ball. Settled members land
+                        // as exact bounds (cache-hit rejects when their
+                        // turn comes); far members ride the published
+                        // certified-radius ball slot, accepting by the
+                        // same lazy revalidation a classic ball backs --
+                        // at a fraction of its drained area. A member
+                        // whose threshold outruns the certified radius
+                        // (possible after early termination) simply fails
+                        // revalidation and falls through to the exact
+                        // machinery: cost, never correctness.
+                        //
+                        // The accept-rate veto mirrors the cell-batched
+                        // rule above: in accept-heavy phases every
+                        // insertion stales the far certificates the probe
+                        // just paid for, so the group gets re-probed per
+                        // accept while the bidirectional point query (two
+                        // meet-in-the-middle half-balls plus a two-sided
+                        // harvest) decides each member outright.
+                        BatchedProbe& probe = ws.batched();
+                        bool li_far = false;
+                        const auto is_undecided = [&](std::uint32_t local) {
+                            return local == li ||
+                                   (local > li &&
+                                    bound[local] > t * cand_at(local).weight);
+                        };
+                        const auto mark_far = [&](std::uint32_t local) {
+                            far_mark[local] = insert_epoch;
+                            if (local == li) li_far = true;
+                        };
+                        // With a metric oracle at hand the probe goes
+                        // goal-directed once few targets remain undecided
+                        // -- the accept-side tail, where the classic drain
+                        // spends most of its area (verdicts unchanged; see
+                        // BatchedProbe's header note).
+                        const MetricSpace* probe_goal =
+                            options_.probe_goal_bound != nullptr
+                                ? options_.probe_goal_bound
+                                : options_.goal_bound;
+                        const PrefilterKernel::Outcome outcome =
+                            probe_goal != nullptr
+                                ? res.prefilter_kernel_.decide_group(
+                                      probe, adapter.view(), anchor, bw, 0, grp,
+                                      t, is_undecided, bound, mark_far,
+                                      kInfiniteWeight,
+                                      [probe_goal](VertexId x, VertexId tgt) {
+                                          return probe_goal->distance(x, tgt);
+                                      })
+                                : res.prefilter_kernel_.decide_group(
+                                      probe, adapter.view(), anchor, bw, 0, grp,
+                                      t, is_undecided, bound, mark_far);
+                        ++stats.dijkstra_runs;
+                        ++stats.balls_computed;
+                        ++stats.group_probes;
+                        stats.group_probe_decisions += outcome.probed;
+                        if (outcome.early_exit) ++stats.group_probe_early_exits;
+                        update_ema(ball_cost, static_cast<double>(probe.last_work()));
+                        // Value accounting mirrors the classic ball's
+                        // `resolved` (settled rejects only) so the two
+                        // paths bid against the point query on equal
+                        // terms: counting far members or cap
+                        // fall-throughs as value inflates the EMA and
+                        // flips the gate toward probes on inputs where
+                        // per-candidate queries genuinely win.
+                        const std::size_t resolved =
+                            outcome.probed - outcome.far_members -
+                            outcome.undecided_members;
+                        update_ema(ball_value, static_cast<double>(
+                                                   std::max<std::size_t>(resolved, 1)));
+                        if (use_sketch) {
+                            // Same cross-bucket harvest as a drained ball's,
+                            // except goal pruning bounds the exact claim:
+                            // settles past the engagement distance may have
+                            // had a shorter path pruned, so they land as
+                            // upper bounds (sound rejects, no lower-bound
+                            // accepts). Settle order is nondecreasing, so
+                            // the exact prefix is a prefix.
+                            const Weight exact_r = probe.settled_exact_radius();
+                            for (const auto& [x, d] : probe.settled()) {
+                                if (x == anchor) continue;
+                                if (d <= exact_r) {
+                                    sketch.record_exact(anchor, x, d, insert_epoch);
+                                } else {
+                                    sketch.record_upper(anchor, x, d);
+                                }
+                            }
+                        }
+                        ball_bucket[anchor] = batch_seq;
+                        ball_epoch[anchor] = insert_epoch;
+                        ball_radius[anchor] = outcome.certified_radius;
+                        if (bound[li] <= threshold) {
+                            accept = false;  // settled (or salvaged) witness
+                        } else if (li_far) {
+                            accept = true;  // certified far at this view
+                        } else {
+                            // The cap left li undecided: probe it directly.
+                            need_point = true;
+                        }
+                    } else if (want_ball) {
                         // Shared ball: one query answers every candidate of
                         // this anchor in the batch. The classic radius covers
                         // the heaviest member's threshold, so unsettled means
@@ -898,7 +1115,14 @@ Graph greedy_spanner_with(const Graph& g, const GreedyEngineOptions& options,
     // previous run's counters behind (the additive-stats footgun).
     if (stats != nullptr) *stats = GreedyStats{};
     const Timer timer;  // include the candidate sort, as the naive kernel did
-    GreedyEngine engine(g.num_vertices(), options);
+    // Resolve kAuto the way the session front door's GraphCandidateSource
+    // does, so wrapper and session builds stay bit-identical, stats
+    // included (the old-vs-new equivalence contract).
+    GreedyEngineOptions resolved = options;
+    if (resolved.group_probing == EngineTuning::GroupProbing::kAuto) {
+        resolved.group_probing = EngineTuning::GroupProbing::kOn;
+    }
+    GreedyEngine engine(g.num_vertices(), resolved);
     const auto candidates = sorted_graph_candidates(g);
     GreedyStats local;
     Graph h = engine.run(Graph(g.num_vertices()), candidates, &local);

@@ -67,6 +67,7 @@
 #include "core/candidate_stream.hpp"
 #include "core/engine_tuning.hpp"
 #include "core/greedy.hpp"
+#include "core/prefilter_kernel.hpp"
 #include "core/prefilter_stage.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
@@ -156,11 +157,15 @@ private:
     SourceGroups groups_;              ///< stage-1 per-bucket grouping
     BoundSketch sketch_;               ///< cross-bucket bound persistence
     CertificateStore certs_;           ///< phase-A certificates for phase-B repair
-    std::vector<RepairSeed> repair_seeds_;  ///< phase-B scratch
+    PrefilterKernel prefilter_kernel_; ///< serial-loop group-probe marshalling scratch
+    std::vector<RepairSeed> repair_seeds_;    ///< phase-B scratch (forward seeds)
+    std::vector<RepairSeed> repair_seeds_b_;  ///< phase-B scratch (backward seeds of the
+                                              ///< two-sided combine)
 
     // Ball-sharing / prefilter scratch, reused across runs. Groups are
     // cleared lazily so a bucket costs O(its candidates), not O(n).
     std::vector<Weight> bound_;              ///< bucket-local candidate upper bounds
+    std::vector<std::uint64_t> far_mark_;    ///< bucket-local per-member far epoch (group probes)
     std::vector<std::uint64_t> ball_bucket_; ///< ball-reuse scope (batch seq) per source
     std::vector<std::uint64_t> ball_epoch_;  ///< insert epoch of last ball
     std::vector<Weight> ball_radius_;        ///< radius of last ball

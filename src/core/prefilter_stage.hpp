@@ -46,6 +46,7 @@
 #include "core/bound_sketch.hpp"
 #include "core/candidate_stream.hpp"
 #include "core/greedy.hpp"
+#include "core/prefilter_kernel.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/types.hpp"
 #include "util/thread_pool.hpp"
@@ -71,6 +72,14 @@ struct PrefilterContext {
     /// (a member's probe target is its non-anchor endpoint, not always
     /// `.v`), and ball work is attributed to the cell_ball counters.
     bool anchored = false;
+    /// Multi-target group probes are on: a group with >= 2 undecided
+    /// members after the sketch/oracle pass is decided by ONE batched
+    /// traversal through the PrefilterKernel seam instead of a drained
+    /// ball or per-member point probes. The kernel's verdicts are exact
+    /// on the same view, and the gate (undecided count) is a pure
+    /// function of the batch -- so edge sets and decision stats stay
+    /// bit-identical to the per-candidate path at every thread count.
+    bool group_probe = false;
     /// Ball-reuse scope (the engine's batch sequence number): a published
     /// ball may only be revalidated by candidates of the same batch, whose
     /// bounds its harvest wrote.
@@ -121,8 +130,14 @@ struct PrefilterContext {
 /// per GreedyEngine, reused across runs.
 class PrefilterStage {
 public:
-    /// Reset the per-worker counters for a run.
-    void begin_run(std::size_t workers) { counters_.assign(workers, WorkerCounters{}); }
+    /// Reset the per-worker counters for a run. The kernel gather scratch
+    /// and pending-certificate buffers are sized here but never shrunk --
+    /// resize, not assign, keeps a warm session's capacities.
+    void begin_run(std::size_t workers) {
+        counters_.assign(workers, WorkerCounters{});
+        if (kernels_.size() < workers) kernels_.resize(workers);
+        if (pending_.size() < workers) pending_.resize(workers);
+    }
 
     /// Size and zero the verdict bitsets for one bucket (bucket-local bit
     /// per candidate; batches of the bucket write disjoint bit ranges).
@@ -180,6 +195,21 @@ private:
         std::size_t cell_balls = 0;
         std::size_t cell_ball_decisions = 0;
         std::size_t coarse_rejects = 0;
+        std::size_t group_probes = 0;
+        std::size_t group_probe_decisions = 0;
+        std::size_t group_probe_early_exits = 0;
+    };
+
+    /// A backward frontier certificate waiting for the serial flush: it
+    /// keys on a probe's *target* vertex, which another task may own, so
+    /// workers buffer instead of publishing. Flush order is
+    /// worker-then-probe order, but the flushed radii are pure functions
+    /// of the batch and CertificateStore::publish keeps the larger
+    /// same-scope radius -- the final store state is order-independent.
+    struct PendingCert {
+        VertexId source = kNoVertex;
+        Weight radius = 0.0;
+        std::vector<std::pair<VertexId, Weight>> settled;
     };
 
     /// Set a bucket-local verdict bit. Words are shared across tasks, so
@@ -254,6 +284,8 @@ private:
     std::vector<std::uint64_t> oracle_bits_; ///< oracle certified a witness path
     std::vector<std::uint64_t> far_bits_;    ///< probe exceeded threshold at snapshot
     std::vector<WorkerCounters> counters_;
+    std::vector<PrefilterKernel> kernels_;   ///< per-worker gather scratch
+    std::vector<std::vector<PendingCert>> pending_;  ///< per-worker backward frontiers
 };
 
 template <class View>
@@ -282,6 +314,20 @@ void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
             }
         }
     });
+    // Serial flush of the worker-buffered backward frontiers (see
+    // PendingCert): after the join every task's writes are visible, and
+    // publishing here keeps the store's per-source slots single-writer.
+    if (ctx.certificates != nullptr) {
+        for (std::vector<PendingCert>& worker_pending : pending_) {
+            for (const PendingCert& p : worker_pending) {
+                // Counted at buffer time; keep-larger makes the resulting
+                // store state independent of this loop's order.
+                ctx.certificates->publish(p.source, ctx.ball_scope, ctx.snapshot_epoch,
+                                          p.radius, p.settled);
+            }
+            worker_pending.clear();
+        }
+    }
     for (WorkerCounters& wc : counters_) {
         stats.dijkstra_runs += wc.dijkstra_runs;
         stats.balls_computed += wc.balls_computed;
@@ -291,6 +337,9 @@ void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
         stats.cell_balls += wc.cell_balls;
         stats.cell_ball_decisions += wc.cell_ball_decisions;
         stats.coarse_rejects += wc.coarse_rejects;
+        stats.group_probes += wc.group_probes;
+        stats.group_probe_decisions += wc.group_probe_decisions;
+        stats.group_probe_early_exits += wc.group_probe_early_exits;
         wc = WorkerCounters{};
     }
 }
@@ -327,6 +376,44 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
         }
     }
     if (undecided == 0) return;
+
+    // The batched group probe: one traversal from the shared source
+    // carries every undecided member's target and decision radius,
+    // replacing the drained ball AND the per-member fall-through probes.
+    // It terminates the moment the last member is decided, so it usually
+    // drains a fraction of the full-radius ball's area -- and its settled
+    // frontier is still publishable as a repair certificate, complete out
+    // to the probe's certified radius. A singleton group keeps the point
+    // probe below (meet-in-the-middle beats a one-sided traversal when
+    // there is nothing to amortize). The gate reads only task-owned state
+    // (sketch/oracle verdicts of this group), so it is schedule-free.
+    if (ctx.group_probe && undecided >= 2) {
+        BatchedProbe& probe = ws.batched();
+        const auto is_undecided = [&](std::uint32_t local) {
+            if (oracle_reject(ctx.base + local) || far_at_snapshot(ctx.base + local)) {
+                return false;
+            }
+            return bounds[local] > ctx.stretch * cand_at(local).weight;
+        };
+        const PrefilterKernel::Outcome outcome = kernels_[worker].decide_group(
+            probe, view, source, cands, ctx.base, grp, ctx.stretch, is_undecided,
+            bounds, [&](std::uint32_t local) { set_bit(far_bits_, local); });
+        ++wc.dijkstra_runs;
+        ++wc.group_probes;
+        wc.group_probe_decisions += outcome.probed;
+        if (outcome.early_exit) ++wc.group_probe_early_exits;
+        if (ctx.certificates != nullptr &&
+            ctx.certificates->publish(source, ctx.ball_scope, ctx.snapshot_epoch,
+                                      outcome.certified_radius, probe.settled())) {
+            ++wc.certs_published;
+        }
+        // The frontier doubles as a published ball for the insertion
+        // loop's lazy revalidation, valid out to the certified radius.
+        ball_bucket[source] = ctx.ball_scope;
+        ball_epoch[source] = ctx.snapshot_epoch;
+        ball_radius[source] = outcome.certified_radius;
+        return;
+    }
 
     // The radius that covers the group's largest threshold: one drained
     // ball at this radius answers every candidate of the group *exactly*
@@ -398,13 +485,48 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
         const Weight threshold = ctx.stretch * c.weight;
         if (bounds[local] <= threshold) continue;  // harvested by an earlier probe
         ++wc.dijkstra_runs;
+        // With repair on, a bidirectional probe's two settled frontiers
+        // are certificates in their own right: each side is exact and
+        // complete out to its exit radius, and on a far probe the radii
+        // sum past the threshold -- the two-sided repair seeds that turn
+        // the accept-heavy path's repair_fallbacks into exact repairs.
+        const bool collect = ctx.certificates != nullptr && ctx.bidirectional;
         const Weight d = ctx.bidirectional
-                             ? ws.distance_bidirectional(view, source, other, threshold)
+                             ? ws.distance_bidirectional(view, source, other, threshold,
+                                                         collect)
                              : ws.distance(view, source, other, threshold);
         if (d <= threshold) {
             if (d < bounds[local]) bounds[local] = d;
         } else {
             set_bit(far_bits_, local);
+            if (collect) {
+                // The forward frontier keys on this task's own source:
+                // publish directly (keep-larger resolves repeat probes).
+                if (ctx.certificates->publish(source, ctx.ball_scope,
+                                              ctx.snapshot_epoch,
+                                              ws.forward_settled_radius(),
+                                              ws.settled_forward())) {
+                    ++wc.certs_published;
+                }
+                // The backward frontier keys on the target -- another
+                // task's slot: buffer for the post-join serial flush.
+                // Truncated to its certified radius the content is a pure
+                // function of (view, target, radius) -- the exact ball
+                // around the target -- so equal-radius flush ties are
+                // content-identical and the flushed store state is
+                // order-independent. Counted here (task-owned, hence
+                // schedule-free), not at flush time, where keep-larger
+                // success would depend on flush order.
+                const auto& bwd = ws.settled_backward();
+                const Weight rb = ws.backward_settled_radius();
+                const auto bwd_end = std::partition_point(
+                    bwd.begin(), bwd.end(),
+                    [rb](const std::pair<VertexId, Weight>& e) { return e.second <= rb; });
+                if (static_cast<std::size_t>(bwd_end - bwd.begin()) <= ctx.cert_ball_cap) {
+                    pending_[worker].push_back(PendingCert{other, rb, {bwd.begin(), bwd_end}});
+                    ++wc.certs_published;
+                }
+            }
         }
         // Forward labels are realizable path lengths from the shared
         // anchor; harvest them as bounds for the group's later candidates

@@ -19,12 +19,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "graph/batched_probe.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 #include "util/dary_heap.hpp"
@@ -63,8 +66,21 @@ public:
     /// Caveat: the returned value sums the two half-path lengths, which may
     /// reassociate floating-point addition relative to the one-sided sweep
     /// (differences are confined to the last ulp).
+    ///
+    /// With `collect_frontiers` set, the query additionally records BOTH
+    /// settled frontiers -- settled_forward() around s and
+    /// settled_backward() around target, each with a completeness radius
+    /// (forward_settled_radius() / backward_settled_radius()): every
+    /// vertex within a side's radius appears in that side's list with its
+    /// exact distance, absence certifies distance > radius. That is the
+    /// certificate contract of the speculative repair path, published
+    /// two-sided: neither half-frontier alone covers the threshold, but
+    /// their radii sum to (just short of) the exit bound, which is what
+    /// the engine's two-sided repair combine needs. Off by default -- the
+    /// pushes are free but the frontier copies are not.
     template <class G>
-    Weight distance_bidirectional(const G& g, VertexId s, VertexId target, Weight limit);
+    Weight distance_bidirectional(const G& g, VertexId s, VertexId target, Weight limit,
+                                  bool collect_frontiers = false);
 
     /// As `distance`, but goal-directed (A*): the heap is keyed by
     /// g(v) + h(v) where `h(v)` must lower-bound the graph distance from v
@@ -155,6 +171,25 @@ public:
         return stamp_b_[x] == current_ ? dist_b_[x] : kInfiniteWeight;
     }
 
+    /// After distance_bidirectional(collect_frontiers=true): the settled
+    /// forward frontier (exact distances from s, complete out to
+    /// forward_settled_radius()).
+    [[nodiscard]] const std::vector<std::pair<VertexId, Weight>>& settled_forward() const {
+        return ball_;
+    }
+    /// The backward counterpart: exact distances from the target, complete
+    /// out to backward_settled_radius().
+    [[nodiscard]] const std::vector<std::pair<VertexId, Weight>>& settled_backward() const {
+        return ball_b_;
+    }
+    [[nodiscard]] Weight forward_settled_radius() const { return fwd_settled_radius_; }
+    [[nodiscard]] Weight backward_settled_radius() const { return bwd_settled_radius_; }
+
+    /// The multi-target group-probe kernel riding on this workspace (one
+    /// per worker, like the rest of the scratch). State is independent of
+    /// the point-query scratch above; it resizes itself per run.
+    [[nodiscard]] BatchedProbe& batched() { return batched_; }
+
     /// Cumulative count of improving frontier-meet events observed by
     /// distance_bidirectional on this workspace (for GreedyStats).
     [[nodiscard]] std::size_t meet_events() const { return meets_; }
@@ -209,6 +244,10 @@ private:
     std::size_t meets_ = 0;
     std::size_t last_work_ = 0;
     std::vector<std::pair<VertexId, Weight>> ball_;
+    std::vector<std::pair<VertexId, Weight>> ball_b_;  ///< backward frontier
+    Weight fwd_settled_radius_ = 0.0;
+    Weight bwd_settled_radius_ = 0.0;
+    BatchedProbe batched_;
 };
 
 /// A fixed set of workspaces, one per worker of a thread pool. Workspaces
@@ -275,7 +314,7 @@ Weight DijkstraWorkspace::distance(const G& g, VertexId s, VertexId target,
 
 template <class G>
 Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexId target,
-                                                 Weight limit) {
+                                                 Weight limit, bool collect_frontiers) {
     resize(g.num_vertices());
     if (s >= g.num_vertices() || target >= g.num_vertices()) {
         throw std::out_of_range(
@@ -302,6 +341,7 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
         if (tf <= tb) {
             const QueueItem top = heap_.pop_min();
             if (top.dist > dist_[top.vertex]) continue;  // stale
+            if (collect_frontiers) ball_.push_back({top.vertex, top.dist});
             if (seen_b(top.vertex)) {
                 const Weight through = top.dist + dist_b_[top.vertex];
                 if (through < best) {
@@ -331,6 +371,7 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
         } else {
             const QueueItem top = heap_b_.pop_min();
             if (top.dist > dist_b_[top.vertex]) continue;  // stale
+            if (collect_frontiers) ball_b_.push_back({top.vertex, top.dist});
             if (seen(top.vertex)) {
                 const Weight through = top.dist + dist_[top.vertex];
                 if (through < best) {
@@ -358,6 +399,22 @@ Weight DijkstraWorkspace::distance_bidirectional(const G& g, VertexId s, VertexI
                 }
             }
         }
+    }
+    if (collect_frontiers) {
+        // A side's settled set is complete below its heap's minimum key:
+        // pops are monotone per side, so every vertex with true distance
+        // under the (possibly stale) minimum was already popped non-stale.
+        // An exhausted side drained its whole <= limit ball. Keys never
+        // exceed the limit (relaxation prunes above it), so the nextafter
+        // stays within [0, limit].
+        const auto side_radius = [limit](const DaryHeap<QueueItem, 4>& heap) {
+            if (heap.empty()) return limit;
+            const Weight r = std::nextafter(
+                heap.min().dist, -std::numeric_limits<Weight>::infinity());
+            return r < 0.0 ? 0.0 : r;
+        };
+        fwd_settled_radius_ = side_radius(heap_);
+        bwd_settled_radius_ = side_radius(heap_b_);
     }
     return best <= limit ? best : kInfiniteWeight;
 }

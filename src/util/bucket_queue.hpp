@@ -1,0 +1,99 @@
+// A monotone bucket (calendar) queue for bounded Dijkstra probes.
+//
+// The greedy kernel's probes have two properties a general-purpose heap
+// cannot exploit: keys are nonnegative path lengths capped by the probe
+// radius (known up front), and the pop sequence is monotone -- every
+// pushed key is a popped key plus a nonnegative edge weight. Hashing keys
+// into B equal-width buckets over [0, limit] then makes push O(1) and pop
+// amortized O(1 + items/B): the cursor only ever moves forward, a pushed
+// key can never land behind it, and the minimum of the current bucket is
+// the global minimum (every later bucket's keys are at least the current
+// bucket's upper edge).
+//
+// Within a bucket, pop scans for the minimum instead of keeping the bucket
+// ordered. That scan is the price of O(1) pushes, and it is a contiguous
+// sweep over a flat array of {key, vertex} pairs -- the same
+// cache-friendly shape the batched probe's bound sweep uses.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gsp {
+
+class BucketQueue {
+public:
+    struct Item {
+        Weight key;
+        VertexId vertex;
+    };
+
+    /// Prepare for one probe bounded by `limit`; `expected` sizes the
+    /// bucket count (roughly one bucket per expected item, clamped to a
+    /// power of two in [64, 4096]). Leftover items from an abandoned probe
+    /// are discarded -- but only the buckets that probe actually touched
+    /// are cleared (the dirty list), so an early-exited probe that spread
+    /// 50 items over 2048 warm buckets costs 50 clears, not 2048. Bucket
+    /// capacities stay warm across probes.
+    void reset(Weight limit, std::size_t expected) {
+        for (const std::size_t b : dirty_) buckets_[b].clear();
+        dirty_.clear();
+        std::size_t want = 64;
+        while (want < expected && want < kMaxBuckets) want <<= 1;
+        if (buckets_.size() < want) buckets_.resize(want);
+        num_ = want;
+        cur_ = 0;
+        size_ = 0;
+        inv_width_ = limit > 0.0 ? static_cast<double>(num_) / limit : 0.0;
+    }
+
+    /// Monotone push: `key` must be >= the last popped key (Dijkstra's
+    /// invariant). The index clamp below is float-safety only -- a key can
+    /// round into the bucket just behind the cursor, never further back.
+    void push(Weight key, VertexId v) {
+        std::size_t idx = num_ - 1;
+        const double scaled = static_cast<double>(key) * inv_width_;
+        if (scaled < static_cast<double>(num_ - 1)) {
+            idx = static_cast<std::size_t>(scaled);
+        }
+        if (idx < cur_) idx = cur_;
+        if (buckets_[idx].empty()) dirty_.push_back(idx);
+        buckets_[idx].push_back({key, v});
+        ++size_;
+    }
+
+    /// Remove and return the global minimum. Precondition: !empty().
+    Item pop_min() {
+        while (buckets_[cur_].empty()) ++cur_;
+        std::vector<Item>& bucket = buckets_[cur_];
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < bucket.size(); ++i) {
+            if (bucket[i].key < bucket[best].key) best = i;
+        }
+        const Item out = bucket[best];
+        bucket[best] = bucket.back();
+        bucket.pop_back();
+        --size_;
+        return out;
+    }
+
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+private:
+    /// Bucket-count ceiling: past this the per-probe reset cost and the
+    /// resident footprint outgrow what the within-bucket scan saves.
+    static constexpr std::size_t kMaxBuckets = 4096;
+
+    std::vector<std::vector<Item>> buckets_;
+    std::vector<std::size_t> dirty_;  ///< buckets pushed into since the last reset
+    std::size_t num_ = 0;    ///< active bucket count (power of two)
+    std::size_t cur_ = 0;    ///< cursor: no item lives below this bucket
+    std::size_t size_ = 0;   ///< live items across all buckets
+    double inv_width_ = 0.0; ///< num_ / limit (0 when limit is 0)
+};
+
+}  // namespace gsp
