@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v7)
+"""Validate BENCH_greedy.json artifacts (schemas gsp.bench_greedy.v1-v8)
 and diff them against the tracked bench history.
 
 Usage:
@@ -59,8 +59,21 @@ beat it by at least 1.1x (stable measurements sit at 1.1-1.3x on the
 CI shapes; the floor is the regression guard under residual noise, not
 the headline). The
 on-us/candidate trajectories are history-diffed per arm (same-n entries
-only). Older entries are still accepted and diffed on the fields they
-carry.
+only). Schema v8 (PR 9, the SIMD prefilter backend) adds the required
+"simd_probe" object -- the four kernel ablations (far_sweep,
+distance_batch, sketch_probe, radix_sort), each timing the scalar
+reference against the dispatch-selected vector table (the radix row:
+std::stable_sort against the LSD radix sorter) on identical inputs --
+plus the "simd_backend" field on the time probe and on both group-probe
+arms, recording what dispatch actually selected for those builds. Every
+ablation row's outputs_identical must be true (a speedup may never be
+quoted for a kernel that changed answers), and when dispatch selected a
+vector backend at least two of the four rows must beat the 1.3x floor.
+History diffs of the time/group probes are backend-honest: when the two
+entries ran on different dispatch-selected backends their timings are
+not comparable, so the diff is refused (skipped with a notice) rather
+than flagged as a regression or an improvement. Older entries are still
+accepted and diffed on the fields they carry.
 
 Exits non-zero if a file is missing, malformed, or violates the schema --
 including the engine's core contract that every configuration matched the
@@ -71,7 +84,7 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMAS = {f"gsp.bench_greedy.v{i}" for i in range(1, 8)}
+SCHEMAS = {f"gsp.bench_greedy.v{i}" for i in range(1, 9)}
 REQUIRED_TOP = {"schema", "source", "stretch", "instance", "configs",
                 "speedup_full_vs_naive"}
 REQUIRED_CONFIG = {"name", "bidirectional", "ball_sharing", "csr_snapshot",
@@ -161,6 +174,18 @@ REQUIRED_GROUP_PROBE_ARM = {"kind", "n", "m", "stretch", "candidates",
 # to restate the headline.
 GROUP_PROBE_MIN_SPEEDUP = 1.05
 
+# v8 additions: the SIMD kernel ablation and the dispatch-honesty fields.
+REQUIRED_SIMD_KERNELS = ("far_sweep", "distance_batch", "sketch_probe",
+                         "radix_sort")
+REQUIRED_SIMD_KERNEL_KEYS = {"scalar_seconds", "simd_seconds", "speedup",
+                             "outputs_identical"}
+# The tentpole's acceptance floor: with a vector backend dispatch-selected,
+# at least this many of the four kernel ablations must beat the speedup
+# floor. (On a scalar-only machine the ablation arms run identical code
+# and the floor is vacuous -- dispatch honesty, not a build failure.)
+SIMD_PROBE_MIN_SPEEDUP = 1.30
+SIMD_PROBE_MIN_KERNELS_OVER_FLOOR = 2
+
 REGRESSION_THRESHOLD = 1.20  # >20% worse than the previous entry
 
 
@@ -186,7 +211,7 @@ def validate(doc: dict, path) -> None:
         fail(f"{path}: unexpected schema tag {schema!r}")
     version = int(schema.rsplit("v", 1)[1])
     v2, v3, v4 = version >= 2, version >= 3, version >= 4
-    v5, v6, v7 = version >= 5, version >= 6, version >= 7
+    v5, v6, v7, v8 = version >= 5, version >= 6, version >= 7, version >= 8
     required_top = REQUIRED_TOP_V2 if v2 else REQUIRED_TOP
     required_config = (REQUIRED_CONFIG_V5 if v5 else
                        REQUIRED_CONFIG_V2 if v2 else REQUIRED_CONFIG)
@@ -303,7 +328,9 @@ def validate(doc: dict, path) -> None:
     if v6 and time_probe is None:
         fail(f"{path}: schema v6 requires the time_probe object")
     if time_probe is not None:
-        if missing := REQUIRED_TIME_PROBE - time_probe.keys():
+        required_time = (REQUIRED_TIME_PROBE | {"simd_backend"} if v8
+                         else REQUIRED_TIME_PROBE)
+        if missing := required_time - time_probe.keys():
             fail(f"{path}: time_probe missing keys: {sorted(missing)}")
         if time_probe["candidates"] <= 0:
             fail(f"{path}: time_probe streamed no candidates")
@@ -337,9 +364,11 @@ def validate(doc: dict, path) -> None:
     if group_probe is not None:
         if missing := {"metric", "graph"} - group_probe.keys():
             fail(f"{path}: group_probe missing arms: {sorted(missing)}")
+        required_arm = (REQUIRED_GROUP_PROBE_ARM | {"simd_backend"} if v8
+                        else REQUIRED_GROUP_PROBE_ARM)
         for arm_name in ("metric", "graph"):
             arm = group_probe[arm_name]
-            if missing := REQUIRED_GROUP_PROBE_ARM - arm.keys():
+            if missing := required_arm - arm.keys():
                 fail(f"{path}: group_probe {arm_name} arm missing keys: "
                      f"{sorted(missing)}")
             if arm["candidates"] <= 0:
@@ -364,6 +393,40 @@ def validate(doc: dict, path) -> None:
             fail(f"{path}: group_probe metric arm speedup {speedup:.2f}x "
                  f"below the {GROUP_PROBE_MIN_SPEEDUP:.2f}x floor over the "
                  f"per-candidate (kOff) baseline")
+
+    simd_probe = doc.get("simd_probe")
+    if v8 and simd_probe is None:
+        fail(f"{path}: schema v8 requires the simd_probe object")
+    if simd_probe is not None:
+        if "backend" not in simd_probe:
+            fail(f"{path}: simd_probe missing the backend field")
+        if missing := set(REQUIRED_SIMD_KERNELS) - simd_probe.keys():
+            fail(f"{path}: simd_probe missing kernels: {sorted(missing)}")
+        over_floor = 0
+        for kernel in REQUIRED_SIMD_KERNELS:
+            row = simd_probe[kernel]
+            if missing := REQUIRED_SIMD_KERNEL_KEYS - row.keys():
+                fail(f"{path}: simd_probe {kernel} missing keys: "
+                     f"{sorted(missing)}")
+            # The bit-identity contract: an ablation arm that changed
+            # answers invalidates its own timing.
+            if not row["outputs_identical"]:
+                fail(f"{path}: simd_probe {kernel} arms produced different "
+                     f"outputs -- its speedup is meaningless")
+            if row["simd_seconds"] <= 0:
+                fail(f"{path}: simd_probe {kernel} reports no vector-arm time")
+            # Recomputed from the raw seconds so a harness that
+            # mis-reports the speedup column still fails.
+            if row["scalar_seconds"] / row["simd_seconds"] >= SIMD_PROBE_MIN_SPEEDUP:
+                over_floor += 1
+        # The floor only binds when dispatch actually selected a vector
+        # table; on a scalar-only machine both arms run identical code.
+        if (simd_probe["backend"] != "scalar"
+                and over_floor < SIMD_PROBE_MIN_KERNELS_OVER_FLOOR):
+            fail(f"{path}: simd_probe ({simd_probe['backend']}) has only "
+                 f"{over_floor} kernel(s) at or over the "
+                 f"{SIMD_PROBE_MIN_SPEEDUP:.1f}x floor; "
+                 f"{SIMD_PROBE_MIN_KERNELS_OVER_FLOOR} required")
 
     accept_probe = doc.get("accept_probe")
     if accept_probe is not None:
@@ -412,6 +475,11 @@ def validate(doc: dict, path) -> None:
             f"(mean group {group_probe['metric']['mean_group_size']:.1f}, "
             f"early-exit share "
             f"{group_probe['metric']['early_exit_share']:.2f})")
+    if simd_probe is not None:
+        speedups = "/".join(f"{simd_probe[k]['speedup']:.2f}x"
+                            for k in REQUIRED_SIMD_KERNELS)
+        extras.append(f"simd probe {simd_probe['backend']} "
+                      f"(far-sweep/dist/sketch/radix {speedups})")
     if v2:
         extras.append(f"peak RSS {doc['peak_rss_kb']} KiB")
     suffix = f"; {', '.join(extras)}" if extras else ""
@@ -535,12 +603,29 @@ def diff_history(history_dir: Path, strict: bool) -> int:
                                old_inst["build_seconds"],
                                inst["build_seconds"], "s"))
 
+    def backends_comparable(name: str, old, new) -> bool:
+        """v8 dispatch honesty: timings from different dispatch-selected
+        backends are measurements of different code, not a trajectory.
+        Refuse the diff (with a notice) instead of flagging either way.
+        Pre-v8 entries carry no backend field and diff as before."""
+        old_backend = (old or {}).get("simd_backend")
+        new_backend = (new or {}).get("simd_backend")
+        if old_backend is None or new_backend is None:
+            return True
+        if old_backend == new_backend:
+            return True
+        print(f"{name}: diff refused -- entries ran on different SIMD "
+              f"backends ({old_backend} -> {new_backend}); timings are "
+              f"not comparable")
+        return False
+
     old_time = prev_doc.get("time_probe")
     cur_time = cur_doc.get("time_probe")
     # Same-n entries only, like the mem probe: the per-PR 10^5 smoke and
     # the 10^6 history run are different shapes, not a regression.
     if (cur_time is not None and old_time is not None
-            and old_time["n"] == cur_time["n"]):
+            and old_time["n"] == cur_time["n"]
+            and backends_comparable("time_probe", old_time, cur_time)):
         report(diff_metric("time_probe us/candidate",
                            old_time["us_per_candidate"],
                            cur_time["us_per_candidate"], " us"))
@@ -558,12 +643,33 @@ def diff_history(history_dir: Path, strict: bool) -> int:
             old_arm = old_group.get(arm_name)
             if cur_arm is None or old_arm is None or old_arm["n"] != cur_arm["n"]:
                 continue
+            if not backends_comparable(f"group_probe {arm_name}", old_arm,
+                                       cur_arm):
+                continue
             report(diff_metric(f"group_probe {arm_name} on us/candidate",
                                old_arm["on_us_per_candidate"],
                                cur_arm["on_us_per_candidate"], " us"))
             report(diff_metric(f"group_probe {arm_name} off us/candidate",
                                old_arm["off_us_per_candidate"],
                                cur_arm["off_us_per_candidate"], " us"))
+
+    old_simd = prev_doc.get("simd_probe")
+    cur_simd = cur_doc.get("simd_probe")
+    if cur_simd is not None and old_simd is not None:
+        if old_simd.get("backend") != cur_simd.get("backend"):
+            print(f"simd_probe: diff refused -- entries ran on different "
+                  f"SIMD backends ({old_simd.get('backend')} -> "
+                  f"{cur_simd.get('backend')}); timings are not comparable")
+        else:
+            for kernel in ("far_sweep", "distance_batch", "sketch_probe",
+                           "radix_sort"):
+                old_row = old_simd.get(kernel)
+                cur_row = cur_simd.get(kernel)
+                if old_row is None or cur_row is None:
+                    continue
+                report(diff_metric(f"simd_probe {kernel} vector arm",
+                                   old_row["simd_seconds"],
+                                   cur_row["simd_seconds"], "s"))
 
     if regressions == 0:
         print(f"history diff OK: {prev_path.name} -> {cur_path.name}, "

@@ -57,6 +57,7 @@ std::string BuildReport::to_json() const {
     w.member("setup_seconds", setup_seconds);
     w.member("pools_constructed", pools_constructed);
     w.member("workspaces_constructed", workspaces_constructed);
+    w.member("simd_backend", simd_backend);
     w.member("peak_rss_kb", peak_rss_kb);
     w.key("stats").begin_object();
     append_greedy_stats(w, stats);

@@ -83,9 +83,27 @@ void MetricCandidateSource::materialize(std::vector<GreedyCandidate>& out) {
     if (n < 2) return;
     const std::size_t base = out.size();
     out.reserve(base + n * (n - 1) / 2);
-    for (VertexId i = 0; i < n; ++i) {
-        for (VertexId j = i + 1; j < n; ++j) {
-            out.push_back(GreedyCandidate{i, j, m_.distance(i, j)});
+    const auto* e2 = dynamic_cast<const EuclideanMetric*>(&m_);
+    if (e2 != nullptr && e2->dim() == 2) {
+        // 2D Euclidean all-pairs: row i's weights d(i, i+1..n-1) in one
+        // batched kernel sweep instead of n - i - 1 virtual calls. The
+        // kernel is bit-exact against the scalar path, so the candidate
+        // list (weights and tie order) is unchanged.
+        std::vector<VertexId> ids(n);
+        for (VertexId j = 0; j < n; ++j) ids[j] = j;
+        std::vector<Weight> row(n);
+        for (VertexId i = 0; i + 1 < n; ++i) {
+            const std::span<const VertexId> tail(ids.data() + i + 1, n - i - 1);
+            e2->distances_from(i, tail, row.data(), *simd_);
+            for (std::size_t j = 0; j < tail.size(); ++j) {
+                out.push_back(GreedyCandidate{i, tail[j], row[j]});
+            }
+        }
+    } else {
+        for (VertexId i = 0; i < n; ++i) {
+            for (VertexId j = i + 1; j < n; ++j) {
+                out.push_back(GreedyCandidate{i, j, m_.distance(i, j)});
+            }
         }
     }
     // The metric kernel's deterministic tie order: (weight, u, v).
@@ -102,6 +120,9 @@ void MetricCandidateSource::configure_engine(GreedyEngineOptions& options,
     if (options.group_probing == EngineTuning::GroupProbing::kAuto) {
         options.group_probing = EngineTuning::GroupProbing::kOn;
     }
+    // Pin the candidate-weight batches to the run's resolved backend
+    // (configure_engine runs before materialize/chunks in a session build).
+    simd_ = &resolve_simd_kernels(options.simd_backend);
     // The metric would be a sound goal oracle here (edge weights are
     // metric distances), but neither wiring pays on all-pairs streams,
     // measured at n = 512..2048: `goal_bound` reroutes the point probes

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/greedy_engine.hpp"
+
 namespace gsp {
 
 double GridCandidateSource::resolve_separation(double separation, double epsilon) {
@@ -63,6 +65,11 @@ void GridCandidateSource::configure_engine(GreedyEngineOptions& options, Spanner
     if (options.goal_bound == nullptr) {
         options.goal_bound = &m_;
     }
+    // The grid's pair-distance batches run through the same kernel table
+    // the engine resolves for its probes, so one knob pins every consumer
+    // (the property tests rely on a kScalar build never touching a vector
+    // lane anywhere in the pipeline).
+    grid_.set_kernels(&resolve_simd_kernels(options.simd_backend));
 }
 
 }  // namespace gsp

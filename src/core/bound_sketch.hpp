@@ -46,6 +46,12 @@
 // sources of its own task's group, and groups partition the batch's
 // sources, so writes land in disjoint per-source slots; the serial loop
 // reads strictly after the join.
+// Storage is SoA (per-field arrays indexed slot = x * ways + way) rather
+// than an array of Entry structs: the hot consult, via_upper_bound, then
+// reads the two vertices' way-contiguous source arrays with ONE vector
+// load + compare per block (simd::Kernels::match_pairs) instead of a
+// scalar way loop over 32-byte structs, touching the ub lanes only for
+// matching ways.
 #pragma once
 
 #include <cstddef>
@@ -55,6 +61,8 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "simd/aligned.hpp"
+#include "simd/simd.hpp"
 
 namespace gsp {
 
@@ -69,9 +77,19 @@ public:
     /// once per engine run). `ways` must be a power of two >= 1.
     void reset(std::size_t n, std::size_t ways = kDefaultWays);
 
-    [[nodiscard]] bool empty() const { return slots_.empty(); }
+    [[nodiscard]] bool empty() const { return src_.empty(); }
     [[nodiscard]] std::size_t ways() const { return ways_; }
-    [[nodiscard]] std::size_t bytes() const { return slots_.capacity() * sizeof(Entry); }
+    [[nodiscard]] std::size_t bytes() const {
+        return src_.capacity() * sizeof(VertexId) + ub_.capacity() * sizeof(Weight) +
+               lo_.capacity() * sizeof(Weight) +
+               lo_epoch_.capacity() * sizeof(std::uint64_t);
+    }
+
+    /// Vector kernel table for the way probe; nullptr restores the
+    /// runtime-dispatched default.
+    void set_kernels(const simd::Kernels* k) {
+        simd_ = k != nullptr ? k : &simd::auto_kernels();
+    }
 
     /// Record an exact distance d(src, x) = d measured at `epoch`: upper
     /// bound forever, lower bound while the epoch holds.
@@ -105,20 +123,22 @@ public:
                                         std::uint64_t epoch) const;
 
 private:
-    struct Entry {
-        VertexId src = kNoVertex;
-        Weight ub = kInfiniteWeight;
-        Weight lo = 0.0;
-        std::uint64_t lo_epoch = 0;
-    };
-
     [[nodiscard]] std::size_t slot(VertexId x, VertexId src) const {
         return static_cast<std::size_t>(x) * ways_ + (src & (ways_ - 1));
     }
-    Entry& entry_for_write(VertexId src, VertexId x);
+    /// Claims slot(x, src) for `src` (deterministic eviction: the newest
+    /// source owning a way wins) and returns its index.
+    std::size_t slot_for_write(VertexId src, VertexId x);
 
     std::size_t ways_ = kDefaultWays;
-    std::vector<Entry> slots_;  ///< n * ways_, way-indexed by source
+    // SoA slot fields, n * ways_ each, way-indexed by source low bits.
+    // src_ is the vector probe's operand; aligned so a way block never
+    // splits its first load.
+    simd::AlignedVector<VertexId> src_;
+    simd::AlignedVector<Weight> ub_;
+    simd::AlignedVector<Weight> lo_;
+    simd::AlignedVector<std::uint64_t> lo_epoch_;
+    const simd::Kernels* simd_ = &simd::auto_kernels();
 };
 
 /// Phase-A distance certificates for the speculative accept path: one per

@@ -150,6 +150,39 @@ void UniformGrid2D::collect_window(double lo, double hi, std::vector<GreedyCandi
         }
     };
 
+    // Candidate weights are computed in batches: pairs queue their
+    // endpoint coordinates, one distances2d kernel call evaluates up to
+    // kPairBatch of them, and the consumer filter runs over the results in
+    // queue order. The kernel is bitwise equal to m_.distance, so the
+    // emitted candidates -- and the count-mode tallies -- are identical to
+    // the per-pair evaluation at any backend.
+    constexpr std::size_t kPairBatch = 8;
+    struct {
+        double ax[kPairBatch], ay[kPairBatch], bx[kPairBatch], by[kPairBatch];
+        VertexId u[kPairBatch], v[kPairBatch];
+        std::size_t n = 0;
+    } pend;
+    double dist[kPairBatch];
+    const auto flush = [&](auto&& consume) {
+        if (pend.n == 0) return;
+        simd_->distances2d(pend.ax, pend.ay, pend.bx, pend.by, pend.n, dist);
+        for (std::size_t i = 0; i < pend.n; ++i) consume(pend.u[i], pend.v[i], dist[i]);
+        pend.n = 0;
+    };
+    const auto push_pair = [&](VertexId a, VertexId b, auto&& consume) {
+        const VertexId u = std::min(a, b);
+        const VertexId v = std::max(a, b);
+        const auto pu = m_.point(u);
+        const auto pv = m_.point(v);
+        pend.ax[pend.n] = pu[0];
+        pend.ay[pend.n] = pu[1];
+        pend.bx[pend.n] = pv[0];
+        pend.by[pend.n] = pv[1];
+        pend.u[pend.n] = u;
+        pend.v[pend.n] = v;
+        if (++pend.n == kPairBatch) flush(consume);
+    };
+
     // Near pairs: exact point-pair enumeration at level 0. A pair at
     // distance d lies in cells with min_boxdist <= d <= min_boxdist +
     // 4 r_0, so only cell pairs with min_boxdist in the clamped band can
@@ -159,11 +192,11 @@ void UniformGrid2D::collect_window(double lo, double hi, std::vector<GreedyCandi
         const double band_lo = std::max(0.0, lo - 4.0 * l0.radius);
         const double band_hi = std::min(near_cutoff_, hi);
         if (band_lo < band_hi) {
-            const auto emit_near = [&](VertexId a, VertexId b) {
-                const VertexId u = std::min(a, b);
-                const VertexId v = std::max(a, b);
-                const double d = m_.distance(u, v);
+            const auto consume_near = [&](VertexId u, VertexId v, double d) {
                 if (d < near_cutoff_ && d >= lo && d < hi) emit(u, v, d);
+            };
+            const auto emit_near = [&](VertexId a, VertexId b) {
+                push_pair(a, b, consume_near);
             };
             if (band_lo == 0.0) {  // same-cell pairs have min_boxdist 0
                 for (std::size_t c = 0; c + 1 < l0.cell_start.size(); ++c) {
@@ -181,6 +214,7 @@ void UniformGrid2D::collect_window(double lo, double hi, std::vector<GreedyCandi
                     }
                 }
             });
+            flush(consume_near);  // the filter changes below: drain first
         }
     }
 
@@ -188,20 +222,19 @@ void UniformGrid2D::collect_window(double lo, double hi, std::vector<GreedyCandi
     // level. The ring [(s - 4) r, 2 s r) is where a level's assigned
     // pairs can live; the window narrows it further through the same
     // weight-vs-boxdist slack (w <= mb + 4 r).
+    const auto consume_far = [&](VertexId u, VertexId v, double w) {
+        if (w >= lo && w < hi) emit(u, v, w);
+    };
     for (const Level& lv : levels_) {
         const double rl = lv.radius;
         const double band_lo = std::max((separation_ - 4.0) * rl, lo - 4.0 * rl);
         const double band_hi = std::min(2.0 * separation_ * rl, hi);
         if (!(band_lo < band_hi)) continue;
         scan_cell_pairs(lv, band_lo, band_hi, [&](std::size_t a, std::size_t b) {
-            const VertexId ru = lv.rep[a];
-            const VertexId rv = lv.rep[b];
-            const VertexId u = std::min(ru, rv);
-            const VertexId v = std::max(ru, rv);
-            const double w = m_.distance(u, v);
-            if (w >= lo && w < hi) emit(u, v, w);
+            push_pair(lv.rep[a], lv.rep[b], consume_far);
         });
     }
+    flush(consume_far);  // one filter across levels: drain once at the end
 }
 
 GreedyCandidate UniformGrid2D::covering_candidate(VertexId i, VertexId j) const {
@@ -252,10 +285,11 @@ bool GridChunkSource::advance_window() {
         scratch_.clear();
         served_ = 0;
         grid_->collect_window(lo_, hi, &scratch_, nullptr);
-        std::sort(scratch_.begin(), scratch_.end(),
-                  [](const GreedyCandidate& a, const GreedyCandidate& b) {
-                      return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
-                  });
+        // Chunk finalization: LSD radix on the (weight, u, v) key --
+        // byte-identical ordering to the comparison sort it replaced
+        // (simd/radix_sort.hpp carries the proof sketch), at O(n) instead
+        // of O(n log n) comparisons on windows that run to 2^18 entries.
+        sorter_.sort(scratch_);
         // Duplicates (a pair covered by several rings, or a near pair
         // doubling as a representative pair) share their weight, hence
         // their window: adjacent after the sort, removed completely here.

@@ -50,24 +50,29 @@
 #include "core/candidate_stream.hpp"
 #include "graph/types.hpp"
 #include "metric/euclidean.hpp"
+#include "simd/aligned.hpp"
+#include "simd/radix_sort.hpp"
+#include "simd/simd.hpp"
 
 namespace gsp {
 
 /// The hierarchy of sparse uniform grids over a 2D Euclidean point set.
 /// Struct-of-arrays per level: sorted packed cell keys, a prefix into the
-/// cell-grouped point ids, and the per-cell representative (minimum id).
-/// Construction is O(n log n) per level and the level count is
-/// O(log(diameter / h_0)), truncated as soon as a level has at most one
-/// occupied cell (no far pair can need it or any coarser level).
+/// cell-grouped point ids, and the per-cell representative (minimum id) --
+/// flat cell arrays on the cache-line-aligned allocator (they are the
+/// sweep operands of every window scan). Construction is O(n log n) per
+/// level and the level count is O(log(diameter / h_0)), truncated as soon
+/// as a level has at most one occupied cell (no far pair can need it or
+/// any coarser level).
 class UniformGrid2D {
 public:
     struct Level {
         double cell_size = 0.0;  ///< h_l
         double radius = 0.0;     ///< r_l = h_l * sqrt(2) / 2
-        std::vector<std::uint64_t> keys;        ///< sorted (iy << 32) | ix per occupied cell
-        std::vector<std::uint32_t> cell_start;  ///< prefix into ids (keys.size() + 1)
-        std::vector<VertexId> ids;  ///< point ids grouped by cell, ascending within a cell
-        std::vector<VertexId> rep;  ///< ids[cell_start[c]]: the minimum id in cell c
+        simd::AlignedVector<std::uint64_t> keys;  ///< sorted (iy << 32) | ix per occupied cell
+        simd::AlignedVector<std::uint32_t> cell_start;  ///< prefix into ids (keys.size() + 1)
+        simd::AlignedVector<VertexId> ids;  ///< point ids grouped by cell, ascending within a cell
+        simd::AlignedVector<VertexId> rep;  ///< ids[cell_start[c]]: the minimum id in cell c
     };
 
     /// `m` must be 2-dimensional; `separation` must be > 4 (the finite-
@@ -83,6 +88,13 @@ public:
 
     /// Upper bound on any pairwise distance (the bounding-box diagonal).
     [[nodiscard]] double max_distance_bound() const { return dmax_; }
+
+    /// Vector kernel table for the batched candidate-weight evaluation in
+    /// collect_window (one distances2d call per 8 pairs, bitwise equal to
+    /// per-pair metric().distance); nullptr restores the runtime default.
+    void set_kernels(const simd::Kernels* k) {
+        simd_ = k != nullptr ? k : &simd::auto_kernels();
+    }
 
     /// Append every candidate of the window [lo, hi) -- near point pairs
     /// and ring representative pairs with weight in the window, duplicates
@@ -109,6 +121,7 @@ private:
     double dmax_ = 0.0;          ///< bounding-box diagonal
     double near_cutoff_ = 0.0;   ///< s * r_0
     std::vector<Level> levels_;
+    const simd::Kernels* simd_ = &simd::auto_kernels();
 };
 
 /// The pull-based generator over a grid: the window sweep described in
@@ -135,6 +148,7 @@ private:
     bool done_ = false;
     std::vector<GreedyCandidate> scratch_;  ///< the one resident window
     std::size_t served_ = 0;
+    simd::CandidateRadixSorter sorter_;  ///< chunk finalization (vs std::sort)
 };
 
 }  // namespace gsp

@@ -64,24 +64,47 @@
 // certified_radius() extends the same argument to *every* vertex: the
 // settled list is complete out to that radius (absent => farther), which
 // is exactly the certificate contract the speculative repair path needs.
+// The far sweep, the relaxation drain, and the goal-oracle bound pass all
+// run through the vector kernel table (src/simd/simd.hpp): the sweep is
+// one lower-bound scan over the contiguous effective-radii array, the
+// drain computes a block of tentative distances and a <= limit lane mask
+// per kernel call (labels still update in scalar iteration order), and a
+// batch-capable goal oracle evaluates every live target's lower bound in
+// one call. Every kernel is bit-exact against its scalar reference, so
+// verdicts, settles, work counters, and queue contents are identical
+// across backends -- set_kernels() only ever trades nanoseconds.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "simd/aligned.hpp"
+#include "simd/simd.hpp"
 #include "util/bucket_queue.hpp"
 
 namespace gsp {
 
 class BatchedProbe {
 public:
+    /// Vector kernel table for the sweeps and drains; nullptr restores the
+    /// runtime-dispatched default. The table must outlive the probe's use
+    /// (the engine hands out pointers to the static per-backend tables).
+    void set_kernels(const simd::Kernels* k) {
+        simd_ = k != nullptr ? k : &simd::auto_kernels();
+    }
+
+    /// The table the next run will use (bench/report introspection).
+    [[nodiscard]] const simd::Kernels& kernels() const { return *simd_; }
+
     /// Goal-directed pruning engages once at most this many targets are
     /// still undecided: each candidate relaxation then pays one oracle
     /// lower bound per live target, so the cutoff keeps that scan O(1)
@@ -148,6 +171,15 @@ public:
                     "BatchedProbe::run: radii must be nondecreasing");
             }
         }
+        // Effective radii min(radii[i], cap) in a contiguous aligned array:
+        // the far sweep's kernel operand (still nondecreasing).
+        eff_.resize(k);
+        for (std::size_t i = 0; i < k; ++i) eff_[i] = std::min(radii[i], cap);
+        // Does the goal oracle batch-evaluate lower bounds? (The metric
+        // oracle the engine passes does; ad-hoc lambdas and NoGoal don't.)
+        constexpr bool kBatchGoal =
+            requires(const GoalLb& g, VertexId x, std::span<const VertexId> ts,
+                     Weight* o) { g.batch(x, ts, o); };
         // Per-vertex target chains: duplicate targets share one settle
         // event but keep independent slots (their radii differ).
         for (std::size_t i = 0; i < k; ++i) {
@@ -186,8 +218,12 @@ public:
             goal_d0 = dnow;
             exact_radius_ = dnow;
             live_.clear();
+            live_targets_.clear();
             for (std::size_t s = 0; s < k; ++s) {
-                if (!decided_[s]) live_.push_back(static_cast<std::uint32_t>(s));
+                if (!decided_[s]) {
+                    live_.push_back(static_cast<std::uint32_t>(s));
+                    live_targets_.push_back(targets[s]);
+                }
             }
         };
         maybe_engage(0.0, k);
@@ -212,13 +248,14 @@ public:
             // last chance to settle (monotone pops: no future settle below
             // d, and the cap pruned everything beyond) and close as
             // undecided fall-throughs.
-            while (asc < k && std::min(radii[asc], cap) < d) {
+            for (const std::size_t stop =
+                     simd_->sweep_lower_bound(eff_.data(), asc, k, d);
+                 asc < stop; ++asc) {
                 if (!decided_[asc]) {
                     decided_[asc] = 1;
                     if (asc < eligible) far_[asc] = 1;
                     --undecided;
                 }
-                ++asc;
             }
             if (undecided == 0) {
                 finish_early(limit, d);
@@ -253,23 +290,32 @@ public:
 
             maybe_engage(d, undecided);
 
-            for (const auto& h : view.neighbors(v)) {
-                const Weight nd = d + h.weight;
-                if (nd > limit) continue;
-                if (goal_mode) {
-                    // Keep the relaxation only if its optimistic completion
-                    // still fits some live target's radius; otherwise it can
-                    // serve no remaining verdict (see the header note).
-                    bool useful = false;
+            // Keep a relaxation only if its optimistic completion still
+            // fits some live target's radius; otherwise it can serve no
+            // remaining verdict (see the header note). A batch-capable
+            // oracle evaluates every live lower bound in one kernel call;
+            // the bounds are pure, so computing them eagerly instead of
+            // short-circuiting cannot change the decision.
+            const auto goal_useful = [&](VertexId x, Weight nd) -> bool {
+                if constexpr (kBatchGoal) {
+                    lb->batch(x, std::span<const VertexId>(live_targets_),
+                              lb_buf_.data());
+                    for (std::size_t j = 0; j < live_.size(); ++j) {
+                        const std::uint32_t s = live_[j];
+                        if (decided_[s]) continue;
+                        if (nd + lb_buf_[j] <= radii[s]) return true;
+                    }
+                    return false;
+                } else {
                     for (const std::uint32_t s : live_) {
                         if (decided_[s]) continue;
-                        if (nd + (*lb)(h.to, targets[s]) <= radii[s]) {
-                            useful = true;
-                            break;
-                        }
+                        if (nd + (*lb)(x, targets[s]) <= radii[s]) return true;
                     }
-                    if (!useful) continue;
+                    return false;
                 }
+            };
+            const auto relax_edge = [&](const HalfEdge& h, Weight nd) {
+                if (goal_mode && !goal_useful(h.to, nd)) return;
                 const bool fresh = stamp_[h.to] != current_;
                 if (fresh || nd < dist_[h.to]) {
                     stamp_[h.to] = current_;
@@ -277,6 +323,32 @@ public:
                     parent_[h.to] = v;
                     queue_.push(nd, h.to);
                     ++work_;
+                }
+            };
+            const auto nbrs = view.neighbors(v);
+            if constexpr (std::is_convertible_v<decltype(nbrs),
+                                                std::span<const HalfEdge>>) {
+                // The batched drain: one kernel call computes a block of
+                // tentative distances and the <= limit lane mask; labels
+                // and queue pushes then replay in scalar iteration order,
+                // so the traversal is bitwise the per-edge loop's.
+                const std::span<const HalfEdge> edges(nbrs);
+                std::size_t i = 0;
+                while (i < edges.size()) {
+                    const std::size_t blk =
+                        std::min<std::size_t>(edges.size() - i, simd::kMaxLanes);
+                    const std::uint32_t mask = simd_->relax_lanes(
+                        edges.data() + i, blk, d, limit, nd_buf_.data());
+                    for (std::size_t j = 0; j < blk; ++j) {
+                        if ((mask >> j) & 1u) relax_edge(edges[i + j], nd_buf_[j]);
+                    }
+                    i += blk;
+                }
+            } else {
+                for (const auto& h : nbrs) {
+                    const Weight nd = d + h.weight;
+                    if (nd > limit) continue;
+                    relax_edge(h, nd);
                 }
             }
         }
@@ -375,23 +447,30 @@ private:
         if (peak_hint_ < settled_.size()) peak_hint_ = settled_.size();
     }
 
-    // SoA label state, epoch-stamped for O(touched) resets.
-    std::vector<Weight> dist_;
-    std::vector<VertexId> parent_;
-    std::vector<std::uint64_t> stamp_;
+    // SoA label state, epoch-stamped for O(touched) resets; cache-line
+    // aligned so vector sweeps never split their first load and the
+    // arrays never false-share with neighboring allocations.
+    simd::AlignedVector<Weight> dist_;
+    simd::AlignedVector<VertexId> parent_;
+    simd::AlignedVector<std::uint64_t> stamp_;
     // Per-vertex target registration (stamped) + per-slot chain links.
-    std::vector<std::uint64_t> tgt_stamp_;
-    std::vector<std::uint32_t> tgt_head_;
+    simd::AlignedVector<std::uint64_t> tgt_stamp_;
+    simd::AlignedVector<std::uint32_t> tgt_head_;
     std::vector<std::uint32_t> tgt_next_;
     // Per-slot verdicts (sized per run).
     std::vector<std::uint8_t> far_;
     std::vector<std::uint8_t> decided_;
     std::vector<Weight> result_;
+    simd::AlignedVector<Weight> eff_;  ///< min(radii[i], cap): the sweep operand
 
     std::uint64_t current_ = 0;
     BucketQueue queue_;
     std::vector<std::pair<VertexId, Weight>> settled_;
     std::vector<std::uint32_t> live_;  ///< undecided slots at goal engagement
+    std::vector<VertexId> live_targets_;  ///< their target vertices, same order
+    std::array<Weight, kGoalLiveMax> lb_buf_{};    ///< batched goal lower bounds
+    std::array<Weight, simd::kMaxLanes> nd_buf_{};  ///< batched tentative dists
+    const simd::Kernels* simd_ = &simd::auto_kernels();
     Weight exact_radius_ = kInfiniteWeight;  ///< settles beyond: upper bounds only
     Weight certified_radius_ = 0.0;
     bool early_exit_ = false;

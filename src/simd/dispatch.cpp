@@ -1,0 +1,33 @@
+#include "simd/dispatch.hpp"
+
+namespace gsp::simd {
+
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+Backend detect_once() {
+    if (__builtin_cpu_supports("avx2")) return Backend::kAVX2;
+    if (__builtin_cpu_supports("sse4.2")) return Backend::kSSE42;
+    return Backend::kScalar;
+}
+#else
+Backend detect_once() { return Backend::kScalar; }
+#endif
+
+}  // namespace
+
+Backend detect() {
+    static const Backend b = detect_once();
+    return b;
+}
+
+const char* backend_name(Backend b) {
+    switch (b) {
+        case Backend::kSSE42: return "sse4.2";
+        case Backend::kAVX2: return "avx2";
+        case Backend::kScalar: break;
+    }
+    return "scalar";
+}
+
+}  // namespace gsp::simd

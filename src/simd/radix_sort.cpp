@@ -1,0 +1,95 @@
+#include "simd/radix_sort.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace gsp::simd {
+
+// The scatter moves candidates by assignment and the final un-ping-pong by
+// memcpy; both assume the packed 16-byte layout.
+static_assert(sizeof(GreedyCandidate) == 16 &&
+                  std::is_trivially_copyable_v<GreedyCandidate>,
+              "GreedyCandidate layout drifted: radix scatter assumptions");
+
+namespace {
+
+constexpr std::size_t kDigitBits = 16;
+constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+constexpr std::size_t kPasses = 8;  // 128-bit composite key / 16
+
+/// Order-preserving uint64 image of a NaN-free double (sign-magnitude to
+/// biased two's-complement); -0.0 canonicalized to +0.0 first so
+/// comparator-equal weights share one key.
+std::uint64_t weight_key(double w) {
+    if (w == 0.0) w = 0.0;  // +0.0 and -0.0 collapse to +0.0's bits
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(w);
+    if (bits >> 63) {
+        bits = ~bits;  // negatives: reverse payload order, below positives
+    } else {
+        bits |= std::uint64_t{1} << 63;  // nonnegatives: above negatives
+    }
+    return bits;
+}
+
+/// Digit p (16 bits, p = 0 least significant) of the 128-bit composite
+/// key wkey(weight) . u . v.
+std::uint32_t digit(const GreedyCandidate& c, std::size_t p) {
+    switch (p) {
+        case 0: return c.v & 0xffffu;
+        case 1: return c.v >> 16;
+        case 2: return c.u & 0xffffu;
+        case 3: return c.u >> 16;
+        default:
+            return static_cast<std::uint32_t>(
+                       weight_key(c.weight) >> ((p - 4) * kDigitBits)) &
+                   0xffffu;
+    }
+}
+
+}  // namespace
+
+void CandidateRadixSorter::sort(std::vector<GreedyCandidate>& v) {
+    const std::size_t n = v.size();
+    if (n < 2) return;
+    if (tmp_.size() < n) tmp_.resize(n);
+    hist_.assign(kPasses * kBuckets, 0);
+
+    // One read of the data builds every pass's histogram.
+    for (const GreedyCandidate& c : v) {
+        for (std::size_t p = 0; p < kPasses; ++p) {
+            ++hist_[p * kBuckets + digit(c, p)];
+        }
+    }
+
+    GreedyCandidate* src = v.data();
+    GreedyCandidate* dst = tmp_.data();
+    for (std::size_t p = 0; p < kPasses; ++p) {
+        std::uint32_t* h = hist_.data() + p * kBuckets;
+        // Constant digit => the stable scatter is the identity: skip.
+        if (h[digit(*src, p)] == n) continue;
+        // Exclusive prefix sum in place: h[b] becomes bucket b's cursor.
+        std::uint32_t sum = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            const std::uint32_t count = h[b];
+            h[b] = sum;
+            sum += count;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[h[digit(src[i], p)]++] = src[i];
+        }
+        std::swap(src, dst);
+    }
+    if (src != v.data()) {
+        std::memcpy(v.data(), src, n * sizeof(GreedyCandidate));
+    }
+}
+
+std::size_t CandidateRadixSorter::bytes() const {
+    return tmp_.capacity() * sizeof(GreedyCandidate) +
+           hist_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace gsp::simd
