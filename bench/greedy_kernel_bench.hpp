@@ -792,7 +792,7 @@ namespace detail {
 /// library dependency (the header is shared by bench_micro and
 /// bench_runtime, only the former links google-benchmark).
 inline void simd_probe_sink(std::uint64_t v) {
-    static volatile std::uint64_t s = 0;
+    [[maybe_unused]] static volatile std::uint64_t s = 0;
     s = v;
 }
 

@@ -8,8 +8,9 @@
 
 namespace gsp {
 
-Graph SpannerSession::build(CandidateSource& source, const BuildOptions& options,
-                            BuildReport* report) {
+GSP_SERIAL_ONLY Graph SpannerSession::build(CandidateSource& source,
+                                            const BuildOptions& options,
+                                            BuildReport* report) {
     // Reset-before-work: a throw below must never leave a previous
     // build's numbers in the caller's report.
     if (report != nullptr) *report = BuildReport{};

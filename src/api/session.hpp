@@ -38,6 +38,7 @@
 #include "core/candidate_stream.hpp"
 #include "core/greedy_engine.hpp"
 #include "graph/graph.hpp"
+#include "util/annotations.hpp"
 
 namespace gsp {
 
@@ -54,8 +55,8 @@ public:
     /// (see BuildReport). Thread pools and workspaces are acquired from
     /// the session cache -- warm on every call after the first of a given
     /// shape.
-    Graph build(CandidateSource& source, const BuildOptions& options,
-                BuildReport* report = nullptr);
+    GSP_SERIAL_ONLY Graph build(CandidateSource& source, const BuildOptions& options,
+                                BuildReport* report = nullptr);
 
     /// The shared resource arena (pools, workspaces, sketch/certificate
     /// stores) -- what the engine borrows each build.

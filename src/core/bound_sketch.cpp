@@ -30,8 +30,8 @@ std::size_t BoundSketch::slot_for_write(VertexId src, VertexId x) {
     return s;
 }
 
-void BoundSketch::record_exact(VertexId src, VertexId x, Weight d,
-                               std::uint64_t epoch) {
+GSP_SERIAL_ONLY void BoundSketch::record_exact(VertexId src, VertexId x, Weight d,
+                                               std::uint64_t epoch) {
     const std::size_t s = slot_for_write(src, x);
     ub_[s] = std::min(ub_[s], d);
     if (epoch > lo_epoch_[s]) {
@@ -42,8 +42,8 @@ void BoundSketch::record_exact(VertexId src, VertexId x, Weight d,
     }
 }
 
-void BoundSketch::record_far(VertexId src, VertexId x, Weight lo,
-                             std::uint64_t epoch) {
+GSP_SERIAL_ONLY void BoundSketch::record_far(VertexId src, VertexId x, Weight lo,
+                                             std::uint64_t epoch) {
     const std::size_t s = slot_for_write(src, x);
     if (epoch > lo_epoch_[s]) {
         lo_epoch_[s] = epoch;
@@ -53,12 +53,13 @@ void BoundSketch::record_far(VertexId src, VertexId x, Weight lo,
     }
 }
 
-void BoundSketch::record_upper(VertexId src, VertexId x, Weight ub) {
+GSP_SERIAL_ONLY void BoundSketch::record_upper(VertexId src, VertexId x, Weight ub) {
     const std::size_t s = slot_for_write(src, x);
     ub_[s] = std::min(ub_[s], ub);
 }
 
-Weight BoundSketch::upper_bound(VertexId u, VertexId v) const {
+GSP_DECISION_PURE GSP_HOT_PATH Weight BoundSketch::upper_bound(VertexId u,
+                                                               VertexId v) const {
     Weight best = kInfiniteWeight;
     const std::size_t a = slot(v, u);
     if (src_[a] == u) best = ub_[a];
@@ -67,7 +68,8 @@ Weight BoundSketch::upper_bound(VertexId u, VertexId v) const {
     return best;
 }
 
-Weight BoundSketch::via_upper_bound(VertexId u, VertexId v) const {
+GSP_DECISION_PURE GSP_HOT_PATH Weight BoundSketch::via_upper_bound(
+    VertexId u, VertexId v) const {
     Weight best = kInfiniteWeight;
     // u's ways each name one landmark src with ub(src, u); the matching
     // way of v (same low bits of src) holds v's record of the same
@@ -96,8 +98,8 @@ Weight BoundSketch::via_upper_bound(VertexId u, VertexId v) const {
     return best;
 }
 
-Weight BoundSketch::lower_bound_at(VertexId u, VertexId v,
-                                   std::uint64_t epoch) const {
+GSP_DECISION_PURE GSP_HOT_PATH Weight BoundSketch::lower_bound_at(
+    VertexId u, VertexId v, std::uint64_t epoch) const {
     Weight best = 0.0;
     const std::size_t a = slot(v, u);
     if (src_[a] == u && lo_epoch_[a] == epoch) best = lo_[a];
@@ -148,8 +150,9 @@ bool CertificateStore::publish(VertexId source, std::uint64_t scope, std::uint64
     return true;
 }
 
-bool CertificateStore::load(VertexId source, std::uint64_t scope, std::uint64_t epoch,
-                            Weight radius_needed) {
+GSP_SERIAL_ONLY bool CertificateStore::load(VertexId source, std::uint64_t scope,
+                                            std::uint64_t epoch,
+                                            Weight radius_needed) {
     const Cert& c = certs_[source];
     if (c.scope != scope || c.epoch != epoch || c.radius < radius_needed) return false;
     if (loaded_ == source && loaded_scope_ == scope) return true;  // already active

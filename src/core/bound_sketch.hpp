@@ -63,6 +63,7 @@
 #include "graph/types.hpp"
 #include "simd/aligned.hpp"
 #include "simd/simd.hpp"
+#include "util/annotations.hpp"
 
 namespace gsp {
 
@@ -93,18 +94,21 @@ public:
 
     /// Record an exact distance d(src, x) = d measured at `epoch`: upper
     /// bound forever, lower bound while the epoch holds.
-    void record_exact(VertexId src, VertexId x, Weight d, std::uint64_t epoch);
+    GSP_SERIAL_ONLY void record_exact(VertexId src, VertexId x, Weight d,
+                                      std::uint64_t epoch);
 
     /// Record d(src, x) >= lo, measured at `epoch` (a probe that exceeded
     /// its limit, or an unsettled vertex outside a ball's radius).
-    void record_far(VertexId src, VertexId x, Weight lo, std::uint64_t epoch);
+    GSP_SERIAL_ONLY void record_far(VertexId src, VertexId x, Weight lo,
+                                    std::uint64_t epoch);
 
     /// Record a witness-path upper bound d(src, x) <= ub (sound forever).
-    void record_upper(VertexId src, VertexId x, Weight ub);
+    GSP_SERIAL_ONLY void record_upper(VertexId src, VertexId x, Weight ub);
 
     /// Smallest recorded upper bound on d(u, v), over both directions;
     /// +infinity when neither vertex remembers the other.
-    [[nodiscard]] Weight upper_bound(VertexId u, VertexId v) const;
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH Weight upper_bound(
+        VertexId u, VertexId v) const;
 
     /// Smallest *via-landmark* upper bound on d(u, v): min over common
     /// sources x remembered by both endpoints of ub(x, u) + ub(x, v) --
@@ -114,13 +118,14 @@ public:
     /// but both endpoints usually remember a nearby cell anchor whose
     /// drained ball settled them). O(ways); +infinity when u and v share
     /// no landmark.
-    [[nodiscard]] Weight via_upper_bound(VertexId u, VertexId v) const;
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH Weight via_upper_bound(
+        VertexId u, VertexId v) const;
 
     /// Largest lower bound on d(u, v) still valid at `epoch` (0 when no
     /// tagged entry matches). d(u, v) > threshold is certified iff the
     /// returned value exceeds threshold.
-    [[nodiscard]] Weight lower_bound_at(VertexId u, VertexId v,
-                                        std::uint64_t epoch) const;
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH Weight lower_bound_at(
+        VertexId u, VertexId v, std::uint64_t epoch) const;
 
 private:
     [[nodiscard]] std::size_t slot(VertexId x, VertexId src) const {
@@ -136,8 +141,8 @@ private:
     // splits its first load.
     simd::AlignedVector<VertexId> src_;
     simd::AlignedVector<Weight> ub_;
-    simd::AlignedVector<Weight> lo_;
-    simd::AlignedVector<std::uint64_t> lo_epoch_;
+    GSP_EPOCH_GUARDED simd::AlignedVector<Weight> lo_;
+    GSP_EPOCH_GUARDED simd::AlignedVector<std::uint64_t> lo_epoch_;
     const simd::Kernels* simd_ = &simd::auto_kernels();
 };
 
@@ -182,13 +187,14 @@ public:
     /// Activate the certificate of `source` for snapshot-distance queries,
     /// iff one was published under `scope` at `epoch` with radius >=
     /// `radius_needed`. Serial-side only.
-    bool load(VertexId source, std::uint64_t scope, std::uint64_t epoch,
-              Weight radius_needed);
+    GSP_SERIAL_ONLY bool load(VertexId source, std::uint64_t scope,
+                              std::uint64_t epoch, Weight radius_needed);
 
     /// After a successful load: the exact snapshot distance from the
     /// loaded source to x, or +infinity when x was outside the ball
     /// (equivalently: certified further than the certificate's radius).
-    [[nodiscard]] Weight snapshot_distance(VertexId x) const {
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH Weight snapshot_distance(
+        VertexId x) const {
         return lookup_stamp_[x] == lookup_current_ ? lookup_dist_[x] : kInfiniteWeight;
     }
 
@@ -210,13 +216,13 @@ private:
         std::vector<std::pair<VertexId, Weight>> settled;
     };
 
-    std::vector<Cert> certs_;  ///< per-source slots, lazily invalidated by scope
+    GSP_EPOCH_GUARDED std::vector<Cert> certs_;  ///< per-source slots, lazily invalidated by scope
     std::size_t cap_ = 0;
 
     // The activated certificate, expanded into a stamped O(1) lookup
     // table (timestamp reset, like DijkstraWorkspace scratch).
-    std::vector<std::uint64_t> lookup_stamp_;
-    std::vector<Weight> lookup_dist_;
+    GSP_EPOCH_GUARDED std::vector<std::uint64_t> lookup_stamp_;
+    GSP_EPOCH_GUARDED std::vector<Weight> lookup_dist_;
     std::uint64_t lookup_current_ = 0;
     VertexId loaded_ = kNoVertex;
     std::uint64_t loaded_scope_ = 0;

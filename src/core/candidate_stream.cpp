@@ -60,7 +60,8 @@ bool ChunkedCandidateStream::next(CandidateBucket& out) {
     return true;
 }
 
-void SourceGroups::rebuild(std::span<const GreedyCandidate> candidates,
+GSP_DECISION_PURE void SourceGroups::rebuild(
+    std::span<const GreedyCandidate> candidates,
                            const CandidateBucket& range, std::size_t base,
                            std::size_t num_vertices, bool anchored) {
     if (groups_.size() < num_vertices) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/annotations.hpp"
 
 namespace gsp {
 
@@ -162,7 +163,8 @@ public:
           // itself when the caller configured something tiny).
           min_width_(max_batch < kMinWidth ? max_batch : kMinWidth) {}
 
-    [[nodiscard]] std::size_t next_width(double predicted_accept_rate) const {
+    [[nodiscard]] GSP_DECISION_PURE std::size_t next_width(
+        double predicted_accept_rate) const {
         if (predicted_accept_rate <= 0.0) return max_batch_;
         const double ideal =
             static_cast<double>(target_accepts_) / predicted_accept_rate;
@@ -221,8 +223,9 @@ public:
     /// Rebuild the grouping for the candidate range `range` (a stage-2
     /// batch, or the whole bucket when serial); indices are recorded
     /// relative to `base` (the owning bucket's begin).
-    void rebuild(std::span<const GreedyCandidate> candidates, const CandidateBucket& range,
-                 std::size_t base, std::size_t num_vertices, bool anchored = false);
+    GSP_DECISION_PURE void rebuild(std::span<const GreedyCandidate> candidates,
+                                   const CandidateBucket& range, std::size_t base,
+                                   std::size_t num_vertices, bool anchored = false);
 
     /// Anchors that have at least one candidate in the current range, in
     /// first-appearance order.
@@ -239,7 +242,8 @@ public:
     [[nodiscard]] VertexId anchor_of(std::uint32_t local) const { return anchor_[local]; }
 
     /// The non-anchor endpoint of candidate c, given its anchor.
-    [[nodiscard]] static VertexId other_of(const GreedyCandidate& c, VertexId anchor) {
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH static VertexId other_of(
+        const GreedyCandidate& c, VertexId anchor) {
         return c.u == anchor ? c.v : c.u;
     }
 

@@ -212,7 +212,8 @@ void GreedyEngine::init() {
     }
 }
 
-Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
+GSP_SERIAL_ONLY Graph GreedyEngine::run(Graph h,
+                                        std::span<const GreedyCandidate> candidates,
                         GreedyStats* stats) {
     const Timer timer;
     if (h.num_vertices() != n_) {
@@ -239,7 +240,7 @@ Graph GreedyEngine::run(Graph h, std::span<const GreedyCandidate> candidates,
     return out;
 }
 
-Graph GreedyEngine::run(Graph h, CandidateChunkSource& source,
+GSP_SERIAL_ONLY Graph GreedyEngine::run(Graph h, CandidateChunkSource& source,
                         std::vector<GreedyCandidate>& buffer, GreedyStats* stats) {
     const Timer timer;
     if (h.num_vertices() != n_) {
@@ -264,7 +265,8 @@ Graph GreedyEngine::run(Graph h, CandidateChunkSource& source,
 }
 
 template <class Adapter, class Feed>
-Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats& stats) {
+GSP_SERIAL_ONLY Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed,
+                                             GreedyStats& stats) {
     // Every expensive array below lives in the (possibly session-shared)
     // resources; a warm build reuses them all. Per-run state is reset
     // explicitly here, so a run's decisions *and stats* are a pure
@@ -276,7 +278,8 @@ Graph GreedyEngine::run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats&
     PrefilterStage& prefilter_stage = res.prefilter_stage_;
     SourceGroups& groups = res.groups_;
     BoundSketch& sketch = res.sketch_;
-    CertificateStore& certs = res.certs_;
+    // gsp-lint: allow(gsp-epoch-guarded) EngineResources::certs_ member,
+    CertificateStore& certs = res.certs_;  // not BoundSketch's tagged field
     std::vector<RepairSeed>& repair_seeds = res.repair_seeds_;
     std::vector<RepairSeed>& repair_seeds_b = res.repair_seeds_b_;
     std::vector<Weight>& bound = res.bound_;

@@ -189,8 +189,8 @@ public:
     /// Decisions are appended to `h`, which carries any pre-seeded edges
     /// (the approximate-greedy E0 set); returns the final spanner.
     /// `*stats` is overwritten with this run's counters (never additive).
-    Graph run(Graph h, std::span<const GreedyCandidate> candidates,
-              GreedyStats* stats = nullptr);
+    GSP_SERIAL_ONLY Graph run(Graph h, std::span<const GreedyCandidate> candidates,
+                              GreedyStats* stats = nullptr);
 
     /// The linear-space entry point: drain `source` chunk by chunk through
     /// `buffer` (the caller-owned reusable chunk buffer -- a session passes
@@ -199,8 +199,9 @@ public:
     /// contract (validated as chunks arrive; violations throw). The edge
     /// set is bit-identical to the materializing overload for the same
     /// candidate sequence, at every chunk size and thread count.
-    Graph run(Graph h, CandidateChunkSource& source, std::vector<GreedyCandidate>& buffer,
-              GreedyStats* stats = nullptr);
+    GSP_SERIAL_ONLY Graph run(Graph h, CandidateChunkSource& source,
+                              std::vector<GreedyCandidate>& buffer,
+                              GreedyStats* stats = nullptr);
 
     [[nodiscard]] const GreedyEngineOptions& options() const { return options_; }
 
@@ -212,7 +213,8 @@ private:
     void init();  ///< shared constructor tail: validation + pool acquisition
 
     template <class Adapter, class Feed>
-    Graph run_impl(Adapter& adapter, Graph h, Feed& feed, GreedyStats& stats);
+    GSP_SERIAL_ONLY Graph run_impl(Adapter& adapter, Graph h, Feed& feed,
+                                   GreedyStats& stats);
 
     [[nodiscard]] bool parallel_enabled() const { return pool_ != nullptr; }
 

@@ -40,6 +40,7 @@
 #include "core/candidate_stream.hpp"
 #include "graph/batched_probe.hpp"
 #include "graph/types.hpp"
+#include "util/annotations.hpp"
 
 namespace gsp {
 
@@ -78,7 +79,7 @@ public:
     /// run_goal). Verdicts are unchanged; the settled harvest past
     /// probe.settled_exact_radius() degrades to upper bounds.
     template <class View, class Undecided, class FarSink, class GoalLb = std::nullptr_t>
-    Outcome decide_group(BatchedProbe& probe, const View& view, VertexId source,
+    GSP_DECISION_PURE GSP_HOT_PATH Outcome decide_group(BatchedProbe& probe, const View& view, VertexId source,
                          std::span<const GreedyCandidate> candidates, std::size_t base,
                          const std::vector<std::uint32_t>& grp, double stretch,
                          Undecided&& undecided, std::vector<Weight>& bounds,

@@ -49,6 +49,7 @@
 #include "core/prefilter_kernel.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/types.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gsp {
@@ -141,7 +142,7 @@ public:
     /// Reset the per-worker counters for a run. The kernel gather scratch
     /// and pending-certificate buffers are sized here but never shrunk --
     /// resize, not assign, keeps a warm session's capacities.
-    void begin_run(std::size_t workers) {
+    GSP_SERIAL_ONLY void begin_run(std::size_t workers) {
         counters_.assign(workers, WorkerCounters{});
         if (kernels_.size() < workers) kernels_.resize(workers);
         if (pending_.size() < workers) pending_.resize(workers);
@@ -149,7 +150,7 @@ public:
 
     /// Size and zero the verdict bitsets for one bucket (bucket-local bit
     /// per candidate; batches of the bucket write disjoint bit ranges).
-    void begin_bucket(const CandidateBucket& bucket) {
+    GSP_SERIAL_ONLY void begin_bucket(const CandidateBucket& bucket) {
         base_ = bucket.begin;
         const std::size_t words = (bucket.size() + 63) / 64;
         oracle_bits_.assign(words, 0);
@@ -179,7 +180,7 @@ public:
     /// lazy-revalidation path can reuse them. Worker counters are merged
     /// into `stats` (sums, so the totals are schedule-independent).
     template <class View>
-    void run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool, const View& view,
+    GSP_SERIAL_ONLY void run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool, const View& view,
                    const PrefilterContext& ctx, std::vector<Weight>& bounds,
                    std::vector<std::uint64_t>& ball_bucket,
                    std::vector<std::uint64_t>& ball_epoch,
@@ -223,7 +224,8 @@ private:
     /// Set a bucket-local verdict bit. Words are shared across tasks, so
     /// the write is a relaxed atomic OR (commutative => deterministic;
     /// the batch join publishes the result to stage 3).
-    static void set_bit(std::vector<std::uint64_t>& bits, std::size_t local) {
+    GSP_HOT_PATH static void set_bit(std::vector<std::uint64_t>& bits,
+                                     std::size_t local) {
         std::atomic_ref<std::uint64_t> word(bits[local >> 6]);
         word.fetch_or(std::uint64_t{1} << (local & 63), std::memory_order_relaxed);
     }
@@ -231,15 +233,15 @@ private:
     /// their own bits while other tasks write neighbors in the same word.
     /// (atomic_ref over const is C++26; the underlying word is a non-const
     /// member, so the cast is well-defined.)
-    [[nodiscard]] static bool test(const std::vector<std::uint64_t>& bits,
-                                   std::size_t local) {
+    [[nodiscard]] GSP_HOT_PATH static bool test(
+        const std::vector<std::uint64_t>& bits, std::size_t local) {
         std::atomic_ref<std::uint64_t> word(
             const_cast<std::uint64_t&>(bits[local >> 6]));
         return (word.load(std::memory_order_relaxed) >> (local & 63)) & 1u;
     }
 
     template <class View>
-    void process_group(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+    GSP_HOT_PATH void process_group(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
                        const PrefilterContext& ctx, std::size_t worker, VertexId source,
                        std::vector<Weight>& bounds,
                        std::vector<std::uint64_t>& ball_bucket,
@@ -247,7 +249,7 @@ private:
                        std::vector<Weight>& ball_radius);
 
     template <class View>
-    void probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+    GSP_HOT_PATH void probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
                    const PrefilterContext& ctx, std::size_t worker, std::uint32_t local,
                    std::vector<Weight>& bounds);
 
@@ -255,7 +257,8 @@ private:
     /// witness upper bound publishes a permanent reject through the bound
     /// slot, an epoch-valid lower bound publishes a far-at-snapshot bit.
     /// Returns true when the candidate is decided (no probe needed).
-    bool sketch_decides(const PrefilterContext& ctx, std::uint32_t local,
+    GSP_DECISION_PURE GSP_HOT_PATH bool sketch_decides(
+        const PrefilterContext& ctx, std::uint32_t local,
                         const GreedyCandidate& c, Weight threshold,
                         std::vector<Weight>& bounds, WorkerCounters& wc) {
         if (ctx.sketch == nullptr) return false;
@@ -297,7 +300,8 @@ private:
 };
 
 template <class View>
-void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
+GSP_SERIAL_ONLY void PrefilterStage::run_batch(
+    ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
                                const View& view, const PrefilterContext& ctx,
                                std::vector<Weight>& bounds,
                                std::vector<std::uint64_t>& ball_bucket,
@@ -353,7 +357,8 @@ void PrefilterStage::run_batch(ThreadPool& pool, DijkstraWorkspacePool& ws_pool,
 }
 
 template <class View>
-void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
+GSP_HOT_PATH void PrefilterStage::process_group(
+    DijkstraWorkspace& ws, WorkerCounters& wc,
                                    const View& view, const PrefilterContext& ctx,
                                    std::size_t worker, VertexId source,
                                    std::vector<Weight>& bounds,
@@ -549,7 +554,8 @@ void PrefilterStage::process_group(DijkstraWorkspace& ws, WorkerCounters& wc,
 }
 
 template <class View>
-void PrefilterStage::probe_one(DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
+GSP_HOT_PATH void PrefilterStage::probe_one(
+    DijkstraWorkspace& ws, WorkerCounters& wc, const View& view,
                                const PrefilterContext& ctx, std::size_t worker,
                                std::uint32_t local, std::vector<Weight>& bounds) {
     const GreedyCandidate& c = ctx.candidates[ctx.base + local];

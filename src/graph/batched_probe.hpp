@@ -89,6 +89,7 @@
 #include "graph/types.hpp"
 #include "simd/aligned.hpp"
 #include "simd/simd.hpp"
+#include "util/annotations.hpp"
 #include "util/bucket_queue.hpp"
 
 namespace gsp {
@@ -123,7 +124,7 @@ public:
     /// target_undecided(i) hold the verdicts, settled() the exact
     /// frontier, certified_radius() its completeness radius.
     template <class View>
-    void run(const View& view, VertexId source, std::span<const VertexId> targets,
+    GSP_DECISION_PURE GSP_HOT_PATH void run(const View& view, VertexId source, std::span<const VertexId> targets,
              std::span<const Weight> radii, Weight cap = kInfiniteWeight) {
         run_impl(view, source, targets, radii, cap, static_cast<const NoGoal*>(nullptr));
     }
@@ -134,7 +135,7 @@ public:
     /// metric distances). Verdicts are identical to the plain run -- the
     /// oracle only prunes traversal work (see the header note).
     template <class View, class GoalLb>
-    void run_goal(const View& view, VertexId source, std::span<const VertexId> targets,
+    GSP_DECISION_PURE GSP_HOT_PATH void run_goal(const View& view, VertexId source, std::span<const VertexId> targets,
                   std::span<const Weight> radii, Weight cap, const GoalLb& lb) {
         run_impl(view, source, targets, radii, cap, &lb);
     }
@@ -142,7 +143,7 @@ public:
     // Shared implementation; `lb == nullptr` disables goal-directed
     // pruning (public only because member templates cannot be split out).
     template <class View, class GoalLb>
-    void run_impl(const View& view, VertexId source, std::span<const VertexId> targets,
+    GSP_DECISION_PURE GSP_HOT_PATH void run_impl(const View& view, VertexId source, std::span<const VertexId> targets,
                   std::span<const Weight> radii, Weight cap, const GoalLb* lb) {
         const std::size_t n = view.num_vertices();
         const std::size_t k = targets.size();
@@ -411,7 +412,7 @@ public:
     /// Realizable-path upper bound on d(source, x) from the last run's
     /// labels (+infinity if untouched) -- the harvest mirror of
     /// DijkstraWorkspace::last_forward_bound().
-    [[nodiscard]] Weight label_bound(VertexId x) const {
+    [[nodiscard]] GSP_DECISION_PURE GSP_HOT_PATH Weight label_bound(VertexId x) const {
         return stamp_[x] == current_ ? dist_[x] : kInfiniteWeight;
     }
 
@@ -429,7 +430,7 @@ private:
 
     /// Goal pruning engaged at distance d0: completeness of settled()
     /// is only warranted strictly below it.
-    void clamp_certified(Weight d0) {
+    GSP_HOT_PATH void clamp_certified(Weight d0) {
         const Weight cut =
             std::nextafter(d0, -std::numeric_limits<Weight>::infinity());
         certified_radius_ = std::min(certified_radius_, std::max<Weight>(cut, 0.0));
@@ -439,7 +440,7 @@ private:
     /// settled list holds out to min(limit, just-below-d): below d every
     /// vertex settled (monotone pops), and below the final limit no
     /// relaxation was ever pruned.
-    void finish_early(Weight limit, Weight d) {
+    GSP_HOT_PATH void finish_early(Weight limit, Weight d) {
         early_exit_ = !queue_.empty();
         certified_radius_ =
             std::min(limit, std::nextafter(d, -std::numeric_limits<Weight>::infinity()));

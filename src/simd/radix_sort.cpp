@@ -51,7 +51,7 @@ std::uint32_t digit(const GreedyCandidate& c, std::size_t p) {
 
 }  // namespace
 
-void CandidateRadixSorter::sort(std::vector<GreedyCandidate>& v) {
+GSP_DECISION_PURE void CandidateRadixSorter::sort(std::vector<GreedyCandidate>& v) {
     const std::size_t n = v.size();
     if (n < 2) return;
     if (tmp_.size() < n) tmp_.resize(n);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/candidate_stream.hpp"
+#include "util/annotations.hpp"
 
 namespace gsp::simd {
 
@@ -42,7 +43,7 @@ class CandidateRadixSorter {
 public:
     /// Sorts `v` by (weight, u, v) ascending; weights must be NaN-free.
     /// Equal elements keep their input order (full stability).
-    void sort(std::vector<GreedyCandidate>& v);
+    GSP_DECISION_PURE void sort(std::vector<GreedyCandidate>& v);
 
     /// Buffer footprint (bytes) for memory accounting.
     [[nodiscard]] std::size_t bytes() const;

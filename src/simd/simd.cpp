@@ -9,6 +9,8 @@
 // on FMA-capable -march settings.
 #include "simd/simd.hpp"
 
+#include "util/annotations.hpp"
+
 #include <bit>
 #include <cmath>
 #include <cstddef>
@@ -34,15 +36,16 @@ namespace {
 
 // ---------------------------------------------------------------- scalar
 
-std::size_t sweep_scalar(const double* keys, std::size_t begin, std::size_t end,
-                         double d) {
+GSP_DECISION_PURE GSP_HOT_PATH std::size_t sweep_scalar(
+    const double* keys, std::size_t begin, std::size_t end, double d) {
     std::size_t i = begin;
     while (i < end && keys[i] < d) ++i;
     return i;
 }
 
-void distances2d_scalar(const double* ax, const double* ay, const double* bx,
-                        const double* by, std::size_t n, double* out) {
+GSP_DECISION_PURE GSP_HOT_PATH void distances2d_scalar(
+    const double* ax, const double* ay, const double* bx, const double* by,
+    std::size_t n, double* out) {
     for (std::size_t i = 0; i < n; ++i) {
         const double dx = ax[i] - bx[i];
         const double dy = ay[i] - by[i];
@@ -50,8 +53,9 @@ void distances2d_scalar(const double* ax, const double* ay, const double* bx,
     }
 }
 
-std::uint32_t match_scalar(const std::uint32_t* a, const std::uint32_t* b,
-                           std::size_t n, std::uint32_t skip) {
+GSP_DECISION_PURE GSP_HOT_PATH std::uint32_t match_scalar(
+    const std::uint32_t* a, const std::uint32_t* b, std::size_t n,
+    std::uint32_t skip) {
     std::uint32_t mask = 0;
     for (std::size_t i = 0; i < n; ++i) {
         if (a[i] == b[i] && a[i] != skip) mask |= 1u << i;
@@ -59,7 +63,8 @@ std::uint32_t match_scalar(const std::uint32_t* a, const std::uint32_t* b,
     return mask;
 }
 
-std::uint32_t relax_scalar(const HalfEdge* half, std::size_t n, double d,
+GSP_DECISION_PURE GSP_HOT_PATH std::uint32_t relax_scalar(
+    const HalfEdge* half, std::size_t n, double d,
                            double limit, double* nd) {
     std::uint32_t mask = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -81,7 +86,8 @@ constexpr Kernels kScalarTable = {
 // 128-bit lanes: 2 doubles / 4 u32 per op. Every op here is SSE2-era, but
 // the table is gated on (and named for) the SSE4.2 dispatch tier.
 
-__attribute__((target("sse4.2"))) std::size_t sweep_sse42(const double* keys,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("sse4.2"))) std::size_t
+sweep_sse42(const double* keys,
                                                           std::size_t begin,
                                                           std::size_t end, double d) {
     std::size_t i = begin;
@@ -100,7 +106,8 @@ __attribute__((target("sse4.2"))) std::size_t sweep_sse42(const double* keys,
     return end;
 }
 
-__attribute__((target("sse4.2"))) void distances2d_sse42(const double* ax,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("sse4.2"))) void
+distances2d_sse42(const double* ax,
                                                          const double* ay,
                                                          const double* bx,
                                                          const double* by,
@@ -119,7 +126,8 @@ __attribute__((target("sse4.2"))) void distances2d_sse42(const double* ax,
     }
 }
 
-__attribute__((target("sse4.2"))) std::uint32_t match_sse42(const std::uint32_t* a,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("sse4.2"))) std::uint32_t
+match_sse42(const std::uint32_t* a,
                                                             const std::uint32_t* b,
                                                             std::size_t n,
                                                             std::uint32_t skip) {
@@ -142,7 +150,8 @@ __attribute__((target("sse4.2"))) std::uint32_t match_sse42(const std::uint32_t*
     return mask;
 }
 
-__attribute__((target("sse4.2"))) std::uint32_t relax_sse42(const HalfEdge* half,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("sse4.2"))) std::uint32_t
+relax_sse42(const HalfEdge* half,
                                                             std::size_t n, double d,
                                                             double limit, double* nd) {
     std::uint32_t mask = 0;
@@ -173,7 +182,8 @@ constexpr Kernels kSse42Table = {
 // 256-bit lanes: 4 doubles / 8 u32 per op; weights gathered at
 // double-stride 3 straight out of the HalfEdge array.
 
-__attribute__((target("avx2"))) std::size_t sweep_avx2(const double* keys,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("avx2"))) std::size_t
+sweep_avx2(const double* keys,
                                                        std::size_t begin,
                                                        std::size_t end, double d) {
     std::size_t i = begin;
@@ -192,7 +202,8 @@ __attribute__((target("avx2"))) std::size_t sweep_avx2(const double* keys,
     return end;
 }
 
-__attribute__((target("avx2"))) void distances2d_avx2(const double* ax,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("avx2"))) void
+distances2d_avx2(const double* ax,
                                                       const double* ay,
                                                       const double* bx,
                                                       const double* by,
@@ -214,7 +225,8 @@ __attribute__((target("avx2"))) void distances2d_avx2(const double* ax,
     }
 }
 
-__attribute__((target("avx2"))) std::uint32_t match_avx2(const std::uint32_t* a,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("avx2"))) std::uint32_t
+match_avx2(const std::uint32_t* a,
                                                          const std::uint32_t* b,
                                                          std::size_t n,
                                                          std::uint32_t skip) {
@@ -238,7 +250,8 @@ __attribute__((target("avx2"))) std::uint32_t match_avx2(const std::uint32_t* a,
     return mask;
 }
 
-__attribute__((target("avx2"))) std::uint32_t relax_avx2(const HalfEdge* half,
+GSP_DECISION_PURE GSP_HOT_PATH __attribute__((target("avx2"))) std::uint32_t
+relax_avx2(const HalfEdge* half,
                                                          std::size_t n, double d,
                                                          double limit, double* nd) {
     std::uint32_t mask = 0;

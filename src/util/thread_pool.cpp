@@ -127,6 +127,9 @@ bool ThreadPool::claim(std::size_t worker, std::size_t& task) {
         std::lock_guard<std::mutex> lock(d.mu);
         if (d.lo >= d.hi) continue;  // drained between the scan and the claim
         task = d.lo++;
+        // Commutative monotone counter; never a decision input, read only
+        // for diagnostics after the join.
+        // gsp-lint: allow(gsp-relaxed-atomic) commutative diagnostics counter
         steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }

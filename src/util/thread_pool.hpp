@@ -58,6 +58,8 @@ public:
     /// other than the range's initial owner). Monotone across jobs; diff
     /// around a run to observe load-balancing activity.
     [[nodiscard]] std::size_t steal_count() const {
+        // Diagnostic read of a commutative counter; never a decision input.
+        // gsp-lint: allow(gsp-relaxed-atomic) commutative diagnostics counter
         return steals_.load(std::memory_order_relaxed);
     }
 

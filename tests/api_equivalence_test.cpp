@@ -315,10 +315,13 @@ TEST(DeprecatedWrapperTest, WrappersZeroTheirStatsOutParam) {
 
     const EuclideanMetric pts = uniform_points(20, 2, 10.0, rng);
     GreedyStats metric_stats;
-    (void)greedy_spanner_metric(pts, MetricGreedyOptions{.stretch = 1.5}, &metric_stats);
+    MetricGreedyOptions metric_opts;
+    metric_opts.stretch = 1.5;
+    (void)greedy_spanner_metric(pts, metric_opts, &metric_stats);
     ASSERT_GT(metric_stats.edges_examined, 0u);
-    EXPECT_THROW((void)greedy_spanner_metric(pts, MetricGreedyOptions{.stretch = 0.1},
-                                             &metric_stats),
+    MetricGreedyOptions bad_metric_opts;
+    bad_metric_opts.stretch = 0.1;
+    EXPECT_THROW((void)greedy_spanner_metric(pts, bad_metric_opts, &metric_stats),
                  std::invalid_argument);
     EXPECT_EQ(metric_stats.edges_examined, 0u);
 }

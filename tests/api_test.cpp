@@ -66,8 +66,9 @@ TEST(BuildOptionsTest, SectionsAreValidatedOnlyByTheirConsumers) {
                  std::invalid_argument);
     EXPECT_THROW(registry.build("baswana-sen", session, BuildInput::of(g), options),
                  std::invalid_argument);
-    EXPECT_THROW(registry.build("theta", session, BuildInput::of(pts),
-                                BuildOptions{.geometric = {.cones = 3}}),
+    BuildOptions theta_opts;
+    theta_opts.geometric.cones = 3;
+    EXPECT_THROW(registry.build("theta", session, BuildInput::of(pts), theta_opts),
                  std::invalid_argument);
 }
 

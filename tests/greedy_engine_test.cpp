@@ -85,7 +85,9 @@ TEST_P(EngineEquivalenceTest, EveryConfigurationMatchesTheNaiveKernel) {
             } else {
                 EXPECT_EQ(stats.csr_rebuilds, 0u);
             }
-            if ((mask & 2u) == 0) EXPECT_EQ(stats.balls_computed, 0u);
+            if ((mask & 2u) == 0) {
+                EXPECT_EQ(stats.balls_computed, 0u);
+            }
             if ((mask & 8u) == 0) {
                 EXPECT_EQ(stats.sketch_hits, 0u) << mask_name(mask);
                 EXPECT_EQ(stats.sketch_accepts, 0u) << mask_name(mask);
@@ -130,14 +132,17 @@ TEST(GreedyEngineTest, ReusedEngineInstanceIsStateless) {
 }
 
 TEST(GreedyEngineTest, RejectsUnsortedCandidates) {
-    GreedyEngine engine(3, GreedyEngineOptions{.stretch = 2.0});
+    GreedyEngineOptions opts;
+    opts.stretch = 2.0;
+    GreedyEngine engine(3, opts);
     const std::vector<GreedyCandidate> unsorted = {{0, 1, 2.0}, {1, 2, 1.0}};
     EXPECT_THROW(engine.run(Graph(3), unsorted), std::invalid_argument);
 }
 
 TEST(GreedyEngineTest, RejectsBadOptions) {
-    EXPECT_THROW(GreedyEngine(3, GreedyEngineOptions{.stretch = 0.5}),
-                 std::invalid_argument);
+    GreedyEngineOptions bad_stretch;
+    bad_stretch.stretch = 0.5;
+    EXPECT_THROW(GreedyEngine(3, bad_stretch), std::invalid_argument);
     GreedyEngineOptions bad_ratio;
     bad_ratio.bucket_ratio = 1.0;
     EXPECT_THROW(GreedyEngine(3, bad_ratio), std::invalid_argument);
@@ -203,7 +208,9 @@ TEST(ParallelEngineTest, EdgeSetMatchesNaiveAtEveryThreadCount) {
                                     << " sharing=" << sharing << " sketch=" << sketch
                                     << " gate=" << accept_gate << " repair=" << repair;
                                 EXPECT_EQ(stats.edges_examined, g.num_edges());
-                                if (!sharing) EXPECT_EQ(stats.balls_computed, 0u);
+                                if (!sharing) {
+                                    EXPECT_EQ(stats.balls_computed, 0u);
+                                }
                                 if (!repair) {
                                     EXPECT_EQ(stats.repairs, 0u);
                                     EXPECT_EQ(stats.repair_fallbacks, 0u);
@@ -500,7 +507,9 @@ TEST(GreedyEngineTest, SeededSpannerEdgesAreRespected) {
     Graph seed(4);
     seed.add_edge(0, 1, 1.0);
     seed.add_edge(1, 2, 1.0);
-    GreedyEngine engine(4, GreedyEngineOptions{.stretch = 2.0});
+    GreedyEngineOptions opts;
+    opts.stretch = 2.0;
+    GreedyEngine engine(4, opts);
     // Candidate (0, 2) has witness path 0-1-2 of weight 2 <= 2 * 1.5.
     const std::vector<GreedyCandidate> cands = {{0, 2, 1.5}, {2, 3, 2.0}};
     const Graph h = engine.run(std::move(seed), cands);

@@ -1,0 +1,13 @@
+// Golden fixture (access half) for gsp-epoch-guarded: reads the tagged
+// field declared in bad_epoch_guarded_decl.hpp from a file with a
+// different stem, bypassing the checked accessor.
+// Lint-only input; never compiled or linked into any target.
+#include "bad_epoch_guarded_decl.hpp"
+
+namespace gsp_fixture {
+
+unsigned fixture_peek(const FixtureSketch& sketch) {
+    return sketch.fixture_epoch_tag_;
+}
+
+}  // namespace gsp_fixture

@@ -1,0 +1,17 @@
+// Golden fixture (declaration half) for gsp-epoch-guarded: an epoch-tagged
+// field whose raw value is meaningless without the tag check. The paired
+// bad_epoch_guarded.cpp reads it from a different file stem, which the
+// checker must flag. Lint-only input; never compiled into any target.
+#pragma once
+
+#include "util/annotations.hpp"
+
+namespace gsp_fixture {
+
+struct FixtureSketch {
+    [[nodiscard]] unsigned checked_tag() const { return fixture_epoch_tag_; }
+
+    GSP_EPOCH_GUARDED unsigned fixture_epoch_tag_ = 0;
+};
+
+}  // namespace gsp_fixture

@@ -1,0 +1,8 @@
+// Golden fixture for gsp-hot-path-alloc: a GSP_HOT_PATH body that heap
+// allocates. Lint-only input; never compiled or linked into any target.
+#include "util/annotations.hpp"
+
+GSP_HOT_PATH int* fixture_hot_alloc(int n) {
+    int* p = new int[static_cast<unsigned>(n)];
+    return p;
+}

@@ -1,0 +1,12 @@
+// Golden fixture for gsp-relaxed-atomic: memory_order_relaxed outside the
+// commutative verdict-bitset whitelist, with no commutativity argument.
+// Lint-only input; never compiled or linked into any target.
+#include <atomic>
+
+namespace gsp_fixture {
+
+int fixture_relaxed(const std::atomic<int>& flag) {
+    return flag.load(std::memory_order_relaxed);
+}
+
+}  // namespace gsp_fixture

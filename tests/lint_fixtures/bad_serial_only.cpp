@@ -1,0 +1,19 @@
+// Golden fixture for gsp-serial-only: a GSP_SERIAL_ONLY function invoked
+// from inside a thread-pool task body.
+// Lint-only input; never compiled or linked into any target.
+#include <cstddef>
+
+#include "util/annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gsp_fixture {
+
+GSP_SERIAL_ONLY void fixture_record(int value);
+
+void fixture_parallel(gsp::ThreadPool& pool) {
+    pool.run(8, [&](std::size_t, std::size_t task) {
+        fixture_record(static_cast<int>(task));
+    });
+}
+
+}  // namespace gsp_fixture

@@ -1,0 +1,14 @@
+// Golden fixture asserted SILENT: the same violation as
+// bad_relaxed_atomic.cpp, but carrying a suppression comment with a
+// commutativity argument, which the linter must honor.
+// Lint-only input; never compiled or linked into any target.
+#include <atomic>
+
+namespace gsp_fixture {
+
+int fixture_suppressed(const std::atomic<int>& counter) {
+    // gsp-lint: allow(gsp-relaxed-atomic) fixture: commutative counter read
+    return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace gsp_fixture

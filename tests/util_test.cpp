@@ -119,12 +119,12 @@ TEST(FitTest, NoisyPowerLawStillClose) {
 
 TEST(FitTest, InputValidation) {
     const std::vector<double> one = {1.0};
-    EXPECT_THROW(fit_power_law(one, one), std::invalid_argument);
+    EXPECT_THROW((void)fit_power_law(one, one), std::invalid_argument);
     const std::vector<double> xs = {1.0, 2.0};
     const std::vector<double> bad = {1.0, -2.0};
-    EXPECT_THROW(fit_power_law(xs, bad), std::invalid_argument);
+    EXPECT_THROW((void)fit_power_law(xs, bad), std::invalid_argument);
     const std::vector<double> same_x = {2.0, 2.0};
-    EXPECT_THROW(fit_slope(same_x, xs), std::invalid_argument);
+    EXPECT_THROW((void)fit_slope(same_x, xs), std::invalid_argument);
 }
 
 TEST(FitTest, SlopeOfLine) {
